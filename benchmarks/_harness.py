@@ -1,0 +1,11 @@
+"""Helpers shared by the benchmark harness."""
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiment benchmarks are full evaluation sweeps (minutes, not
+    microseconds), so a single round is both sufficient and necessary.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,14 @@
+"""Pytest bootstrap for the benchmark harness: make ``src/`` importable.
+
+Every benchmark regenerates one table or figure of the paper at a reduced but
+representative scale (see ``EXPERIMENTS.md`` for the mapping and the observed
+numbers).
+"""
+
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for path in (_ROOT / "src", _ROOT / "benchmarks"):
+    if str(path) not in sys.path:
+        sys.path.insert(0, str(path))

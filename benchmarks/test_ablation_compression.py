@@ -1,0 +1,49 @@
+"""Ablation: compression-level sweep vs single compression levels.
+
+Quorum sweeps every compression level (number of qubits reset) inside each
+ensemble group (Fig. 6).  This ablation compares the sweep against using only the
+shallowest or only the deepest bottleneck.
+"""
+
+from _harness import run_once
+
+from repro.data.registry import load_dataset
+from repro.experiments.common import ExperimentSettings, markdown_table, run_quorum
+from repro.metrics.classification import evaluate_top_k
+
+SETTINGS = ExperimentSettings(ensemble_groups=40, seed=11)
+VARIANTS = {
+    "level 1 only": (1,),
+    "level 2 only": (2,),
+    "sweep (1, 2)": (1, 2),
+}
+
+
+def _sweep():
+    results = {}
+    for dataset_name in ("breast_cancer", "letter"):
+        dataset = load_dataset(dataset_name, seed=SETTINGS.seed)
+        per_variant = {}
+        for label, levels in VARIANTS.items():
+            config = SETTINGS.quorum_config(dataset_name,
+                                            compression_levels=levels)
+            scores, _ = run_quorum(dataset, config)
+            report = evaluate_top_k(scores, dataset.labels, dataset.num_anomalies)
+            per_variant[label] = report.f1
+        results[dataset_name] = per_variant
+    return results
+
+
+def test_ablation_compression_levels(benchmark):
+    results = run_once(benchmark, _sweep)
+    print("\n[Ablation] Compression-level sweep vs single levels (F1)\n")
+    rows = []
+    for dataset_name, per_variant in results.items():
+        for label, f1 in per_variant.items():
+            rows.append((dataset_name, label, f"{f1:.3f}"))
+    print(markdown_table(["Dataset", "Compression", "F1"], rows))
+
+    for dataset_name, per_variant in results.items():
+        best_single = max(per_variant["level 1 only"], per_variant["level 2 only"])
+        # The multi-level sweep is competitive with the best single level.
+        assert per_variant["sweep (1, 2)"] >= best_single - 0.15

@@ -1,0 +1,53 @@
+"""Ablation: effect of ensemble size and shot count (Section V, "Experimental
+Framework": "Increasing both shot count and ensemble members has significant
+impacts on performance, with benefits diminishing as they increase past a certain
+point").
+
+Checked here: detection quality improves (or saturates) as the ensemble grows, and
+the largest sweep is no worse than the smallest one.
+"""
+
+from _harness import run_once
+
+from repro.data.registry import load_dataset
+from repro.experiments.common import ExperimentSettings, markdown_table, run_quorum
+from repro.metrics.classification import evaluate_top_k
+
+SETTINGS = ExperimentSettings(seed=11)
+ENSEMBLE_SIZES = (5, 20, 60)
+SHOT_COUNTS = (256, 4096, None)
+
+
+def _sweep():
+    dataset = load_dataset("breast_cancer", seed=SETTINGS.seed)
+    ensemble_f1 = {}
+    for groups in ENSEMBLE_SIZES:
+        config = SETTINGS.quorum_config("breast_cancer", ensemble_groups=groups)
+        scores, _ = run_quorum(dataset, config)
+        report = evaluate_top_k(scores, dataset.labels, dataset.num_anomalies)
+        ensemble_f1[groups] = report.f1
+    shot_f1 = {}
+    for shots in SHOT_COUNTS:
+        config = SETTINGS.quorum_config("breast_cancer", ensemble_groups=30,
+                                        shots=shots)
+        scores, _ = run_quorum(dataset, config)
+        report = evaluate_top_k(scores, dataset.labels, dataset.num_anomalies)
+        shot_f1[shots] = report.f1
+    return ensemble_f1, shot_f1
+
+
+def test_ablation_ensemble_and_shot_scaling(benchmark):
+    ensemble_f1, shot_f1 = run_once(benchmark, _sweep)
+    print("\n[Ablation] Ensemble-size scaling (breast cancer)\n")
+    print(markdown_table(["Ensemble members", "F1"],
+                         [(k, f"{v:.3f}") for k, v in ensemble_f1.items()]))
+    print("\n[Ablation] Shot-count scaling (breast cancer, 30 members)\n")
+    print(markdown_table(["Shots", "F1"],
+                         [("exact" if k is None else k, f"{v:.3f}")
+                          for k, v in shot_f1.items()]))
+
+    # More ensemble members never hurts substantially; the largest sweep matches
+    # or beats the smallest.
+    assert ensemble_f1[ENSEMBLE_SIZES[-1]] >= ensemble_f1[ENSEMBLE_SIZES[0]] - 0.05
+    # Exact probabilities are at least as good as the lowest shot count.
+    assert shot_f1[None] >= shot_f1[SHOT_COUNTS[0]] - 0.05

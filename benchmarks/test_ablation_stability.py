@@ -1,0 +1,35 @@
+"""Ablation: ranking stability across ensemble growth and across seeds.
+
+Quorum's whole premise is that aggregating many random projections yields a
+*stable* anomaly ranking.  This benchmark measures (a) how quickly the partial
+ensemble's ranking converges to the full ensemble's, and (b) how strongly
+independent seeds agree on the top-scoring samples.
+"""
+
+from _harness import run_once
+
+from repro.experiments.ablations import run_stability_analysis
+from repro.experiments.common import ExperimentSettings, markdown_table
+
+SETTINGS = ExperimentSettings(seed=11)
+
+
+def test_ablation_ranking_stability(benchmark):
+    result = run_once(benchmark, run_stability_analysis, SETTINGS, "power_plant",
+                      (5, 15, 30, 60), 3)
+    print("\n[Ablation] Ranking stability (power plant)\n")
+    print(markdown_table(
+        ["Ensemble members", "Spearman vs full ensemble"],
+        [(size, f"{value:.3f}") for size, value in result.stability_curve.items()]))
+    print("\nCross-seed agreement (15-member runs):")
+    print(markdown_table(
+        ["Metric", "Value"],
+        [(key, f"{value:.3f}") for key, value in result.cross_seed_agreement.items()]))
+
+    # The ranking converges monotonically-ish toward the full ensemble ...
+    checkpoints = sorted(result.stability_curve)
+    assert result.stability_curve[checkpoints[-1]] >= 0.999
+    assert result.stability_curve[checkpoints[-2]] >= 0.8
+    # ... and independent seeds broadly agree on the ranking.
+    assert result.cross_seed_agreement["mean_spearman"] >= 0.5
+    assert result.cross_seed_agreement["mean_top_k_jaccard"] >= 0.5

@@ -1,0 +1,35 @@
+"""Benchmark regenerating Fig. 8: Quorum vs the supervised QNN on four metrics.
+
+Paper claims checked here (shape, not absolute numbers):
+
+* Quorum's F1 is at least the QNN's on every dataset (23% higher on average in the
+  paper).
+* The QNN is conservative: high precision, low recall on the easy datasets.
+* The QNN effectively fails on the letter dataset (F1 ~ 0).
+"""
+
+from _harness import run_once
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.fig8 import format_fig8, run_fig8
+
+SETTINGS = ExperimentSettings(ensemble_groups=60, shots=4096, seed=11,
+                              qnn_epochs=60)
+
+
+def test_fig8_quorum_vs_qnn(benchmark):
+    result = run_once(benchmark, run_fig8, SETTINGS)
+    print("\n[Fig. 8] Quorum vs QNN across four datasets\n")
+    print(format_fig8(result))
+
+    # Quorum wins on F1 everywhere (the paper's headline result).
+    assert result.quorum_wins_everywhere()
+    assert result.average_f1_advantage > 0.0
+
+    # The QNN is conservative where it works at all: recall never exceeds
+    # precision by a wide margin, and recall stays below Quorum's.
+    for entry in result.entries:
+        assert entry.qnn.recall <= entry.quorum.recall + 1e-9
+
+    # The QNN collapses on the hardest dataset (letter).
+    assert result.entry_for("letter").qnn.f1 <= 0.1

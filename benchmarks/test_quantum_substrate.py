@@ -1,0 +1,45 @@
+"""Microbenchmarks of the quantum substrate (simulator and transpiler throughput).
+
+These are not paper figures; they document the cost of the substrate the
+reproduction is built on (statevector vs density-matrix simulation of the 7-qubit
+Quorum circuit, and transpilation to the Brisbane basis).
+"""
+
+import numpy as np
+
+from repro.algorithms.ansatz import RandomAutoencoderAnsatz
+from repro.algorithms.autoencoder import build_autoencoder_circuit
+from repro.core.ensemble import batch_amplitudes
+from repro.quantum.simulator import DensityMatrixSimulator, StatevectorSimulator
+from repro.quantum.transpiler import transpile
+
+
+def _quorum_circuit(measure=True, gate_level=False):
+    rng = np.random.default_rng(0)
+    amplitudes = batch_amplitudes(rng.uniform(0, 1 / np.sqrt(7), size=(1, 7)), 3)[0]
+    ansatz = RandomAutoencoderAnsatz(3, seed=11)
+    return build_autoencoder_circuit(amplitudes, ansatz, 1,
+                                     gate_level_encoding=gate_level,
+                                     measure=measure)
+
+
+def test_statevector_simulation_of_quorum_circuit(benchmark):
+    circuit = _quorum_circuit(measure=True)
+    simulator = StatevectorSimulator(seed=1, max_trajectories=16)
+    result = benchmark(simulator.run, circuit, 1024)
+    assert sum(result.counts.values()) == 1024
+
+
+def test_density_matrix_simulation_of_quorum_circuit(benchmark):
+    circuit = _quorum_circuit(measure=False)
+    simulator = DensityMatrixSimulator()
+    state = benchmark(simulator.evolve, circuit)
+    assert abs(state.trace() - 1.0) < 1e-9
+
+
+def test_transpile_quorum_circuit_to_brisbane_basis(benchmark):
+    circuit = _quorum_circuit(measure=True, gate_level=True)
+    transpiled = benchmark(transpile, circuit, ("rz", "sx", "x", "cx"))
+    allowed = {"rz", "sx", "x", "cx", "barrier", "reset", "measure"}
+    assert all(instr.name in allowed for instr in transpiled.instructions)
+    assert transpiled.two_qubit_gate_count() >= circuit.count_ops().get("cswap", 0)

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable even without an editable install.
+
+The project is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` on machines without the ``wheel`` package); this hook
+only exists so that cloning the repository and running ``pytest`` immediately works.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

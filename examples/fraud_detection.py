@@ -1,0 +1,80 @@
+"""Fraud detection on raw transaction records (the finance use case from the intro).
+
+Run with::
+
+    python examples/fraud_detection.py
+
+Shows the full preprocessing path the paper describes for messy real-world data:
+string-valued features are hashed to floats, the label column is stripped before
+detection, and Quorum's anomaly scores are compared against a classical Isolation
+Forest on the same records.
+"""
+
+import numpy as np
+
+from repro import QuorumDetector, evaluate_top_k
+from repro.baselines import IsolationForestDetector
+from repro.data.preprocessing import preprocess_records
+
+
+def synthesize_transactions(num_normal=400, num_fraud=12, seed=3):
+    """Generate a plausible stream of card transactions with a few frauds."""
+    rng = np.random.default_rng(seed)
+    merchants = ["grocer", "pharmacy", "coffee", "transit", "bookstore"]
+    records = []
+    for _ in range(num_normal):
+        records.append({
+            "amount": float(rng.lognormal(mean=3.2, sigma=0.5)),
+            "merchant": merchants[int(rng.integers(len(merchants)))],
+            "hour_of_day": int(rng.integers(7, 22)),
+            "days_since_last": float(rng.exponential(1.5)),
+            "same_country": 1,
+            "is_fraud": 0,
+        })
+    for _ in range(num_fraud):
+        records.append({
+            "amount": float(rng.lognormal(mean=7.5, sigma=0.4)),
+            "merchant": "wire_transfer",
+            "hour_of_day": int(rng.integers(0, 5)),
+            "days_since_last": float(rng.exponential(0.05)),
+            "same_country": 0,
+            "is_fraud": 1,
+        })
+    rng.shuffle(records)
+    return records
+
+
+def main() -> None:
+    records = synthesize_transactions()
+    dataset = preprocess_records(records, label_key="is_fraud", name="card_fraud")
+    print(f"Preprocessed {dataset.num_samples} transactions "
+          f"({dataset.num_anomalies} frauds) into {dataset.num_features} "
+          f"hashed/normalized features: {dataset.feature_names}")
+
+    detector = QuorumDetector(ensemble_groups=50, shots=4096, seed=1,
+                              anomaly_fraction_estimate=0.03,
+                              bucket_probability=0.75)
+    detector.fit(dataset)
+    quorum_report = evaluate_top_k(detector.anomaly_scores(), dataset.labels,
+                                   dataset.num_anomalies)
+
+    forest = IsolationForestDetector(num_trees=100, seed=1)
+    forest_scores = forest.fit_scores(dataset.data)
+    forest_report = evaluate_top_k(forest_scores, dataset.labels,
+                                   dataset.num_anomalies)
+
+    print("\nMethod             precision  recall   F1")
+    print(f"Quorum (quantum)      {quorum_report.precision:6.3f}  {quorum_report.recall:6.3f}  {quorum_report.f1:6.3f}")
+    print(f"Isolation Forest      {forest_report.precision:6.3f}  {forest_report.recall:6.3f}  {forest_report.f1:6.3f}")
+
+    print("\nTop 8 transactions by Quorum anomaly score:")
+    scores = detector.anomaly_scores()
+    for index in detector.ranking()[:8]:
+        record = records[index]
+        tag = "FRAUD" if dataset.labels[index] else "ok"
+        print(f"  score={scores[index]:7.2f}  amount={record['amount']:9.2f}  "
+              f"merchant={record['merchant']:13s}  {tag}")
+
+
+if __name__ == "__main__":
+    main()

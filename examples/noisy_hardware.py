@@ -1,0 +1,55 @@
+"""Noise resilience: running Quorum on a Brisbane-like noisy simulator.
+
+Run with::
+
+    python examples/noisy_hardware.py
+
+Reproduces the paper's Fig. 9 noise experiment in miniature: the same (subsampled)
+dataset is scored with the exact analytic engine and with the density-matrix
+simulator carrying IBM-Brisbane-style gate/readout noise, and the detection-rate
+curves are compared.  Noisy circuit simulation is expensive, so this example uses
+a small stratified subsample and few ensemble members.
+"""
+
+from repro import QuorumDetector, detection_rate_curve, load_dataset
+from repro.experiments.common import stratified_subsample
+from repro.quantum.backends import FakeBrisbane
+
+
+def main() -> None:
+    full = load_dataset("breast_cancer", seed=0)
+    dataset = stratified_subsample(full, 90, seed=1)
+    print(f"Subsampled {dataset.num_samples} of {full.num_samples} samples "
+          f"({dataset.num_anomalies} anomalies) for the noisy comparison")
+
+    backend = FakeBrisbane()
+    print("Noise model (median Brisbane calibration, as quoted in the paper):")
+    print(f"  T1 = {backend.t1_us} us, T2 = {backend.t2_us} us")
+    print(f"  1q gate error = {backend.single_qubit_gate_error}")
+    print(f"  2q gate error = {backend.two_qubit_gate_error}")
+    print(f"  readout error = {backend.readout_error}\n")
+
+    common = dict(ensemble_groups=6, shots=4096, seed=3,
+                  anomaly_fraction_estimate=dataset.anomaly_fraction,
+                  bucket_probability=0.75)
+
+    ideal = QuorumDetector(backend="analytic", **common)
+    ideal.fit(dataset)
+    ideal_curve = detection_rate_curve(ideal.anomaly_scores(), dataset.labels)
+
+    noisy = QuorumDetector(backend="density_matrix", noisy=True, **common)
+    noisy.fit(dataset)
+    noisy_curve = detection_rate_curve(noisy.anomaly_scores(), dataset.labels)
+
+    print("Fraction of dataset inspected -> fraction of anomalies detected")
+    print(f"{'fraction':>10s}  {'noiseless':>10s}  {'Brisbane noise':>14s}")
+    for fraction in (0.05, 0.10, 0.20, 0.30, 0.50):
+        print(f"{fraction:10.0%}  {ideal_curve.rate_at(fraction):10.1%}  "
+              f"{noisy_curve.rate_at(fraction):14.1%}")
+    print("\nQuorum's ensemble averaging makes the ranking robust to realistic "
+          "gate and readout noise -- the two curves should closely track each "
+          "other, as the paper reports.")
+
+
+if __name__ == "__main__":
+    main()

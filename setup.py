@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+The project is fully described in ``pyproject.toml``; this file only exists so that
+``pip install -e . --no-use-pep517`` (the legacy editable-install path) works in
+offline environments where PEP 517 build isolation cannot fetch build dependencies.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""Reproduction of "Quorum: Zero-Training Unsupervised Anomaly Detection using
+Quantum Autoencoders" (DAC 2025).
+
+The top-level namespace re-exports the objects most users need:
+
+* :class:`QuorumDetector` / :class:`QuorumConfig` -- the paper's contribution.
+* :func:`load_dataset` / :class:`Dataset` -- the four Table I evaluation datasets
+  (synthetic surrogates; see DESIGN.md).
+* The evaluation metrics used in Figs. 8-10.
+* The quantum substrate lives under :mod:`repro.quantum`, the baselines under
+  :mod:`repro.baselines`, and the per-figure experiment runners under
+  :mod:`repro.experiments`.
+"""
+
+from repro.core.config import QuorumConfig
+from repro.core.detector import QuorumDetector
+from repro.core.scoring import AnomalyScores
+from repro.data.dataset import Dataset
+from repro.data.registry import DATASET_SPECS, available_datasets, load_dataset
+from repro.metrics.classification import ClassificationReport, evaluate_flags, evaluate_top_k
+from repro.metrics.detection import DetectionCurve, detection_rate_curve
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuorumConfig",
+    "QuorumDetector",
+    "AnomalyScores",
+    "Dataset",
+    "DATASET_SPECS",
+    "available_datasets",
+    "load_dataset",
+    "ClassificationReport",
+    "evaluate_flags",
+    "evaluate_top_k",
+    "DetectionCurve",
+    "detection_rate_curve",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Quantum algorithm building blocks: SWAP test and the random autoencoder ansatz."""
+
+from repro.algorithms.swap_test import (
+    append_swap_test,
+    overlap_from_counts,
+    overlap_from_p1,
+    swap_test_circuit,
+)
+from repro.algorithms.ansatz import RandomAutoencoderAnsatz
+from repro.algorithms.autoencoder import (
+    QuorumCircuitFactory,
+    analytic_swap_test_p1,
+    build_autoencoder_circuit,
+)
+
+__all__ = [
+    "append_swap_test",
+    "swap_test_circuit",
+    "overlap_from_counts",
+    "overlap_from_p1",
+    "RandomAutoencoderAnsatz",
+    "QuorumCircuitFactory",
+    "build_autoencoder_circuit",
+    "analytic_swap_test_p1",
+]

@@ -1,0 +1,132 @@
+"""The random autoencoder ansatz (Fig. 5 of the paper).
+
+The ansatz is a layered circuit of RX and RZ rotations followed by a linear chain
+of CX gates.  Quorum never trains these angles: they are drawn uniformly from
+``U(0, 2*pi)`` per ensemble member, and the decoder applies the exact inverse
+(negated angles, reversed gate order), so that without the reset bottleneck the
+encoder-decoder pair would be the identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.quantum.circuit import QuantumCircuit
+
+__all__ = ["RandomAutoencoderAnsatz"]
+
+_ENTANGLEMENTS = ("linear", "ring", "full")
+
+
+@dataclass
+class RandomAutoencoderAnsatz:
+    """Randomly parameterized encoder/decoder pair.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register size the ansatz acts on.
+    num_layers:
+        Number of rotation + entanglement blocks (the paper's Fig. 5 shows two).
+    entanglement:
+        CX pattern per block: ``"linear"`` chain, ``"ring"`` (chain plus wraparound),
+        or ``"full"`` (all ordered pairs).
+    seed:
+        Seed for the angle-generating RNG; pass a fresh seed per ensemble member.
+    """
+
+    num_qubits: int
+    num_layers: int = 2
+    entanglement: str = "linear"
+    seed: Optional[int] = None
+    angles_: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_qubits < 1:
+            raise ValueError("ansatz needs at least one qubit")
+        if self.num_layers < 1:
+            raise ValueError("ansatz needs at least one layer")
+        if self.entanglement not in _ENTANGLEMENTS:
+            raise ValueError(
+                f"entanglement must be one of {_ENTANGLEMENTS}, got "
+                f"{self.entanglement!r}"
+            )
+        if self.angles_ is None:
+            rng = np.random.default_rng(self.seed)
+            self.angles_ = rng.uniform(0.0, 2.0 * np.pi, size=self.num_parameters)
+        else:
+            self.angles_ = np.asarray(self.angles_, dtype=float)
+            if self.angles_.shape != (self.num_parameters,):
+                raise ValueError(
+                    f"expected {self.num_parameters} angles, got {self.angles_.shape}"
+                )
+
+    # ------------------------------------------------------------------ layout
+    @property
+    def num_parameters(self) -> int:
+        """Two rotations (RX, RZ) per qubit per layer."""
+        return 2 * self.num_qubits * self.num_layers
+
+    def _entangling_pairs(self) -> List[Tuple[int, int]]:
+        if self.entanglement == "linear":
+            return [(q, q + 1) for q in range(self.num_qubits - 1)]
+        if self.entanglement == "ring":
+            pairs = [(q, q + 1) for q in range(self.num_qubits - 1)]
+            if self.num_qubits > 2:
+                pairs.append((self.num_qubits - 1, 0))
+            return pairs
+        return [(a, b) for a in range(self.num_qubits)
+                for b in range(a + 1, self.num_qubits)]
+
+    # ---------------------------------------------------------------- circuits
+    def encoder_circuit(self, qubits: Optional[Sequence[int]] = None,
+                        num_circuit_qubits: Optional[int] = None) -> QuantumCircuit:
+        """The encoder ``E(theta)`` as a circuit on ``qubits``.
+
+        Parameters
+        ----------
+        qubits:
+            Physical qubits the ansatz acts on (defaults to ``0 .. num_qubits-1``).
+        num_circuit_qubits:
+            Total size of the returned circuit (defaults to the maximum target + 1).
+        """
+        qubits = list(qubits) if qubits is not None else list(range(self.num_qubits))
+        if len(qubits) != self.num_qubits:
+            raise ValueError("qubit list length must equal num_qubits")
+        size = num_circuit_qubits if num_circuit_qubits is not None else max(qubits) + 1
+        circuit = QuantumCircuit(size, size, name="encoder")
+        angle_index = 0
+        for _ in range(self.num_layers):
+            for qubit in qubits:
+                circuit.rx(float(self.angles_[angle_index]), qubit)
+                angle_index += 1
+            for qubit in qubits:
+                circuit.rz(float(self.angles_[angle_index]), qubit)
+                angle_index += 1
+            for control, target in self._entangling_pairs():
+                circuit.cx(qubits[control], qubits[target])
+        return circuit
+
+    def decoder_circuit(self, qubits: Optional[Sequence[int]] = None,
+                        num_circuit_qubits: Optional[int] = None) -> QuantumCircuit:
+        """The decoder ``D(theta) = E(theta)^-1`` (negated angles, reversed order)."""
+        encoder = self.encoder_circuit(qubits, num_circuit_qubits)
+        decoder = encoder.inverse()
+        decoder.name = "decoder"
+        return decoder
+
+    def encoder_unitary(self) -> np.ndarray:
+        """Dense unitary of the encoder on its own ``num_qubits`` register."""
+        return self.encoder_circuit(list(range(self.num_qubits))).to_unitary()
+
+    def with_new_angles(self, seed: Optional[int] = None) -> "RandomAutoencoderAnsatz":
+        """A fresh ansatz with the same structure but newly drawn random angles."""
+        return RandomAutoencoderAnsatz(
+            num_qubits=self.num_qubits,
+            num_layers=self.num_layers,
+            entanglement=self.entanglement,
+            seed=seed,
+        )

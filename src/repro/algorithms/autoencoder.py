@@ -1,0 +1,157 @@
+"""Assembly of Quorum's full autoencoder + SWAP-test circuit (Figs. 2 and 6).
+
+Each circuit has ``2n + 1`` qubits:
+
+* register A (qubits ``0 .. n-1``): the sample amplitude-encoded and pushed through
+  the random encoder, the partial reset (information bottleneck), and the decoder;
+* register B (qubits ``n .. 2n-1``): the untouched reference encoding of the same
+  sample;
+* the ancilla (qubit ``2n``): SWAP-test readout, measured into classical bit 0.
+
+Besides circuit construction, :func:`analytic_swap_test_p1` computes the exact
+ancilla statistics from the reduced density matrix of register A -- the partial
+reset makes A mixed, and for a mixed A the SWAP test measures
+``P(1) = (1 - Tr(rho_A |psi><psi|)) / 2``.  The fast path is cross-validated against
+the full circuit simulators in the test suite and used by the detector for large
+noiseless sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms.ansatz import RandomAutoencoderAnsatz
+from repro.algorithms.swap_test import append_swap_test
+from repro.encoding.amplitude import state_preparation_circuit
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.statevector import Statevector
+
+__all__ = [
+    "build_autoencoder_circuit",
+    "analytic_swap_test_p1",
+    "QuorumCircuitFactory",
+]
+
+
+def build_autoencoder_circuit(amplitudes: Sequence[float],
+                              ansatz: RandomAutoencoderAnsatz,
+                              compression_level: int,
+                              gate_level_encoding: bool = False,
+                              measure: bool = True) -> QuantumCircuit:
+    """Build the full ``2n + 1``-qubit Quorum circuit for one sample.
+
+    Parameters
+    ----------
+    amplitudes:
+        Length ``2**n`` non-negative amplitude vector (from the amplitude encoder).
+    ansatz:
+        The random encoder/decoder pair acting on register A.
+    compression_level:
+        Number of register-A qubits reset between encoder and decoder
+        (``0 <= compression_level <= n``; 0 disables the bottleneck).
+    gate_level_encoding:
+        Synthesize RY/CX state preparation instead of ``initialize`` instructions
+        (needed for noisy simulation, where state preparation should also be noisy).
+    measure:
+        Measure the ancilla into classical bit 0.
+    """
+    amplitudes = np.asarray(amplitudes, dtype=float).ravel()
+    num_qubits = ansatz.num_qubits
+    if amplitudes.shape[0] != 2 ** num_qubits:
+        raise ValueError(
+            f"amplitude vector of length {amplitudes.shape[0]} does not match the "
+            f"{num_qubits}-qubit ansatz"
+        )
+    if not 0 <= compression_level <= num_qubits:
+        raise ValueError(
+            f"compression level must be in [0, {num_qubits}], got {compression_level}"
+        )
+    total_qubits = 2 * num_qubits + 1
+    circuit = QuantumCircuit(total_qubits, 1, name="quorum_autoencoder")
+    register_a = list(range(num_qubits))
+    register_b = list(range(num_qubits, 2 * num_qubits))
+    ancilla = 2 * num_qubits
+
+    if gate_level_encoding:
+        preparation = state_preparation_circuit(amplitudes, num_qubits)
+        circuit.compose(preparation, qubits=register_a,
+                        clbits=[0] * preparation.num_clbits)
+        circuit.compose(preparation, qubits=register_b,
+                        clbits=[0] * preparation.num_clbits)
+    else:
+        circuit.initialize(amplitudes, register_a)
+        circuit.initialize(amplitudes, register_b)
+    circuit.barrier()
+
+    encoder = ansatz.encoder_circuit(register_a, num_circuit_qubits=total_qubits)
+    circuit.compose(encoder, clbits=[0] * encoder.num_clbits)
+    for qubit in range(compression_level):
+        circuit.reset(qubit)
+    decoder = ansatz.decoder_circuit(register_a, num_circuit_qubits=total_qubits)
+    circuit.compose(decoder, clbits=[0] * decoder.num_clbits)
+    circuit.barrier()
+
+    append_swap_test(circuit, ancilla, register_a, register_b, clbit=0,
+                     measure=measure)
+    return circuit
+
+
+def analytic_swap_test_p1(amplitudes: Sequence[float],
+                          ansatz: RandomAutoencoderAnsatz,
+                          compression_level: int) -> float:
+    """Exact ancilla P(1) of the circuit built by :func:`build_autoencoder_circuit`.
+
+    Works directly on register A's ``n``-qubit density matrix: encode, apply the
+    encoder unitary, reset the bottleneck qubits, apply the decoder, and take the
+    overlap with the untouched encoding of the same sample.
+    """
+    amplitudes = np.asarray(amplitudes, dtype=float).ravel()
+    num_qubits = ansatz.num_qubits
+    if amplitudes.shape[0] != 2 ** num_qubits:
+        raise ValueError("amplitude vector does not match the ansatz size")
+    if not 0 <= compression_level <= num_qubits:
+        raise ValueError("compression level out of range")
+    reference = Statevector(amplitudes.astype(complex))
+    encoder_unitary = ansatz.encoder_unitary()
+    rho = DensityMatrix.from_statevector(reference)
+    rho = rho.evolve_gate(encoder_unitary, list(range(num_qubits)))
+    for qubit in range(compression_level):
+        rho = rho.reset_qubit(qubit)
+    rho = rho.evolve_gate(encoder_unitary.conj().T, list(range(num_qubits)))
+    overlap = rho.overlap(DensityMatrix.from_statevector(reference))
+    p1 = (1.0 - overlap) / 2.0
+    return float(min(max(p1, 0.0), 0.5))
+
+
+@dataclass(frozen=True)
+class QuorumCircuitFactory:
+    """Convenience wrapper binding an ansatz to the circuit/fast-path builders."""
+
+    ansatz: RandomAutoencoderAnsatz
+
+    @property
+    def num_qubits(self) -> int:
+        """Register size n (the full circuit uses ``2n + 1`` qubits)."""
+        return self.ansatz.num_qubits
+
+    @property
+    def total_qubits(self) -> int:
+        """Total circuit width including the reference register and the ancilla."""
+        return 2 * self.ansatz.num_qubits + 1
+
+    def circuit(self, amplitudes: Sequence[float], compression_level: int,
+                gate_level_encoding: bool = False,
+                measure: bool = True) -> QuantumCircuit:
+        """Full circuit for one sample at one compression level."""
+        return build_autoencoder_circuit(amplitudes, self.ansatz, compression_level,
+                                         gate_level_encoding=gate_level_encoding,
+                                         measure=measure)
+
+    def analytic_p1(self, amplitudes: Sequence[float],
+                    compression_level: int) -> float:
+        """Exact SWAP-test P(1) via the reduced-density-matrix fast path."""
+        return analytic_swap_test_p1(amplitudes, self.ansatz, compression_level)

@@ -1,0 +1,99 @@
+"""The SWAP test (Section II-B of the paper).
+
+The SWAP test estimates the overlap between the states of two equally sized
+registers: with an ancilla prepared in ``|+>``, controlled-SWAPs between the
+registers, and a final Hadamard, the ancilla reads 1 with probability
+``P(1) = (1 - O) / 2`` where ``O`` is the overlap (``|<phi|psi>|^2`` for pure
+states, ``Tr(rho sigma)`` in general).  Quorum uses ``P(1)`` directly as the
+per-sample circuit output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.quantum.circuit import QuantumCircuit
+
+__all__ = [
+    "append_swap_test",
+    "swap_test_circuit",
+    "overlap_from_p1",
+    "overlap_from_counts",
+    "p1_from_counts",
+]
+
+
+def append_swap_test(circuit: QuantumCircuit, ancilla: int,
+                     register_a: Sequence[int], register_b: Sequence[int],
+                     clbit: int = 0, measure: bool = True) -> QuantumCircuit:
+    """Append a SWAP test between two registers onto an existing circuit.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to extend (modified in place and returned).
+    ancilla:
+        Ancilla qubit used for the interference measurement.
+    register_a, register_b:
+        Equal-length qubit lists whose states are compared pairwise.
+    clbit:
+        Classical bit receiving the ancilla measurement.
+    measure:
+        Set False to skip the final measurement (useful when the caller computes
+        probabilities analytically from the final state).
+    """
+    register_a = list(register_a)
+    register_b = list(register_b)
+    if len(register_a) != len(register_b):
+        raise ValueError("SWAP test registers must have the same size")
+    if ancilla in register_a or ancilla in register_b:
+        raise ValueError("the ancilla cannot belong to either register")
+    overlap = set(register_a) & set(register_b)
+    if overlap:
+        raise ValueError(f"registers overlap on qubits {sorted(overlap)}")
+    circuit.h(ancilla)
+    for qubit_a, qubit_b in zip(register_a, register_b):
+        circuit.cswap(ancilla, qubit_a, qubit_b)
+    circuit.h(ancilla)
+    if measure:
+        circuit.measure(ancilla, clbit)
+    return circuit
+
+
+def swap_test_circuit(register_size: int, measure: bool = True) -> QuantumCircuit:
+    """A standalone SWAP-test circuit over ``2 * register_size + 1`` qubits.
+
+    Qubit 0 is the ancilla, qubits ``1 .. n`` are register A, and qubits
+    ``n+1 .. 2n`` are register B, matching the layout in the paper's Fig. 2.
+    """
+    if register_size < 1:
+        raise ValueError("register size must be positive")
+    num_qubits = 2 * register_size + 1
+    circuit = QuantumCircuit(num_qubits, 1, name="swap_test")
+    register_a = list(range(1, register_size + 1))
+    register_b = list(range(register_size + 1, num_qubits))
+    return append_swap_test(circuit, 0, register_a, register_b, clbit=0,
+                            measure=measure)
+
+
+def overlap_from_p1(p1: float) -> float:
+    """Convert the ancilla's P(1) into the register overlap, clipped to [0, 1]."""
+    overlap = 1.0 - 2.0 * p1
+    return min(max(overlap, 0.0), 1.0)
+
+
+def p1_from_counts(counts: Dict[str, int], clbit: int = 0) -> float:
+    """Empirical P(ancilla = 1) from a counts dictionary."""
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError("empty counts")
+    ones = 0
+    for bitstring, count in counts.items():
+        if bitstring[len(bitstring) - 1 - clbit] == "1":
+            ones += count
+    return ones / total
+
+
+def overlap_from_counts(counts: Dict[str, int], clbit: int = 0) -> float:
+    """Empirical overlap estimate from SWAP-test measurement counts."""
+    return overlap_from_p1(p1_from_counts(counts, clbit))

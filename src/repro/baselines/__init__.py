@@ -1,0 +1,27 @@
+"""Baselines: the paper's QNN competitor plus classical anomaly detectors.
+
+* :class:`QNNClassifier` -- supervised variational quantum classifier adapted from
+  Kukliansky et al. (the "QNN" bars in Fig. 8).
+* :class:`IsolationForestDetector`, :class:`KMeansDetector`,
+  :class:`PCAReconstructionDetector`, :class:`AutoencoderDetector` -- the classical
+  techniques the paper's background section positions Quorum against.
+"""
+
+from repro.baselines.qnn import QNNClassifier, QNNConfig
+from repro.baselines.isolation_forest import IsolationForestDetector
+from repro.baselines.clustering import KMeansDetector
+from repro.baselines.pca import PCAReconstructionDetector
+from repro.baselines.autoencoder import AutoencoderDetector
+from repro.baselines.lof import LocalOutlierFactorDetector
+from repro.baselines.hbos import HBOSDetector
+
+__all__ = [
+    "QNNClassifier",
+    "QNNConfig",
+    "IsolationForestDetector",
+    "KMeansDetector",
+    "PCAReconstructionDetector",
+    "AutoencoderDetector",
+    "LocalOutlierFactorDetector",
+    "HBOSDetector",
+]

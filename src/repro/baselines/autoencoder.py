@@ -1,0 +1,148 @@
+"""Classical autoencoder baseline (the concept Quorum "quantizes").
+
+A small fully connected autoencoder trained by plain mini-batch gradient descent
+(numpy only).  Samples with large reconstruction error are scored as anomalous --
+the classical analogue of the quantum autoencoder's SWAP-test dissimilarity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["AutoencoderDetector"]
+
+
+def _sigmoid(values: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(values, -30.0, 30.0)))
+
+
+class AutoencoderDetector:
+    """One-hidden-layer (per side) dense autoencoder with reconstruction scoring.
+
+    Parameters
+    ----------
+    bottleneck:
+        Width of the compressed representation.
+    hidden:
+        Width of the encoder/decoder hidden layers.
+    epochs:
+        Training epochs over the whole dataset.
+    learning_rate:
+        Gradient-descent step size.
+    batch_size:
+        Mini-batch size.
+    seed:
+        Weight-initialization / shuffling seed.
+    """
+
+    def __init__(self, bottleneck: int = 2, hidden: int = 16, epochs: int = 200,
+                 learning_rate: float = 0.05, batch_size: int = 32,
+                 seed: Optional[int] = 0) -> None:
+        if bottleneck < 1 or hidden < 1:
+            raise ValueError("layer widths must be positive")
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be positive")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.bottleneck = bottleneck
+        self.hidden = hidden
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.seed = seed
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        self._feature_min: Optional[np.ndarray] = None
+        self._feature_max: Optional[np.ndarray] = None
+        self.loss_history_: List[float] = []
+
+    # ------------------------------------------------------------------ layers
+    def _initialize(self, num_features: int, rng: np.random.Generator) -> None:
+        sizes = [num_features, self.hidden, self.bottleneck, self.hidden, num_features]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self._weights.append(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, batch: np.ndarray) -> Tuple[List[np.ndarray], np.ndarray]:
+        activations = [batch]
+        current = batch
+        for layer, (weight, bias) in enumerate(zip(self._weights, self._biases)):
+            pre_activation = current @ weight + bias
+            if layer < len(self._weights) - 1:
+                current = _sigmoid(pre_activation)
+            else:
+                current = pre_activation  # linear output layer
+            activations.append(current)
+        return activations, current
+
+    def _normalize(self, data: np.ndarray) -> np.ndarray:
+        span = self._feature_max - self._feature_min
+        span = np.where(span > 0, span, 1.0)
+        return np.clip((data - self._feature_min) / span, 0.0, 1.0)
+
+    # ---------------------------------------------------------------- training
+    def fit(self, data: np.ndarray) -> "AutoencoderDetector":
+        """Train the autoencoder on (unlabeled) data."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or data.shape[0] < 2:
+            raise ValueError("data must be 2-D with at least two samples")
+        rng = np.random.default_rng(self.seed)
+        self._feature_min = data.min(axis=0)
+        self._feature_max = data.max(axis=0)
+        normalized = self._normalize(data)
+        self._initialize(data.shape[1], rng)
+        self.loss_history_ = []
+        num_samples = normalized.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(num_samples)
+            epoch_loss = 0.0
+            for start in range(0, num_samples, self.batch_size):
+                batch = normalized[order[start:start + self.batch_size]]
+                epoch_loss += self._train_batch(batch)
+            self.loss_history_.append(epoch_loss / num_samples)
+        return self
+
+    def _train_batch(self, batch: np.ndarray) -> float:
+        activations, output = self._forward(batch)
+        error = output - batch
+        loss = float(np.sum(error ** 2))
+        batch_size = batch.shape[0]
+        # Backpropagation through the linear output layer and sigmoid hidden layers.
+        delta = 2.0 * error / batch_size
+        for layer in reversed(range(len(self._weights))):
+            inputs = activations[layer]
+            grad_weight = inputs.T @ delta
+            grad_bias = delta.sum(axis=0)
+            if layer > 0:
+                upstream = delta @ self._weights[layer].T
+                hidden_activation = activations[layer]
+                delta = upstream * hidden_activation * (1.0 - hidden_activation)
+            self._weights[layer] -= self.learning_rate * grad_weight
+            self._biases[layer] -= self.learning_rate * grad_bias
+        return loss
+
+    # ----------------------------------------------------------------- scoring
+    def anomaly_scores(self, data: np.ndarray) -> np.ndarray:
+        """Per-sample reconstruction error."""
+        if not self._weights:
+            raise RuntimeError("the autoencoder has not been trained")
+        data = np.asarray(data, dtype=float)
+        normalized = self._normalize(data)
+        _, output = self._forward(normalized)
+        return np.sum((output - normalized) ** 2, axis=1)
+
+    def fit_scores(self, data: np.ndarray) -> np.ndarray:
+        """Fit and score in one call."""
+        return self.fit(data).anomaly_scores(data)
+
+    def predict(self, data: np.ndarray, num_anomalies: int) -> np.ndarray:
+        """Flag the ``num_anomalies`` worst-reconstructed samples."""
+        scores = self.anomaly_scores(data)
+        flags = np.zeros(data.shape[0], dtype=int)
+        flags[np.argsort(scores)[::-1][:num_anomalies]] = 1
+        return flags

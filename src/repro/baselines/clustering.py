@@ -1,0 +1,100 @@
+"""K-means clustering baseline: anomalies are points far from every centroid."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["KMeansDetector"]
+
+
+class KMeansDetector:
+    """Lloyd's k-means with distance-to-centroid anomaly scoring.
+
+    Parameters
+    ----------
+    num_clusters:
+        Number of centroids fit to the (unlabeled) data.
+    max_iterations:
+        Lloyd iterations cap.
+    tolerance:
+        Early-stop threshold on centroid movement.
+    seed:
+        RNG seed for the k-means++-style initialization.
+    """
+
+    def __init__(self, num_clusters: int = 8, max_iterations: int = 100,
+                 tolerance: float = 1e-6, seed: Optional[int] = 0) -> None:
+        if num_clusters < 1:
+            raise ValueError("num_clusters must be positive")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be positive")
+        self.num_clusters = num_clusters
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.seed = seed
+        self.centroids_: Optional[np.ndarray] = None
+        self.iterations_run_: int = 0
+
+    def _initialize(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread the initial centroids out."""
+        centroids = [data[rng.integers(0, data.shape[0])]]
+        while len(centroids) < self.num_clusters:
+            distances = np.min(
+                [np.sum((data - centroid) ** 2, axis=1) for centroid in centroids],
+                axis=0,
+            )
+            total = distances.sum()
+            if total <= 0:
+                centroids.append(data[rng.integers(0, data.shape[0])])
+                continue
+            probabilities = distances / total
+            centroids.append(data[rng.choice(data.shape[0], p=probabilities)])
+        return np.asarray(centroids)
+
+    def fit(self, data: np.ndarray) -> "KMeansDetector":
+        """Run Lloyd's algorithm on ``data``."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or data.shape[0] < self.num_clusters:
+            raise ValueError("need at least as many samples as clusters")
+        rng = np.random.default_rng(self.seed)
+        centroids = self._initialize(data, rng)
+        for iteration in range(self.max_iterations):
+            distances = np.stack(
+                [np.sum((data - centroid) ** 2, axis=1) for centroid in centroids]
+            )
+            assignments = np.argmin(distances, axis=0)
+            updated = centroids.copy()
+            for cluster in range(self.num_clusters):
+                members = data[assignments == cluster]
+                if members.shape[0] > 0:
+                    updated[cluster] = members.mean(axis=0)
+            movement = float(np.max(np.linalg.norm(updated - centroids, axis=1)))
+            centroids = updated
+            self.iterations_run_ = iteration + 1
+            if movement < self.tolerance:
+                break
+        self.centroids_ = centroids
+        return self
+
+    def anomaly_scores(self, data: np.ndarray) -> np.ndarray:
+        """Euclidean distance to the nearest centroid."""
+        if self.centroids_ is None:
+            raise RuntimeError("the detector has not been fit")
+        data = np.asarray(data, dtype=float)
+        distances = np.stack(
+            [np.linalg.norm(data - centroid, axis=1) for centroid in self.centroids_]
+        )
+        return distances.min(axis=0)
+
+    def fit_scores(self, data: np.ndarray) -> np.ndarray:
+        """Fit and score in one call."""
+        return self.fit(data).anomaly_scores(data)
+
+    def predict(self, data: np.ndarray, num_anomalies: int) -> np.ndarray:
+        """Flag the ``num_anomalies`` samples farthest from their centroids."""
+        scores = self.anomaly_scores(data)
+        flags = np.zeros(data.shape[0], dtype=int)
+        flags[np.argsort(scores)[::-1][:num_anomalies]] = 1
+        return flags

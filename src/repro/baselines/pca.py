@@ -1,0 +1,71 @@
+"""PCA-reconstruction baseline.
+
+The paper contrasts Quorum's uniform random feature selection with PCA-style
+dimensionality reduction; this detector provides the corresponding classical
+anomaly scorer: project onto the top principal components and score samples by
+reconstruction error.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["PCAReconstructionDetector"]
+
+
+class PCAReconstructionDetector:
+    """Anomaly detection via principal-component reconstruction error.
+
+    Parameters
+    ----------
+    num_components:
+        Number of principal components retained (capped at the feature count).
+    """
+
+    def __init__(self, num_components: int = 3) -> None:
+        if num_components < 1:
+            raise ValueError("num_components must be positive")
+        self.num_components = num_components
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    def fit(self, data: np.ndarray) -> "PCAReconstructionDetector":
+        """Fit the principal subspace to ``data``."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or data.shape[0] < 2:
+            raise ValueError("data must be 2-D with at least two samples")
+        self.mean_ = data.mean(axis=0)
+        centered = data - self.mean_
+        _, singular_values, rows = np.linalg.svd(centered, full_matrices=False)
+        rank = min(self.num_components, rows.shape[0])
+        self.components_ = rows[:rank]
+        variances = singular_values ** 2
+        total = variances.sum()
+        self.explained_variance_ratio_ = (
+            variances[:rank] / total if total > 0 else np.zeros(rank)
+        )
+        return self
+
+    def anomaly_scores(self, data: np.ndarray) -> np.ndarray:
+        """Squared reconstruction error per sample."""
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("the detector has not been fit")
+        data = np.asarray(data, dtype=float)
+        centered = data - self.mean_
+        projected = centered @ self.components_.T
+        reconstructed = projected @ self.components_
+        return np.sum((centered - reconstructed) ** 2, axis=1)
+
+    def fit_scores(self, data: np.ndarray) -> np.ndarray:
+        """Fit and score in one call."""
+        return self.fit(data).anomaly_scores(data)
+
+    def predict(self, data: np.ndarray, num_anomalies: int) -> np.ndarray:
+        """Flag the ``num_anomalies`` worst-reconstructed samples."""
+        scores = self.anomaly_scores(data)
+        flags = np.zeros(data.shape[0], dtype=int)
+        flags[np.argsort(scores)[::-1][:num_anomalies]] = 1
+        return flags

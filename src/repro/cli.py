@@ -1,0 +1,250 @@
+"""Command-line interface for the Quorum reproduction.
+
+Installed as the ``quorum-repro`` console script::
+
+    quorum-repro datasets                         # list Table I datasets
+    quorum-repro detect --dataset breast_cancer   # run Quorum, print metrics
+    quorum-repro detect --csv mydata.csv --label-column is_anomaly
+    quorum-repro compare --dataset power_plant    # Quorum vs classical baselines
+    quorum-repro experiment table1 fig8 table2    # regenerate paper artifacts
+    quorum-repro report --output report.md        # full evaluation report
+
+Every command prints GitHub-flavoured markdown so output can be pasted straight
+into issues or EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines import (
+    HBOSDetector,
+    IsolationForestDetector,
+    KMeansDetector,
+    LocalOutlierFactorDetector,
+    PCAReconstructionDetector,
+)
+from repro.core.detector import QuorumDetector
+from repro.data.dataset import Dataset
+from repro.data.io import load_dataset_csv
+from repro.data.registry import DATASET_SPECS, available_datasets, load_dataset
+from repro.experiments.common import ExperimentSettings, markdown_table
+from repro.experiments.fig8 import format_fig8, run_fig8
+from repro.experiments.fig9 import format_fig9, run_fig9
+from repro.experiments.fig10 import format_fig10, run_fig10
+from repro.experiments.report import render_report, run_full_evaluation, write_report
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+from repro.metrics.classification import evaluate_top_k
+from repro.metrics.detection import detection_rate_curve
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="quorum-repro",
+        description="Zero-training quantum anomaly detection (Quorum, DAC 2025) "
+                    "reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list the Table I evaluation datasets")
+
+    detect = subparsers.add_parser("detect", help="run Quorum on a dataset")
+    _add_data_arguments(detect)
+    detect.add_argument("--ensembles", type=int, default=50,
+                        help="number of ensemble members (paper: 1000)")
+    detect.add_argument("--shots", type=int, default=4096,
+                        help="shots per circuit; 0 means exact probabilities")
+    detect.add_argument("--qubits", type=int, default=3,
+                        help="encoding qubits n (circuits use 2n+1 qubits)")
+    detect.add_argument("--bucket-probability", type=float, default=0.75,
+                        help="target probability of >=1 anomaly per bucket")
+    detect.add_argument("--anomaly-fraction", type=float, default=None,
+                        help="estimated anomaly fraction (default: 0.05)")
+    detect.add_argument("--backend", choices=("analytic", "density_matrix",
+                                              "statevector"), default="analytic")
+    detect.add_argument("--noisy", action="store_true",
+                        help="apply the Brisbane-like noise model "
+                             "(requires --backend density_matrix)")
+    detect.add_argument("--seed", type=int, default=1234)
+    detect.add_argument("--top", type=int, default=10,
+                        help="how many top-scoring samples to list")
+
+    compare = subparsers.add_parser("compare",
+                                    help="compare Quorum against classical baselines")
+    _add_data_arguments(compare)
+    compare.add_argument("--ensembles", type=int, default=50)
+    compare.add_argument("--seed", type=int, default=1234)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate paper tables/figures (table1, fig8, fig9, "
+                           "fig10, table2)")
+    experiment.add_argument("artifacts", nargs="+",
+                            choices=("table1", "fig8", "fig9", "fig10", "table2"),
+                            help="which artifacts to regenerate")
+    experiment.add_argument("--ensembles", type=int, default=60)
+    experiment.add_argument("--seed", type=int, default=11)
+    experiment.add_argument("--skip-noisy", action="store_true",
+                            help="skip the expensive noisy runs in fig9")
+
+    report = subparsers.add_parser("report", help="run the full evaluation sweep")
+    report.add_argument("--ensembles", type=int, default=60)
+    report.add_argument("--seed", type=int, default=11)
+    report.add_argument("--skip-noisy", action="store_true")
+    report.add_argument("--output", type=str, default=None,
+                        help="write the markdown report to this path")
+    report.add_argument("--json", type=str, default=None,
+                        help="also dump machine-readable results to this path")
+
+    return parser
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--dataset", choices=available_datasets(),
+                       help="one of the Table I datasets")
+    group.add_argument("--csv", type=str, help="path to a CSV file")
+    parser.add_argument("--label-column", type=str, default="label",
+                        help="label column name for --csv input")
+    parser.add_argument("--data-seed", type=int, default=0,
+                        help="generation seed for the synthetic Table I datasets")
+
+
+def _load_data(args: argparse.Namespace) -> Dataset:
+    if args.dataset:
+        return load_dataset(args.dataset, seed=args.data_seed)
+    return load_dataset_csv(args.csv, label_column=args.label_column)
+
+
+def _command_datasets(_: argparse.Namespace) -> int:
+    rows = [
+        (spec.display_name, spec.name, spec.samples, spec.anomalies, spec.features,
+         spec.bucket_probability)
+        for spec in DATASET_SPECS.values()
+    ]
+    print(markdown_table(
+        ["Dataset", "key", "Samples", "Anomalies", "Features", "Pr[anomaly/bucket]"],
+        rows))
+    return 0
+
+
+def _command_detect(args: argparse.Namespace) -> int:
+    dataset = _load_data(args)
+    shots = None if args.shots == 0 else args.shots
+    detector = QuorumDetector(
+        num_qubits=args.qubits,
+        ensemble_groups=args.ensembles,
+        shots=shots,
+        bucket_probability=args.bucket_probability,
+        anomaly_fraction_estimate=args.anomaly_fraction,
+        backend=args.backend,
+        noisy=args.noisy,
+        seed=args.seed,
+    )
+    detector.fit(dataset)
+    scores = detector.anomaly_scores()
+
+    print(f"Dataset: {dataset.name} ({dataset.num_samples} samples, "
+          f"{dataset.num_features} features)")
+    if dataset.num_anomalies > 0:
+        report = evaluate_top_k(scores, dataset.labels, dataset.num_anomalies)
+        curve = detection_rate_curve(scores, dataset.labels)
+        print(markdown_table(
+            ["Precision", "Recall", "F1", "Accuracy", "DR@10%", "DR@20%"],
+            [(f"{report.precision:.3f}", f"{report.recall:.3f}",
+              f"{report.f1:.3f}", f"{report.accuracy:.3f}",
+              f"{curve.rate_at(0.10):.2f}", f"{curve.rate_at(0.20):.2f}")]))
+    print(f"\nTop {args.top} samples by anomaly score:")
+    rows = []
+    for index in detector.ranking()[: args.top]:
+        label = "anomaly" if dataset.labels[index] else "normal"
+        rows.append((int(index), f"{scores[index]:.2f}",
+                     label if dataset.num_anomalies else "?"))
+    print(markdown_table(["sample", "score", "true label"], rows))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    dataset = _load_data(args)
+    if dataset.num_anomalies == 0:
+        print("the compare command needs labeled data to report metrics",
+              file=sys.stderr)
+        return 2
+    detector = QuorumDetector(ensemble_groups=args.ensembles, shots=4096,
+                              seed=args.seed,
+                              anomaly_fraction_estimate=dataset.anomaly_fraction)
+    detector.fit(dataset)
+    methods = {
+        "Quorum (quantum)": detector.anomaly_scores(),
+        "Isolation Forest": IsolationForestDetector(seed=args.seed).fit_scores(
+            dataset.data),
+        "Local Outlier Factor": LocalOutlierFactorDetector().fit_scores(dataset.data),
+        "HBOS": HBOSDetector().fit_scores(dataset.data),
+        "k-means distance": KMeansDetector(seed=args.seed).fit_scores(dataset.data),
+        "PCA reconstruction": PCAReconstructionDetector().fit_scores(dataset.data),
+    }
+    rows = []
+    for name, scores in methods.items():
+        report = evaluate_top_k(scores, dataset.labels, dataset.num_anomalies)
+        rows.append((name, f"{report.precision:.3f}", f"{report.recall:.3f}",
+                     f"{report.f1:.3f}"))
+    print(markdown_table(["Method", "Precision", "Recall", "F1"], rows))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    settings = ExperimentSettings(ensemble_groups=args.ensembles, seed=args.seed)
+    for artifact in args.artifacts:
+        if artifact == "table1":
+            print("\n## Table I\n")
+            print(format_table1(run_table1(seed=settings.seed)))
+        elif artifact == "fig8":
+            print("\n## Fig. 8\n")
+            print(format_fig8(run_fig8(settings)))
+        elif artifact == "fig9":
+            print("\n## Fig. 9\n")
+            print(format_fig9(run_fig9(settings,
+                                       include_noisy=not args.skip_noisy)))
+        elif artifact == "fig10":
+            print("\n## Fig. 10\n")
+            print(format_fig10(run_fig10(settings)))
+        elif artifact == "table2":
+            print("\n## Table II\n")
+            print(format_table2(run_table2(settings)))
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    settings = ExperimentSettings(ensemble_groups=args.ensembles, seed=args.seed)
+    report = run_full_evaluation(settings, include_noisy=not args.skip_noisy)
+    if args.output:
+        path = write_report(report, args.output, json_path=args.json)
+        print(f"report written to {path}")
+    else:
+        print(render_report(report))
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _command_datasets,
+    "detect": _command_detect,
+    "compare": _command_compare,
+    "experiment": _command_experiment,
+    "report": _command_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

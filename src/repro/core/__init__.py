@@ -1,0 +1,39 @@
+"""Quorum core: the zero-training unsupervised quantum anomaly detector."""
+
+from repro.core.config import QuorumConfig
+from repro.core.bucketing import (
+    BucketAssignment,
+    assign_buckets,
+    bucket_size_for_probability,
+    probability_of_anomalous_bucket,
+)
+from repro.core.feature_selection import select_feature_subset
+from repro.core.execution import (
+    AnalyticEngine,
+    DensityMatrixEngine,
+    StatevectorEngine,
+    SwapTestEngine,
+    make_engine,
+)
+from repro.core.scoring import AnomalyScores, bucket_deviations
+from repro.core.ensemble import EnsembleMemberResult, run_ensemble_member
+from repro.core.detector import QuorumDetector
+
+__all__ = [
+    "QuorumConfig",
+    "BucketAssignment",
+    "assign_buckets",
+    "bucket_size_for_probability",
+    "probability_of_anomalous_bucket",
+    "select_feature_subset",
+    "SwapTestEngine",
+    "AnalyticEngine",
+    "DensityMatrixEngine",
+    "StatevectorEngine",
+    "make_engine",
+    "AnomalyScores",
+    "bucket_deviations",
+    "EnsembleMemberResult",
+    "run_ensemble_member",
+    "QuorumDetector",
+]

@@ -1,0 +1,127 @@
+"""Bucketing (Section IV-C): random data subsets sized by anomaly probability.
+
+The bucket size is the smallest ``b`` such that a uniformly random subset of ``b``
+samples contains at least one anomaly with probability at least ``p`` (Table I's
+right-most column).  With ``N`` samples of which ``A`` are anomalous, that
+probability is hypergeometric:
+
+``P(>=1 anomaly) = 1 - C(N - A, b) / C(N, b)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "probability_of_anomalous_bucket",
+    "bucket_size_for_probability",
+    "BucketAssignment",
+    "assign_buckets",
+]
+
+
+def probability_of_anomalous_bucket(num_samples: int, num_anomalies: int,
+                                    bucket_size: int) -> float:
+    """Probability that a random bucket of ``bucket_size`` holds >= 1 anomaly."""
+    if num_samples < 1:
+        raise ValueError("num_samples must be positive")
+    if not 0 <= num_anomalies <= num_samples:
+        raise ValueError("num_anomalies must be between 0 and num_samples")
+    if not 1 <= bucket_size <= num_samples:
+        raise ValueError("bucket_size must be between 1 and num_samples")
+    if num_anomalies == 0:
+        return 0.0
+    normals = num_samples - num_anomalies
+    if bucket_size > normals:
+        return 1.0
+    log_miss = (_log_comb(normals, bucket_size)
+                - _log_comb(num_samples, bucket_size))
+    return 1.0 - math.exp(log_miss)
+
+
+def _log_comb(n: int, k: int) -> float:
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def bucket_size_for_probability(num_samples: int, anomaly_fraction: float,
+                                target_probability: float) -> int:
+    """Smallest bucket size reaching the target anomaly-containment probability.
+
+    Parameters
+    ----------
+    num_samples:
+        Dataset size ``N``.
+    anomaly_fraction:
+        Estimated fraction of anomalous samples (the detector never sees labels,
+        so this is a user-supplied prior).
+    target_probability:
+        Desired probability of at least one anomaly per bucket (``p`` in Table I).
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be positive")
+    if not 0.0 < anomaly_fraction < 1.0:
+        raise ValueError("anomaly_fraction must be in (0, 1)")
+    if not 0.0 < target_probability < 1.0:
+        raise ValueError("target_probability must be in (0, 1)")
+    estimated_anomalies = max(1, int(round(anomaly_fraction * num_samples)))
+    for bucket_size in range(2, num_samples + 1):
+        probability = probability_of_anomalous_bucket(
+            num_samples, estimated_anomalies, bucket_size
+        )
+        if probability >= target_probability:
+            return bucket_size
+    return num_samples
+
+
+@dataclass(frozen=True)
+class BucketAssignment:
+    """A partition of sample indices into random buckets."""
+
+    buckets: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of buckets."""
+        return len(self.buckets)
+
+    @property
+    def num_samples(self) -> int:
+        """Total number of assigned samples."""
+        return sum(len(bucket) for bucket in self.buckets)
+
+    def bucket_of(self, sample_index: int) -> int:
+        """Bucket index containing ``sample_index`` (raises if missing)."""
+        for position, bucket in enumerate(self.buckets):
+            if sample_index in bucket:
+                return position
+        raise KeyError(f"sample {sample_index} is not assigned to any bucket")
+
+    def as_lists(self) -> List[List[int]]:
+        """Buckets as plain lists (handy for numpy indexing)."""
+        return [list(bucket) for bucket in self.buckets]
+
+
+def assign_buckets(num_samples: int, bucket_size: int,
+                   rng: Optional[np.random.Generator] = None) -> BucketAssignment:
+    """Randomly partition ``num_samples`` indices into buckets of ~``bucket_size``.
+
+    Every sample lands in exactly one bucket.  When the sample count is not a
+    multiple of the bucket size, the remainder is spread over the existing buckets
+    (so no bucket ends up pathologically small, which would break the z-score
+    statistics).
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be positive")
+    if not 1 <= bucket_size <= num_samples:
+        raise ValueError("bucket_size must be between 1 and num_samples")
+    rng = rng or np.random.default_rng()
+    order = rng.permutation(num_samples)
+    num_buckets = max(1, num_samples // bucket_size)
+    buckets: List[List[int]] = [[] for _ in range(num_buckets)]
+    for position, sample in enumerate(order):
+        buckets[position % num_buckets].append(int(sample))
+    return BucketAssignment(buckets=tuple(tuple(bucket) for bucket in buckets))

@@ -1,0 +1,149 @@
+"""A single ensemble member: one complete random "quantum projection" of the data.
+
+Each member draws its own feature subset, bucket assignment, and random ansatz
+angles, runs every sample through every compression level, and converts the
+SWAP-test outputs into per-bucket absolute z-scores.  Members are independent of
+one another -- the "embarrassingly parallel" property the paper highlights -- so
+the detector simply sums their deviation vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.ansatz import RandomAutoencoderAnsatz
+from repro.core.bucketing import BucketAssignment, assign_buckets, bucket_size_for_probability
+from repro.core.config import QuorumConfig
+from repro.core.execution import SwapTestEngine, make_engine
+from repro.core.feature_selection import select_feature_subset
+from repro.core.scoring import bucket_deviations
+
+__all__ = ["EnsembleMemberResult", "batch_amplitudes", "run_ensemble_member"]
+
+
+def batch_amplitudes(values: np.ndarray, num_qubits: int) -> np.ndarray:
+    """Amplitude-encode every row of ``values`` (normalized feature subsets).
+
+    Vectorized equivalent of calling
+    :func:`repro.encoding.amplitude.amplitudes_from_features` row by row.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError("values must be 2-D (samples, selected features)")
+    dim = 2 ** num_qubits
+    if values.shape[1] > dim - 1:
+        raise ValueError("too many features for the register size")
+    probabilities = np.zeros((values.shape[0], dim), dtype=float)
+    probabilities[:, : values.shape[1]] = np.clip(values, 0.0, None) ** 2
+    overflow = 1.0 - probabilities.sum(axis=1)
+    if np.any(overflow < -1e-6):
+        raise ValueError("squared features exceed 1; normalize the data first")
+    probabilities[:, -1] += np.clip(overflow, 0.0, None)
+    probabilities /= probabilities.sum(axis=1, keepdims=True)
+    return np.sqrt(probabilities)
+
+
+@dataclass
+class EnsembleMemberResult:
+    """Outcome of one ensemble member.
+
+    Attributes
+    ----------
+    member_index:
+        Position of the member in the ensemble.
+    deviations:
+        Per-sample absolute z-scores summed over this member's compression levels.
+    selected_features:
+        Feature indices used by this member.
+    bucket_size:
+        Bucket size used (shared across members of one detector run).
+    num_buckets:
+        Number of buckets in this member's assignment.
+    num_runs:
+        Number of (compression level) runs contributing to ``deviations``.
+    p1_statistics:
+        Per-compression-level mean/std of the raw SWAP-test outputs (diagnostics).
+    """
+
+    member_index: int
+    deviations: np.ndarray
+    selected_features: np.ndarray
+    bucket_size: int
+    num_buckets: int
+    num_runs: int
+    p1_statistics: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+
+
+def run_ensemble_member(normalized_data: np.ndarray, config: QuorumConfig,
+                        member_index: int, member_seed: int,
+                        engine: Optional[SwapTestEngine] = None,
+                        bucket_size: Optional[int] = None) -> EnsembleMemberResult:
+    """Run one complete ensemble member over the normalized dataset.
+
+    Parameters
+    ----------
+    normalized_data:
+        Output of :class:`repro.encoding.normalization.QuorumNormalizer`, shape
+        (samples, features); every value in ``[0, 1/M]``.
+    config:
+        Detector configuration.
+    member_index:
+        Position of the member (recorded in the result).
+    member_seed:
+        Seed controlling this member's feature subset, buckets, angles, and shot
+        noise.
+    engine:
+        Pre-built execution engine; built from the config when omitted.
+    bucket_size:
+        Bucket size to use; derived from the config's target probability when
+        omitted.
+    """
+    normalized_data = np.asarray(normalized_data, dtype=float)
+    if normalized_data.ndim != 2:
+        raise ValueError("normalized_data must be 2-D")
+    num_samples, num_features = normalized_data.shape
+    rng = np.random.default_rng(member_seed)
+
+    selected = select_feature_subset(num_features, config.features_per_circuit, rng)
+    amplitudes = batch_amplitudes(normalized_data[:, selected], config.num_qubits)
+
+    if bucket_size is None:
+        bucket_size = bucket_size_for_probability(
+            num_samples, config.effective_anomaly_fraction, config.bucket_probability
+        )
+    bucket_size = min(bucket_size, num_samples)
+    buckets: BucketAssignment = assign_buckets(num_samples, bucket_size, rng)
+
+    ansatz = RandomAutoencoderAnsatz(
+        num_qubits=config.num_qubits,
+        num_layers=config.num_layers,
+        entanglement=config.entanglement,
+        seed=int(rng.integers(0, 2 ** 31 - 1)),
+    )
+    if engine is None:
+        engine = make_engine(
+            config.backend, config.shots, rng=rng, noisy=config.noisy,
+            gate_level_encoding=config.gate_level_encoding,
+            num_qubits=config.num_qubits,
+        )
+
+    deviations = np.zeros(num_samples)
+    statistics: Dict[int, Tuple[float, float]] = {}
+    levels = config.effective_compression_levels
+    for level in levels:
+        p1_values = engine.p1_batch(amplitudes, ansatz, level)
+        statistics[level] = (float(np.mean(p1_values)), float(np.std(p1_values)))
+        deviations += bucket_deviations(p1_values, buckets)
+
+    return EnsembleMemberResult(
+        member_index=member_index,
+        deviations=deviations,
+        selected_features=selected,
+        bucket_size=bucket_size,
+        num_buckets=buckets.num_buckets,
+        num_runs=len(levels),
+        p1_statistics=statistics,
+    )

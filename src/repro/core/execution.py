@@ -1,0 +1,191 @@
+"""SWAP-test execution engines used by the detector.
+
+Each engine answers the same question -- "what is the probability of reading 1 on
+the SWAP-test ancilla for this encoded sample, this random ansatz, and this
+compression level?" -- with a different cost/fidelity trade-off:
+
+* :class:`AnalyticEngine` evaluates the reduced-density-matrix expression exactly
+  (vectorized over a whole batch of samples) and optionally adds binomial shot
+  noise.  This is the default for noiseless sweeps and is cross-validated against
+  the circuit-level engines in the test suite.
+* :class:`DensityMatrixEngine` builds and simulates the full ``2n+1``-qubit circuit
+  exactly; it is the only engine that supports gate/readout noise models.
+* :class:`StatevectorEngine` runs stochastic trajectories of the full circuit,
+  mimicking how a shot-based hardware run (or Qiskit Aer's statevector method with
+  mid-circuit resets) behaves.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms.ansatz import RandomAutoencoderAnsatz
+from repro.algorithms.autoencoder import build_autoencoder_circuit
+from repro.algorithms.swap_test import p1_from_counts
+from repro.quantum.backends import FakeBrisbane
+from repro.quantum.noise import NoiseModel
+from repro.quantum.simulator import DensityMatrixSimulator, StatevectorSimulator
+
+__all__ = [
+    "SwapTestEngine",
+    "AnalyticEngine",
+    "DensityMatrixEngine",
+    "StatevectorEngine",
+    "make_engine",
+]
+
+
+class SwapTestEngine(ABC):
+    """Interface shared by the three execution strategies."""
+
+    def __init__(self, shots: Optional[int] = 4096,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if shots is not None and shots < 1:
+            raise ValueError("shots must be positive or None for exact probabilities")
+        self.shots = shots
+        self.rng = rng or np.random.default_rng()
+
+    @abstractmethod
+    def p1_batch(self, amplitudes: np.ndarray, ansatz: RandomAutoencoderAnsatz,
+                 compression_level: int) -> np.ndarray:
+        """SWAP-test P(1) for every row of ``amplitudes`` (shape: samples x 2^n)."""
+
+    def p1_single(self, amplitudes: Sequence[float],
+                  ansatz: RandomAutoencoderAnsatz,
+                  compression_level: int) -> float:
+        """Convenience wrapper for a single sample."""
+        batch = np.asarray(amplitudes, dtype=float).reshape(1, -1)
+        return float(self.p1_batch(batch, ansatz, compression_level)[0])
+
+    def _apply_shot_noise(self, exact_p1: np.ndarray) -> np.ndarray:
+        """Replace exact probabilities with binomial shot estimates."""
+        if self.shots is None:
+            return exact_p1
+        clipped = np.clip(exact_p1, 0.0, 1.0)
+        sampled = self.rng.binomial(self.shots, clipped) / float(self.shots)
+        return sampled
+
+
+class AnalyticEngine(SwapTestEngine):
+    """Exact reduced-density-matrix evaluation, vectorized over samples.
+
+    For register A the circuit applies ``E``, resets the first ``k`` qubits, and
+    applies ``E^dagger``; the SWAP test against the untouched encoding ``|psi>``
+    then reads 1 with probability ``(1 - <psi| rho_A |psi>) / 2``.  Writing
+    ``|phi> = E |psi>`` and splitting the basis index into (reset bits ``s``, kept
+    bits ``r``), the overlap reduces to ``sum_s |<phi[:, 0], phi[:, s]>|^2`` --
+    a handful of dense inner products per sample.
+    """
+
+    def p1_batch(self, amplitudes: np.ndarray, ansatz: RandomAutoencoderAnsatz,
+                 compression_level: int) -> np.ndarray:
+        amplitudes = np.asarray(amplitudes, dtype=float)
+        if amplitudes.ndim != 2:
+            raise ValueError("amplitudes must be a 2-D batch (samples, 2**n)")
+        num_qubits = ansatz.num_qubits
+        dim = 2 ** num_qubits
+        if amplitudes.shape[1] != dim:
+            raise ValueError("amplitude width does not match the ansatz register")
+        if not 0 <= compression_level <= num_qubits:
+            raise ValueError("compression level out of range")
+        encoder = ansatz.encoder_unitary()
+        # |phi_i> = E |psi_i>  (batched as rows).
+        phi = amplitudes.astype(complex) @ encoder.T
+        if compression_level == 0:
+            overlap = np.ones(amplitudes.shape[0])
+        else:
+            reset_dim = 2 ** compression_level
+            kept_dim = dim // reset_dim
+            # Little-endian: the reset qubits are the low-order bits, i.e. the
+            # fastest-varying axis after reshaping.
+            phi_tensor = phi.reshape(-1, kept_dim, reset_dim)
+            reference = phi_tensor[:, :, 0]
+            inner = np.einsum("nk,nks->ns", reference.conj(), phi_tensor)
+            overlap = np.sum(np.abs(inner) ** 2, axis=1)
+        exact_p1 = np.clip((1.0 - overlap) / 2.0, 0.0, 1.0)
+        return self._apply_shot_noise(exact_p1)
+
+
+class DensityMatrixEngine(SwapTestEngine):
+    """Full-circuit exact simulation (optionally noisy)."""
+
+    def __init__(self, shots: Optional[int] = 4096,
+                 rng: Optional[np.random.Generator] = None,
+                 noise_model: Optional[NoiseModel] = None,
+                 gate_level_encoding: bool = False) -> None:
+        super().__init__(shots, rng)
+        self.noise_model = noise_model
+        self.gate_level_encoding = gate_level_encoding
+
+    def p1_batch(self, amplitudes: np.ndarray, ansatz: RandomAutoencoderAnsatz,
+                 compression_level: int) -> np.ndarray:
+        amplitudes = np.asarray(amplitudes, dtype=float)
+        if amplitudes.ndim != 2:
+            raise ValueError("amplitudes must be a 2-D batch (samples, 2**n)")
+        simulator = DensityMatrixSimulator(noise_model=self.noise_model)
+        results = np.empty(amplitudes.shape[0])
+        for index, row in enumerate(amplitudes):
+            circuit = build_autoencoder_circuit(
+                row, ansatz, compression_level,
+                gate_level_encoding=self.gate_level_encoding, measure=False,
+            )
+            final_state = simulator.evolve(circuit)
+            ancilla = 2 * ansatz.num_qubits
+            exact_p1 = final_state.probability_of_outcome(ancilla, 1)
+            results[index] = exact_p1
+        return self._apply_shot_noise(results)
+
+
+class StatevectorEngine(SwapTestEngine):
+    """Trajectory-sampled full-circuit simulation (no noise model support)."""
+
+    def __init__(self, shots: Optional[int] = 4096,
+                 rng: Optional[np.random.Generator] = None,
+                 max_trajectories: Optional[int] = 64) -> None:
+        if shots is None:
+            raise ValueError("the statevector engine is shot-based; provide shots")
+        super().__init__(shots, rng)
+        self.max_trajectories = max_trajectories
+
+    def p1_batch(self, amplitudes: np.ndarray, ansatz: RandomAutoencoderAnsatz,
+                 compression_level: int) -> np.ndarray:
+        amplitudes = np.asarray(amplitudes, dtype=float)
+        if amplitudes.ndim != 2:
+            raise ValueError("amplitudes must be a 2-D batch (samples, 2**n)")
+        seed = int(self.rng.integers(0, 2 ** 31 - 1))
+        simulator = StatevectorSimulator(seed=seed,
+                                         max_trajectories=self.max_trajectories)
+        results = np.empty(amplitudes.shape[0])
+        for index, row in enumerate(amplitudes):
+            circuit = build_autoencoder_circuit(row, ansatz, compression_level,
+                                                measure=True)
+            outcome = simulator.run(circuit, shots=self.shots)
+            results[index] = p1_from_counts(outcome.counts, clbit=0)
+        return results
+
+
+def make_engine(backend: str, shots: Optional[int],
+                rng: Optional[np.random.Generator] = None,
+                noisy: bool = False,
+                gate_level_encoding: bool = False,
+                num_qubits: int = 3) -> SwapTestEngine:
+    """Factory used by the detector to build the configured engine."""
+    backend = backend.lower()
+    if backend == "analytic":
+        if noisy:
+            raise ValueError("the analytic engine cannot model hardware noise")
+        return AnalyticEngine(shots=shots, rng=rng)
+    if backend == "density_matrix":
+        noise_model = None
+        if noisy:
+            noise_model = FakeBrisbane(num_qubits=2 * num_qubits + 1).to_noise_model()
+        return DensityMatrixEngine(shots=shots, rng=rng, noise_model=noise_model,
+                                   gate_level_encoding=gate_level_encoding or noisy)
+    if backend == "statevector":
+        if noisy:
+            raise ValueError("the statevector engine cannot model hardware noise")
+        return StatevectorEngine(shots=shots or 1024, rng=rng)
+    raise ValueError(f"unknown backend {backend!r}")

@@ -1,0 +1,46 @@
+"""Uniform random feature selection (Section IV-C, Fig. 4).
+
+Quorum deliberately avoids PCA-style dimensionality reduction: for each ensemble
+member it simply draws a uniform random subset of ``m = 2^n - 1`` features (all
+features when the dataset has fewer than ``m``), so that across the ensemble many
+different feature combinations get explored without biasing toward high-variance
+directions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["select_feature_subset"]
+
+
+def select_feature_subset(num_features: int, max_selected: int,
+                          rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Draw a uniform random subset of feature indices (without replacement).
+
+    Parameters
+    ----------
+    num_features:
+        Number of columns in the dataset (``M``).
+    max_selected:
+        Capacity of the quantum register (``m = 2^n - 1``).  When the dataset has
+        fewer features than this, every feature is used (the overflow state absorbs
+        the unused amplitude).
+    rng:
+        Random generator (a fresh one per ensemble member).
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted feature indices, of length ``min(num_features, max_selected)``.
+    """
+    if num_features < 1:
+        raise ValueError("num_features must be positive")
+    if max_selected < 1:
+        raise ValueError("max_selected must be positive")
+    rng = rng or np.random.default_rng()
+    count = min(num_features, max_selected)
+    selected = rng.choice(num_features, size=count, replace=False)
+    return np.sort(selected)

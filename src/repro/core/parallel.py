@@ -1,0 +1,54 @@
+"""Parallel execution of ensemble members.
+
+Ensemble members share nothing (Section IV-F calls the design "embarrassingly
+parallel"), so they are dispatched to a process pool with plain pickling.  The
+serial path is used for ``n_jobs=1`` and as a fallback when a pool cannot be
+created (e.g. restricted environments).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import QuorumConfig
+from repro.core.ensemble import EnsembleMemberResult, run_ensemble_member
+
+__all__ = ["run_ensemble_members", "derive_member_seeds"]
+
+
+def derive_member_seeds(master_seed: Optional[int], count: int) -> List[int]:
+    """Deterministically derive one child seed per ensemble member."""
+    if count < 1:
+        raise ValueError("count must be positive")
+    seed_sequence = np.random.SeedSequence(master_seed)
+    return [int(child.generate_state(1)[0]) for child in seed_sequence.spawn(count)]
+
+
+def _run_member(args: Tuple[np.ndarray, QuorumConfig, int, int, Optional[int]]
+                ) -> EnsembleMemberResult:
+    normalized_data, config, member_index, member_seed, bucket_size = args
+    return run_ensemble_member(normalized_data, config, member_index, member_seed,
+                               bucket_size=bucket_size)
+
+
+def run_ensemble_members(normalized_data: np.ndarray, config: QuorumConfig,
+                         seeds: Sequence[int],
+                         bucket_size: Optional[int] = None
+                         ) -> List[EnsembleMemberResult]:
+    """Run every ensemble member, serially or across a process pool."""
+    tasks = [
+        (normalized_data, config, index, seed, bucket_size)
+        for index, seed in enumerate(seeds)
+    ]
+    if config.n_jobs <= 1 or len(tasks) <= 1:
+        return [_run_member(task) for task in tasks]
+    try:
+        context = multiprocessing.get_context()
+        with context.Pool(processes=min(config.n_jobs, len(tasks))) as pool:
+            return pool.map(_run_member, tasks)
+    except (OSError, ValueError):
+        # Restricted environments (no /dev/shm, sandboxed fork) fall back to serial.
+        return [_run_member(task) for task in tasks]

@@ -1,0 +1,126 @@
+"""Statistical scoring of SWAP-test outputs (Section IV-E, Fig. 7).
+
+For each run (ensemble member x compression level) and each bucket, the mean and
+standard deviation of the SWAP-test P(1) values inside the bucket are computed;
+a sample's contribution is the absolute z-score of its own P(1) against its
+bucket's statistics.  Contributions are summed over every run and bucket, giving
+the "sum absolute std. deviation" score plotted in Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bucketing import BucketAssignment
+
+__all__ = ["bucket_deviations", "AnomalyScores"]
+
+_MIN_STD = 1e-12
+
+
+def bucket_deviations(p1_values: np.ndarray,
+                      buckets: BucketAssignment) -> np.ndarray:
+    """Absolute per-sample z-scores of ``p1_values`` within their buckets.
+
+    Buckets whose standard deviation vanishes (e.g. all-identical outputs)
+    contribute zero for every member, since no sample deviates from the rest.
+    """
+    p1_values = np.asarray(p1_values, dtype=float).ravel()
+    if buckets.num_samples != p1_values.shape[0]:
+        raise ValueError(
+            f"bucket assignment covers {buckets.num_samples} samples but "
+            f"{p1_values.shape[0]} P(1) values were provided"
+        )
+    deviations = np.zeros_like(p1_values)
+    for bucket in buckets.buckets:
+        indices = np.asarray(bucket, dtype=int)
+        values = p1_values[indices]
+        std = values.std()
+        if std < _MIN_STD:
+            continue
+        deviations[indices] = np.abs(values - values.mean()) / std
+    return deviations
+
+
+@dataclass
+class AnomalyScores:
+    """Accumulated anomaly scores for a dataset.
+
+    Attributes
+    ----------
+    scores:
+        Per-sample summed absolute deviations (higher = more anomalous).
+    num_runs:
+        Number of (ensemble member x compression level) runs accumulated, useful
+        for averaging across differently sized sweeps.
+    metadata:
+        Extra diagnostics recorded by the detector.
+    """
+
+    scores: np.ndarray
+    num_runs: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.scores = np.asarray(self.scores, dtype=float).ravel()
+        if self.scores.size == 0:
+            raise ValueError("scores cannot be empty")
+        if self.num_runs < 0:
+            raise ValueError("num_runs cannot be negative")
+
+    @property
+    def num_samples(self) -> int:
+        """Number of scored samples."""
+        return int(self.scores.shape[0])
+
+    def mean_scores(self) -> np.ndarray:
+        """Scores averaged over runs (shape-preserving when ``num_runs`` is 0)."""
+        if self.num_runs == 0:
+            return self.scores.copy()
+        return self.scores / self.num_runs
+
+    def ranking(self) -> np.ndarray:
+        """Sample indices sorted from most to least anomalous."""
+        return np.argsort(self.scores)[::-1]
+
+    def top_k(self, k: int) -> np.ndarray:
+        """Indices of the ``k`` highest-scoring samples."""
+        if not 0 <= k <= self.num_samples:
+            raise ValueError("k out of range")
+        return self.ranking()[:k]
+
+    def predictions(self, num_flagged: Optional[int] = None,
+                    contamination: Optional[float] = None) -> np.ndarray:
+        """Binary anomaly flags for the ``num_flagged`` top-scoring samples.
+
+        Exactly one of ``num_flagged`` / ``contamination`` must be given;
+        ``contamination`` is a fraction of the dataset.
+        """
+        if (num_flagged is None) == (contamination is None):
+            raise ValueError("provide exactly one of num_flagged or contamination")
+        if contamination is not None:
+            if not 0.0 <= contamination <= 1.0:
+                raise ValueError("contamination must be in [0, 1]")
+            num_flagged = int(round(contamination * self.num_samples))
+        flags = np.zeros(self.num_samples, dtype=int)
+        flags[self.top_k(int(num_flagged))] = 1
+        return flags
+
+    def threshold_at_percentile(self, percentile: float) -> float:
+        """Score value at the given percentile (e.g. 90 for the top 10%)."""
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        return float(np.percentile(self.scores, percentile))
+
+    def merged_with(self, other: "AnomalyScores") -> "AnomalyScores":
+        """Combine two accumulations (e.g. from parallel workers)."""
+        if other.num_samples != self.num_samples:
+            raise ValueError("cannot merge scores over different sample counts")
+        return AnomalyScores(
+            scores=self.scores + other.scores,
+            num_runs=self.num_runs + other.num_runs,
+            metadata={**self.metadata, **other.metadata},
+        )

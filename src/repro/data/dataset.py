@@ -1,0 +1,115 @@
+"""The Dataset container shared by detectors, baselines, and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """A tabular anomaly-detection dataset.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset name.
+    data:
+        Feature matrix of shape ``(num_samples, num_features)``.
+    labels:
+        Ground-truth anomaly labels (1 = anomaly, 0 = normal).  Labels are used
+        only for evaluation; detectors never see them.
+    feature_names:
+        Optional per-column names.
+    metadata:
+        Free-form extras (e.g. generation parameters).
+    """
+
+    name: str
+    data: np.ndarray
+    labels: np.ndarray
+    feature_names: Optional[List[str]] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=float)
+        self.labels = np.asarray(self.labels, dtype=int)
+        if self.data.ndim != 2:
+            raise ValueError("data must be a 2-D array (samples, features)")
+        if self.labels.ndim != 1:
+            raise ValueError("labels must be a 1-D array")
+        if self.data.shape[0] != self.labels.shape[0]:
+            raise ValueError("data and labels must have the same number of samples")
+        if not set(np.unique(self.labels)).issubset({0, 1}):
+            raise ValueError("labels must be binary (0 = normal, 1 = anomaly)")
+        if self.feature_names is not None:
+            if len(self.feature_names) != self.data.shape[1]:
+                raise ValueError("feature_names length must match the feature count")
+
+    # ------------------------------------------------------------------- sizes
+    @property
+    def num_samples(self) -> int:
+        """Number of rows."""
+        return int(self.data.shape[0])
+
+    @property
+    def num_features(self) -> int:
+        """Number of columns."""
+        return int(self.data.shape[1])
+
+    @property
+    def num_anomalies(self) -> int:
+        """Number of ground-truth anomalies."""
+        return int(self.labels.sum())
+
+    @property
+    def anomaly_fraction(self) -> float:
+        """Fraction of samples that are anomalous."""
+        return self.num_anomalies / self.num_samples
+
+    @property
+    def anomaly_indices(self) -> np.ndarray:
+        """Row indices of the ground-truth anomalies."""
+        return np.flatnonzero(self.labels == 1)
+
+    # ---------------------------------------------------------------- utilities
+    def features_only(self) -> np.ndarray:
+        """A copy of the feature matrix (what an unsupervised detector may see)."""
+        return self.data.copy()
+
+    def subset(self, indices: Sequence[int], name_suffix: str = "subset") -> "Dataset":
+        """A new dataset restricted to ``indices`` (labels carried along)."""
+        indices = np.asarray(indices, dtype=int)
+        return Dataset(
+            name=f"{self.name}-{name_suffix}",
+            data=self.data[indices].copy(),
+            labels=self.labels[indices].copy(),
+            feature_names=list(self.feature_names) if self.feature_names else None,
+            metadata=dict(self.metadata),
+        )
+
+    def shuffled(self, seed: Optional[int] = None) -> "Dataset":
+        """A row-shuffled copy (useful to destroy any generation ordering)."""
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(self.num_samples)
+        return self.subset(order, name_suffix="shuffled")
+
+    def summary(self) -> Dict[str, object]:
+        """Dictionary matching a Table I row for this dataset."""
+        return {
+            "name": self.name,
+            "samples": self.num_samples,
+            "anomalies": self.num_anomalies,
+            "features": self.num_features,
+            "anomaly_fraction": round(self.anomaly_fraction, 4),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, samples={self.num_samples}, "
+            f"features={self.num_features}, anomalies={self.num_anomalies})"
+        )

@@ -1,0 +1,234 @@
+"""Synthetic surrogates for the paper's four evaluation datasets (Table I).
+
+The original datasets (Goldstein & Uchida's breast-cancer, pen-global, and letter
+benchmarks, plus UCI's combined-cycle power plant) are not redistributable /
+downloadable in this offline environment.  Each generator below produces a
+deterministic synthetic dataset that matches Table I's sample, anomaly, and feature
+counts, and is tuned so that the *relative difficulty ordering* reported in the
+paper holds: breast cancer is the most separable, followed by the power plant,
+then pen-global, with letter the hardest.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.anomalies import inject_plausible_anomalies, scatter_anomalies
+from repro.data.dataset import Dataset
+
+__all__ = [
+    "make_gaussian_anomaly_dataset",
+    "make_breast_cancer_like",
+    "make_pen_global_like",
+    "make_letter_like",
+    "make_power_plant_like",
+]
+
+
+def _random_covariance(dim: int, rng: np.random.Generator,
+                       correlation: float = 0.5) -> np.ndarray:
+    """A random symmetric positive-definite covariance with tunable correlations."""
+    basis = rng.normal(size=(dim, dim))
+    covariance = correlation * (basis @ basis.T) / dim + (1.0 - correlation) * np.eye(dim)
+    return covariance
+
+
+def make_gaussian_anomaly_dataset(name: str, num_samples: int, num_anomalies: int,
+                                  num_features: int, num_clusters: int,
+                                  separation: float, anomaly_spread: float,
+                                  seed: Optional[int] = None,
+                                  correlation: float = 0.5,
+                                  cluster_scale: float = 4.0) -> Dataset:
+    """Gaussian-mixture normal data with displaced-Gaussian anomalies.
+
+    Parameters
+    ----------
+    name:
+        Dataset name.
+    num_samples:
+        Total rows including anomalies.
+    num_anomalies:
+        Number of anomalous rows.
+    num_features:
+        Dimensionality.
+    num_clusters:
+        Number of normal-data Gaussian clusters.
+    separation:
+        Distance (in units of the average cluster scale) between an anomaly's
+        center and its source cluster's center.  Larger = easier detection.
+    anomaly_spread:
+        Standard-deviation multiplier of the anomaly distribution relative to the
+        normal clusters (spread-out anomalies are harder to isolate statistically).
+    seed:
+        RNG seed (datasets are deterministic given the seed).
+    correlation:
+        Strength of inter-feature correlations within each cluster.
+    cluster_scale:
+        Distance between normal cluster centers.
+    """
+    if num_anomalies >= num_samples:
+        raise ValueError("num_anomalies must be smaller than num_samples")
+    rng = np.random.default_rng(seed)
+    num_normal = num_samples - num_anomalies
+
+    centers = rng.normal(scale=cluster_scale, size=(num_clusters, num_features))
+    covariances = [_random_covariance(num_features, rng, correlation)
+                   for _ in range(num_clusters)]
+
+    assignments = rng.integers(0, num_clusters, size=num_normal)
+    normal_rows = np.empty((num_normal, num_features))
+    for cluster in range(num_clusters):
+        mask = assignments == cluster
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        normal_rows[mask] = rng.multivariate_normal(
+            centers[cluster], covariances[cluster], size=count
+        )
+
+    # Anomalies: displaced along a random direction from a randomly chosen cluster,
+    # with their own (wider or narrower) spread.
+    anomaly_rows = np.empty((num_anomalies, num_features))
+    typical_scale = float(np.mean([np.sqrt(np.trace(c) / num_features)
+                                   for c in covariances]))
+    for row in range(num_anomalies):
+        cluster = int(rng.integers(0, num_clusters))
+        direction = rng.normal(size=num_features)
+        direction /= np.linalg.norm(direction)
+        center = centers[cluster] + separation * typical_scale * direction
+        anomaly_rows[row] = center + anomaly_spread * typical_scale * rng.normal(
+            size=num_features
+        )
+
+    data = np.vstack([normal_rows, anomaly_rows])
+    labels = np.concatenate([np.zeros(num_normal, dtype=int),
+                             np.ones(num_anomalies, dtype=int)])
+    data, labels = scatter_anomalies(data, labels, rng)
+    return Dataset(
+        name=name,
+        data=data,
+        labels=labels,
+        feature_names=[f"f{index}" for index in range(num_features)],
+        metadata={
+            "generator": "gaussian_mixture",
+            "num_clusters": num_clusters,
+            "separation": separation,
+            "anomaly_spread": anomaly_spread,
+            "seed": seed,
+        },
+    )
+
+
+def make_breast_cancer_like(seed: Optional[int] = 0) -> Dataset:
+    """Surrogate for the breast-cancer benchmark: 367 samples, 10 anomalies, 30 features.
+
+    The real dataset's anomalies (malignant cases kept after downsampling) are well
+    separated from the benign majority, so this surrogate uses a large displacement
+    and a tight anomaly spread.
+    """
+    return make_gaussian_anomaly_dataset(
+        name="breast_cancer",
+        num_samples=367,
+        num_anomalies=10,
+        num_features=30,
+        num_clusters=1,
+        separation=4.5,
+        anomaly_spread=2.5,
+        seed=seed,
+        correlation=0.6,
+        cluster_scale=3.0,
+    )
+
+
+def make_pen_global_like(seed: Optional[int] = 0) -> Dataset:
+    """Surrogate for pen-global: 809 samples, 90 anomalies, 16 features.
+
+    Pen-global has a comparatively large anomaly fraction (~11%) of globally
+    scattered outliers that partially overlap the normal digit clusters.
+    """
+    return make_gaussian_anomaly_dataset(
+        name="pen_global",
+        num_samples=809,
+        num_anomalies=90,
+        num_features=16,
+        num_clusters=5,
+        separation=2.6,
+        anomaly_spread=2.0,
+        seed=seed,
+        correlation=0.5,
+        cluster_scale=2.5,
+    )
+
+
+def make_letter_like(seed: Optional[int] = 0) -> Dataset:
+    """Surrogate for the letter benchmark: 533 samples, 33 anomalies, 32 features.
+
+    Letter is the hardest of the four: anomalies are letters from other classes, so
+    they sit close to (and within the spread of) the normal clusters.
+    """
+    return make_gaussian_anomaly_dataset(
+        name="letter",
+        num_samples=533,
+        num_anomalies=33,
+        num_features=32,
+        num_clusters=8,
+        separation=1.8,
+        anomaly_spread=1.4,
+        seed=seed,
+        correlation=0.4,
+        cluster_scale=3.0,
+    )
+
+
+def _power_plant_normals(num_rows: int, rng: np.random.Generator) -> np.ndarray:
+    """Physically motivated combined-cycle power-plant operating points.
+
+    Features follow the UCI CCPP schema: ambient temperature (AT, deg C), exhaust
+    vacuum (V, cm Hg), ambient pressure (AP, millibar), relative humidity (RH, %),
+    and net electrical output (PE, MW).  PE is generated from the well-known
+    near-linear dependence on AT and V plus noise, so the features are correlated
+    the way the real plant's are.
+    """
+    ambient_temp = rng.uniform(2.0, 36.0, size=num_rows)
+    vacuum = 30.0 + 1.2 * ambient_temp + rng.normal(scale=4.0, size=num_rows)
+    vacuum = np.clip(vacuum, 25.0, 82.0)
+    pressure = rng.normal(loc=1013.0, scale=5.5, size=num_rows)
+    humidity = np.clip(95.0 - 0.8 * ambient_temp + rng.normal(scale=8.0,
+                                                              size=num_rows),
+                       25.0, 100.0)
+    output = (495.0 - 1.8 * ambient_temp - 0.3 * (vacuum - 40.0)
+              + 0.06 * (pressure - 1013.0) + rng.normal(scale=3.5, size=num_rows))
+    return np.column_stack([ambient_temp, vacuum, pressure, humidity, output])
+
+
+def make_power_plant_like(seed: Optional[int] = 0) -> Dataset:
+    """Surrogate for the UCI combined-cycle power plant set with injected anomalies.
+
+    970 normal operating points are generated from the physical model above and 30
+    "plausible" anomalies are injected near the edges of each feature's plausible
+    range, exactly as the paper describes doing for the real dataset.
+    """
+    rng = np.random.default_rng(seed)
+    normals = _power_plant_normals(970, rng)
+    plausible_ranges: List[Tuple[float, float]] = [
+        (-10.0, 45.0),     # ambient temperature, deg C
+        (20.0, 90.0),      # exhaust vacuum, cm Hg
+        (990.0, 1040.0),   # ambient pressure, millibar
+        (15.0, 100.0),     # relative humidity, %
+        (400.0, 520.0),    # net output, MW
+    ]
+    data, labels = inject_plausible_anomalies(
+        normals, num_anomalies=30, feature_ranges=plausible_ranges, rng=rng,
+        edge_fraction=0.06,
+    )
+    data, labels = scatter_anomalies(data, labels, rng)
+    return Dataset(
+        name="power_plant",
+        data=data,
+        labels=labels,
+        feature_names=["ambient_temp", "vacuum", "pressure", "humidity", "output"],
+        metadata={"generator": "power_plant_physical", "seed": seed,
+                  "plausible_ranges": plausible_ranges},
+    )

@@ -1,0 +1,114 @@
+"""CSV import/export for datasets.
+
+Lets users bring their own tabular data into the pipeline (and archive the
+synthetic surrogates for inspection) without any dependency beyond the standard
+library: one label column, every other column a feature, non-numeric cells hashed
+exactly as :mod:`repro.data.preprocessing` does.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.preprocessing import hash_feature
+
+__all__ = ["save_dataset_csv", "load_dataset_csv"]
+
+
+def save_dataset_csv(dataset: Dataset, path: Union[str, Path],
+                     label_column: str = "label") -> Path:
+    """Write a dataset (features + label column) to ``path`` as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    feature_names = dataset.feature_names or [
+        f"f{index}" for index in range(dataset.num_features)
+    ]
+    if label_column in feature_names:
+        raise ValueError(f"label column {label_column!r} collides with a feature name")
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(feature_names) + [label_column])
+        for row, label in zip(dataset.data, dataset.labels):
+            writer.writerow([f"{value:.10g}" for value in row] + [int(label)])
+    return path
+
+
+def load_dataset_csv(path: Union[str, Path], label_column: Optional[str] = "label",
+                     name: Optional[str] = None,
+                     hash_buckets: int = 10_000) -> Dataset:
+    """Read a CSV file into a :class:`Dataset`.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    label_column:
+        Column holding the binary anomaly label.  ``None`` means the file is
+        unlabeled; all labels are set to 0 (the detector does not need them).
+    name:
+        Dataset name (defaults to the file stem).
+    hash_buckets:
+        Bucket count used when hashing non-numeric cells.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise ValueError(f"{path} is empty") from exc
+        rows = [row for row in reader if row]
+    if not rows:
+        raise ValueError(f"{path} contains a header but no data rows")
+
+    header = [column.strip() for column in header]
+    if label_column is not None and label_column not in header:
+        raise ValueError(f"label column {label_column!r} not found in {header}")
+    label_index = header.index(label_column) if label_column is not None else None
+    feature_names: List[str] = [column for index, column in enumerate(header)
+                                if index != label_index]
+
+    data = np.zeros((len(rows), len(feature_names)), dtype=float)
+    labels = np.zeros(len(rows), dtype=int)
+    for row_index, row in enumerate(rows):
+        if len(row) != len(header):
+            raise ValueError(
+                f"row {row_index + 2} has {len(row)} cells, expected {len(header)}"
+            )
+        feature_position = 0
+        for column_index, cell in enumerate(row):
+            if column_index == label_index:
+                labels[row_index] = _parse_label(cell)
+                continue
+            data[row_index, feature_position] = _parse_cell(cell, hash_buckets)
+            feature_position += 1
+    return Dataset(name=name or path.stem, data=data, labels=labels,
+                   feature_names=feature_names,
+                   metadata={"source": str(path), "label_column": label_column})
+
+
+def _parse_cell(cell: str, hash_buckets: int) -> float:
+    cell = cell.strip()
+    if not cell:
+        return 0.0
+    try:
+        return float(cell)
+    except ValueError:
+        return hash_feature(cell, hash_buckets)
+
+
+def _parse_label(cell: str) -> int:
+    cell = cell.strip().lower()
+    if cell in {"1", "true", "anomaly", "outlier", "o", "yes"}:
+        return 1
+    if cell in {"", "0", "false", "normal", "n", "no"}:
+        return 0
+    try:
+        return 1 if float(cell) >= 0.5 else 0
+    except ValueError:
+        return 0

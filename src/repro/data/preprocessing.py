@@ -1,0 +1,84 @@
+"""Dataset preprocessing (Section IV-A): hashing, label stripping, validation.
+
+The paper's pipeline "transform[s] all non-numeric features into float values
+(e.g., via hashing), remov[es] any label data ... and perform[s] a range-based
+normalization".  Normalization lives in :mod:`repro.encoding.normalization`; this
+module covers the first two steps for raw record-style inputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = ["hash_feature", "preprocess_records", "strip_labels", "records_to_matrix"]
+
+
+def hash_feature(value: object, buckets: int = 10_000) -> float:
+    """Deterministically map a non-numeric value to a float in ``[0, 1)``.
+
+    Uses a stable (process-independent) blake2 digest so that repeated runs and
+    parallel workers agree on the encoding.
+    """
+    if isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(
+            value, bool):
+        return float(value)
+    digest = hashlib.blake2s(str(value).encode("utf-8"), digest_size=8).hexdigest()
+    return (int(digest, 16) % buckets) / float(buckets)
+
+
+def records_to_matrix(records: Sequence[Dict[str, object]],
+                      feature_keys: Optional[Sequence[str]] = None,
+                      hash_buckets: int = 10_000) -> Tuple[np.ndarray, List[str]]:
+    """Convert a list of dict records into a float feature matrix.
+
+    Non-numeric values are hashed with :func:`hash_feature`; missing keys become 0.
+    """
+    if not records:
+        raise ValueError("no records provided")
+    if feature_keys is None:
+        feature_keys = sorted({key for record in records for key in record})
+    feature_keys = list(feature_keys)
+    matrix = np.zeros((len(records), len(feature_keys)), dtype=float)
+    for row, record in enumerate(records):
+        for col, key in enumerate(feature_keys):
+            if key not in record or record[key] is None:
+                continue
+            matrix[row, col] = hash_feature(record[key], hash_buckets)
+    return matrix, feature_keys
+
+
+def strip_labels(records: Iterable[Dict[str, object]],
+                 label_key: str) -> Tuple[List[Dict[str, object]], np.ndarray]:
+    """Split label values out of record dicts.
+
+    Returns the label-free records plus the binary label vector (anything truthy /
+    equal to 1 / equal to ``"anomaly"`` counts as an anomaly).
+    """
+    cleaned: List[Dict[str, object]] = []
+    labels: List[int] = []
+    for record in records:
+        record = dict(record)
+        raw = record.pop(label_key, 0)
+        if isinstance(raw, str):
+            is_anomaly = raw.strip().lower() in {"1", "true", "anomaly", "outlier", "o"}
+        else:
+            is_anomaly = bool(raw)
+        labels.append(1 if is_anomaly else 0)
+        cleaned.append(record)
+    return cleaned, np.asarray(labels, dtype=int)
+
+
+def preprocess_records(records: Sequence[Dict[str, object]], label_key: str,
+                       name: str = "records",
+                       hash_buckets: int = 10_000) -> Dataset:
+    """Full record-level preprocessing: strip labels, hash non-numerics, build a Dataset."""
+    cleaned, labels = strip_labels(records, label_key)
+    matrix, feature_keys = records_to_matrix(cleaned, hash_buckets=hash_buckets)
+    return Dataset(name=name, data=matrix, labels=labels,
+                   feature_names=feature_keys,
+                   metadata={"hash_buckets": hash_buckets, "label_key": label_key})

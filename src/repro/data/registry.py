@@ -1,0 +1,88 @@
+"""Dataset registry mirroring Table I of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.data.dataset import Dataset
+from repro.data import datasets as generators
+
+__all__ = ["DatasetSpec", "DATASET_SPECS", "available_datasets", "load_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table I.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    display_name:
+        Name as printed in the paper.
+    samples, anomalies, features:
+        Dataset dimensions from Table I.
+    bucket_probability:
+        The paper's per-dataset target probability of at least one anomaly per
+        bucket (Table I, right-most column).
+    """
+
+    name: str
+    display_name: str
+    samples: int
+    anomalies: int
+    features: int
+    bucket_probability: float
+
+
+DATASET_SPECS: Dict[str, DatasetSpec] = {
+    "breast_cancer": DatasetSpec(
+        name="breast_cancer", display_name="Breast Cancer",
+        samples=367, anomalies=10, features=30, bucket_probability=0.75,
+    ),
+    "pen_global": DatasetSpec(
+        name="pen_global", display_name="Pen-Global",
+        samples=809, anomalies=90, features=16, bucket_probability=0.6,
+    ),
+    "letter": DatasetSpec(
+        name="letter", display_name="Letter",
+        samples=533, anomalies=33, features=32, bucket_probability=0.95,
+    ),
+    "power_plant": DatasetSpec(
+        name="power_plant", display_name="Power Plant",
+        samples=1000, anomalies=30, features=5, bucket_probability=0.75,
+    ),
+}
+
+_GENERATORS: Dict[str, Callable[[Optional[int]], Dataset]] = {
+    "breast_cancer": generators.make_breast_cancer_like,
+    "pen_global": generators.make_pen_global_like,
+    "letter": generators.make_letter_like,
+    "power_plant": generators.make_power_plant_like,
+}
+
+
+def available_datasets() -> List[str]:
+    """Names accepted by :func:`load_dataset`, in Table I order."""
+    return list(DATASET_SPECS)
+
+
+def load_dataset(name: str, seed: Optional[int] = 0) -> Dataset:
+    """Load (generate) one of the four evaluation datasets by name.
+
+    The returned dataset matches the corresponding :class:`DatasetSpec` exactly in
+    sample, anomaly, and feature counts; generation is deterministic in ``seed``.
+    """
+    key = name.strip().lower().replace("-", "_").replace(" ", "_")
+    if key not in _GENERATORS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        )
+    dataset = _GENERATORS[key](seed)
+    spec = DATASET_SPECS[key]
+    if dataset.num_samples != spec.samples or dataset.num_features != spec.features:
+        raise RuntimeError(
+            f"generator for {key} produced a dataset inconsistent with Table I"
+        )
+    return dataset

@@ -1,0 +1,207 @@
+"""Amplitude encoding with an overflow state (Section IV-B of the paper).
+
+A sample's (normalized, feature-selected) values are squared to obtain
+probabilities; whatever probability mass is missing to reach 1 is assigned to the
+*overflow state*, the last computational basis state.  The square roots of those
+probabilities are the amplitudes of the encoded quantum state.
+
+Two encoding routes are provided:
+
+* :func:`state_preparation_circuit` synthesizes an explicit gate-level circuit
+  (multiplexed RY rotations + CX) preparing the state -- this is what the paper's
+  "amplitude embedding" compiles to and what the noisy simulations consume.
+* ``QuantumCircuit.initialize`` consumes the amplitudes directly; the simulators
+  treat it as an exact state preparation (faster, used for noiseless sweeps).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.quantum.circuit import QuantumCircuit
+
+__all__ = [
+    "amplitude_probabilities",
+    "amplitudes_from_features",
+    "state_preparation_circuit",
+    "AmplitudeEncoder",
+]
+
+_TOLERANCE = 1e-9
+
+
+def amplitude_probabilities(features: Sequence[float], num_qubits: int) -> np.ndarray:
+    """Squared features padded with the overflow state, as a probability vector.
+
+    Parameters
+    ----------
+    features:
+        At most ``2**num_qubits - 1`` normalized feature values in ``[0, 1]`` whose
+        squares sum to at most 1.
+    num_qubits:
+        Size of the target register.
+
+    Returns
+    -------
+    numpy.ndarray
+        Length ``2**num_qubits`` probability vector; the last entry is the overflow
+        probability.
+    """
+    features = np.asarray(features, dtype=float).ravel()
+    dim = 2 ** num_qubits
+    if features.shape[0] > dim - 1:
+        raise ValueError(
+            f"{features.shape[0]} features do not fit in {num_qubits} qubits "
+            f"(at most {dim - 1} plus the overflow state)"
+        )
+    if np.any(features < -_TOLERANCE):
+        raise ValueError("features must be non-negative after normalization")
+    probabilities = np.zeros(dim, dtype=float)
+    probabilities[: features.shape[0]] = np.clip(features, 0.0, None) ** 2
+    total = probabilities.sum()
+    if total > 1.0 + 1e-6:
+        raise ValueError(
+            f"squared features sum to {total:.6f} > 1; normalize the data first"
+        )
+    probabilities[-1] += max(1.0 - total, 0.0)
+    return probabilities / probabilities.sum()
+
+
+def amplitudes_from_features(features: Sequence[float], num_qubits: int) -> np.ndarray:
+    """Amplitude vector (square roots of :func:`amplitude_probabilities`)."""
+    return np.sqrt(amplitude_probabilities(features, num_qubits))
+
+
+def _conditional_angles(amplitudes: np.ndarray, target_qubit: int,
+                        num_qubits: int) -> List[float]:
+    """RY angles of the multiplexor acting on ``target_qubit``.
+
+    The multiplexor is controlled by all more-significant qubits
+    (``target_qubit + 1 .. num_qubits - 1``); entry ``m`` of the returned list is
+    the angle used when those controls read the little-endian pattern ``m``.
+    """
+    probabilities = amplitudes ** 2
+    num_controls = num_qubits - 1 - target_qubit
+    angles: List[float] = []
+    for pattern in range(2 ** num_controls):
+        prob_zero = 0.0
+        prob_one = 0.0
+        for index, probability in enumerate(probabilities):
+            high_bits = index >> (target_qubit + 1)
+            if high_bits != pattern:
+                continue
+            if (index >> target_qubit) & 1:
+                prob_one += probability
+            else:
+                prob_zero += probability
+        if prob_zero + prob_one < _TOLERANCE:
+            angles.append(0.0)
+            continue
+        angles.append(2.0 * math.atan2(math.sqrt(prob_one), math.sqrt(prob_zero)))
+    return angles
+
+
+def _apply_multiplexed_ry(circuit: QuantumCircuit, angles: Sequence[float],
+                          controls: Sequence[int], target: int) -> None:
+    """Recursively decompose a uniformly controlled RY into RY and CX gates."""
+    if len(angles) != 2 ** len(controls):
+        raise ValueError("angle count must be 2**len(controls)")
+    if not controls:
+        if abs(angles[0]) > _TOLERANCE:
+            circuit.ry(angles[0], target)
+        return
+    half = len(angles) // 2
+    low = list(angles[:half])   # most-significant control = 0
+    high = list(angles[half:])  # most-significant control = 1
+    first = [(a + b) / 2.0 for a, b in zip(low, high)]
+    second = [(a - b) / 2.0 for a, b in zip(low, high)]
+    last_control = controls[-1]
+    _apply_multiplexed_ry(circuit, first, controls[:-1], target)
+    circuit.cx(last_control, target)
+    _apply_multiplexed_ry(circuit, second, controls[:-1], target)
+    circuit.cx(last_control, target)
+
+
+def state_preparation_circuit(amplitudes: Sequence[float],
+                              num_qubits: int = None) -> QuantumCircuit:
+    """Gate-level preparation of a state with non-negative real amplitudes.
+
+    Uses the Mottonen-style scheme: an RY rotation on the most significant qubit
+    followed by multiplexed RY rotations working down to qubit 0.  Only
+    non-negative real amplitudes are supported (which is all Quorum needs, since
+    its amplitudes are square roots of probabilities).
+    """
+    amplitudes = np.asarray(amplitudes, dtype=float).ravel()
+    if np.any(amplitudes < -_TOLERANCE):
+        raise ValueError("state preparation supports non-negative amplitudes only")
+    size = amplitudes.shape[0]
+    inferred = int(round(math.log2(size)))
+    if 2 ** inferred != size:
+        raise ValueError(f"amplitude vector length {size} is not a power of two")
+    if num_qubits is None:
+        num_qubits = inferred
+    elif num_qubits != inferred:
+        raise ValueError("num_qubits inconsistent with the amplitude vector")
+    norm = np.linalg.norm(amplitudes)
+    if abs(norm - 1.0) > 1e-6:
+        raise ValueError("amplitudes must be normalized")
+    circuit = QuantumCircuit(num_qubits, 0 if num_qubits == 0 else num_qubits,
+                             name="state_prep")
+    for target in reversed(range(num_qubits)):
+        controls = list(range(target + 1, num_qubits))
+        angles = _conditional_angles(amplitudes, target, num_qubits)
+        _apply_multiplexed_ry(circuit, angles, controls, target)
+    return circuit
+
+
+@dataclass(frozen=True)
+class AmplitudeEncoder:
+    """Encoder bound to a register size, exposing both encoding routes.
+
+    Attributes
+    ----------
+    num_qubits:
+        Register size; ``2**num_qubits - 1`` features fit (plus overflow).
+    """
+
+    num_qubits: int
+
+    def __post_init__(self) -> None:
+        if self.num_qubits < 1:
+            raise ValueError("the encoder needs at least one qubit")
+
+    @property
+    def max_features(self) -> int:
+        """Number of data features that fit alongside the overflow state."""
+        return 2 ** self.num_qubits - 1
+
+    def probabilities(self, features: Sequence[float]) -> np.ndarray:
+        """Probability vector (squared features + overflow)."""
+        return amplitude_probabilities(features, self.num_qubits)
+
+    def amplitudes(self, features: Sequence[float]) -> np.ndarray:
+        """Amplitude vector for the encoded state."""
+        return amplitudes_from_features(features, self.num_qubits)
+
+    def encoding_circuit(self, features: Sequence[float],
+                         gate_level: bool = False) -> QuantumCircuit:
+        """Circuit preparing the encoded state on a fresh register.
+
+        Parameters
+        ----------
+        features:
+            Normalized feature values.
+        gate_level:
+            When True, synthesize explicit RY/CX gates; otherwise emit a single
+            ``initialize`` instruction (exact, faster to simulate).
+        """
+        amplitudes = self.amplitudes(features)
+        if gate_level:
+            return state_preparation_circuit(amplitudes, self.num_qubits)
+        circuit = QuantumCircuit(self.num_qubits, self.num_qubits, name="amp_encode")
+        circuit.initialize(amplitudes, list(range(self.num_qubits)))
+        return circuit

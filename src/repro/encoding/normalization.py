@@ -1,0 +1,121 @@
+"""Range-based feature normalization (Section IV-A of the paper).
+
+Given a dataset with ``M`` features, every feature is scaled so that its maximum
+value becomes ``1 / M``.  This guarantees that the sum of squared feature values of
+any sample is at most 1, which is what allows the squared values to be interpreted
+as probability amplitudes with a non-negative "overflow state" absorbing the rest.
+
+Two modes are provided:
+
+* ``"range"`` (default) -- min-max scale each feature to ``[0, 1/M]``.  This is the
+  robust interpretation of the paper's "range-based normalization" and also handles
+  negative raw values.
+* ``"max"`` -- the literal formula from the paper, ``raw / (max * M)``; only valid
+  when the raw values are non-negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["QuorumNormalizer", "normalize_dataset"]
+
+_MODES = ("range", "max")
+
+
+@dataclass
+class QuorumNormalizer:
+    """Fit/transform normalizer implementing Quorum's per-feature scaling.
+
+    Parameters
+    ----------
+    mode:
+        ``"range"`` (min-max scaling, default) or ``"max"`` (paper's literal
+        ``raw / max`` numerator; requires non-negative data).
+    target_max:
+        Value each feature's maximum is mapped to.  Defaults to ``1 / M`` (the
+        paper's formula).  The detector passes ``1 / sqrt(m)`` (with ``m`` the
+        per-circuit feature capacity) instead, which satisfies the same constraint
+        the paper states -- the squared selected features summing to at most 1 --
+        while leaving far more probability mass on the data amplitudes than the
+        literal ``1 / M`` scaling does for wide datasets (see DESIGN.md).
+    """
+
+    mode: str = "range"
+    target_max: Optional[float] = None
+    feature_min_: Optional[np.ndarray] = field(default=None, repr=False)
+    feature_max_: Optional[np.ndarray] = field(default=None, repr=False)
+    num_features_: Optional[int] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if self.target_max is not None and not 0.0 < self.target_max <= 1.0:
+            raise ValueError("target_max must lie in (0, 1]")
+
+    # ----------------------------------------------------------------- fitting
+    def fit(self, data: np.ndarray) -> "QuorumNormalizer":
+        """Learn per-feature ranges from ``data`` of shape (samples, features)."""
+        data = self._validate(data)
+        self.num_features_ = data.shape[1]
+        self.feature_min_ = data.min(axis=0)
+        self.feature_max_ = data.max(axis=0)
+        if self.mode == "max" and np.any(data < 0):
+            raise ValueError(
+                "mode='max' (the paper's literal formula) requires non-negative "
+                "features; use mode='range' for signed data"
+            )
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Scale ``data`` so that each feature lies in ``[0, 1/M]``."""
+        if self.feature_min_ is None or self.feature_max_ is None:
+            raise RuntimeError("normalizer must be fit before transform")
+        data = self._validate(data)
+        if data.shape[1] != self.num_features_:
+            raise ValueError(
+                f"expected {self.num_features_} features, got {data.shape[1]}"
+            )
+        ceiling = self.effective_target_max()
+        if self.mode == "max":
+            scale = np.where(self.feature_max_ > 0, self.feature_max_, 1.0)
+            normalized = data / scale * ceiling
+        else:
+            span = self.feature_max_ - self.feature_min_
+            safe_span = np.where(span > 0, span, 1.0)
+            normalized = (data - self.feature_min_) / safe_span * ceiling
+        # Clip to guard against transform() of unseen data slightly outside the
+        # fitted range (the quantum embedding requires values in [0, ceiling]).
+        return np.clip(normalized, 0.0, ceiling)
+
+    def effective_target_max(self) -> float:
+        """The per-feature ceiling used by ``transform`` (``1/M`` by default)."""
+        if self.target_max is not None:
+            return float(self.target_max)
+        if self.num_features_ is None:
+            raise RuntimeError("normalizer must be fit before transform")
+        return 1.0 / float(self.num_features_)
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its normalized form."""
+        return self.fit(data).transform(data)
+
+    # ------------------------------------------------------------------ helpers
+    @staticmethod
+    def _validate(data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2:
+            raise ValueError("expected a 2-D array of shape (samples, features)")
+        if data.shape[0] == 0 or data.shape[1] == 0:
+            raise ValueError("dataset must contain at least one sample and feature")
+        if not np.all(np.isfinite(data)):
+            raise ValueError("dataset contains NaN or infinite values")
+        return data
+
+
+def normalize_dataset(data: np.ndarray, mode: str = "range") -> np.ndarray:
+    """One-shot convenience wrapper around :class:`QuorumNormalizer`."""
+    return QuorumNormalizer(mode=mode).fit_transform(data)

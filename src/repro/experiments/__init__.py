@@ -1,0 +1,62 @@
+"""Experiment runners regenerating every table and figure of the paper's evaluation.
+
+* Table I  -- :mod:`repro.experiments.table1` (dataset inventory + bucket sizing).
+* Fig. 8   -- :mod:`repro.experiments.fig8` (Quorum vs QNN, four metrics, four datasets).
+* Fig. 9   -- :mod:`repro.experiments.fig9` (detection-rate curves, noiseless vs noisy).
+* Fig. 10  -- :mod:`repro.experiments.fig10` (score-separation profile, breast cancer).
+* Table II -- :mod:`repro.experiments.table2` (bucket-size ablation).
+
+Each runner returns a plain-dataclass result with a ``format_*`` helper that prints
+the same rows/series the paper reports; the ``benchmarks/`` directory wraps these
+runners in pytest-benchmark harnesses.
+"""
+
+from repro.experiments.common import ExperimentSettings, run_qnn_baseline, run_quorum
+from repro.experiments.table1 import Table1Result, run_table1, format_table1
+from repro.experiments.fig8 import Fig8Result, run_fig8, format_fig8
+from repro.experiments.fig9 import Fig9Result, run_fig9, format_fig9
+from repro.experiments.fig10 import Fig10Result, run_fig10, format_fig10
+from repro.experiments.table2 import Table2Result, run_table2, format_table2
+from repro.experiments.report import EvaluationReport, render_report, run_full_evaluation
+from repro.experiments.ablations import (
+    BaselineComparisonResult,
+    EnsembleScalingResult,
+    RegisterSizeResult,
+    StabilityResult,
+    run_baseline_comparison,
+    run_ensemble_scaling,
+    run_register_size_ablation,
+    run_stability_analysis,
+)
+
+__all__ = [
+    "EvaluationReport",
+    "render_report",
+    "run_full_evaluation",
+    "EnsembleScalingResult",
+    "run_ensemble_scaling",
+    "RegisterSizeResult",
+    "run_register_size_ablation",
+    "BaselineComparisonResult",
+    "run_baseline_comparison",
+    "StabilityResult",
+    "run_stability_analysis",
+    "ExperimentSettings",
+    "run_quorum",
+    "run_qnn_baseline",
+    "Table1Result",
+    "run_table1",
+    "format_table1",
+    "Fig8Result",
+    "run_fig8",
+    "format_fig8",
+    "Fig9Result",
+    "run_fig9",
+    "format_fig9",
+    "Fig10Result",
+    "run_fig10",
+    "format_fig10",
+    "Table2Result",
+    "run_table2",
+    "format_table2",
+]

@@ -1,0 +1,211 @@
+"""Ablation studies backing the design choices called out in DESIGN.md §7.
+
+These are library-level runners (the ``benchmarks/test_ablation_*.py`` harnesses
+wrap them) covering:
+
+* ensemble-size and shot-count scaling (the paper's "benefits diminishing" remark),
+* compression-level sweep vs single levels (Fig. 6's multi-level design),
+* encoding register size (Section IV-F's scalability discussion: 3-qubit vs
+  4-qubit encodings),
+* Quorum vs the classical unsupervised baselines (extended comparison beyond the
+  paper's QNN-only Fig. 8),
+* ranking stability across ensemble growth and across independent seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines import (
+    AutoencoderDetector,
+    HBOSDetector,
+    IsolationForestDetector,
+    KMeansDetector,
+    LocalOutlierFactorDetector,
+    PCAReconstructionDetector,
+)
+from repro.core.detector import QuorumDetector
+from repro.data.dataset import Dataset
+from repro.data.registry import load_dataset
+from repro.experiments.common import ExperimentSettings, evaluate_quorum_scores, run_quorum
+from repro.metrics.classification import evaluate_top_k
+from repro.metrics.stability import ranking_stability_curve, score_agreement
+
+__all__ = [
+    "EnsembleScalingResult",
+    "run_ensemble_scaling",
+    "RegisterSizeResult",
+    "run_register_size_ablation",
+    "BaselineComparisonResult",
+    "run_baseline_comparison",
+    "StabilityResult",
+    "run_stability_analysis",
+]
+
+
+# --------------------------------------------------------------------- ensembles
+@dataclass(frozen=True)
+class EnsembleScalingResult:
+    """F1 as a function of ensemble size and of shot count."""
+
+    dataset: str
+    f1_by_ensemble_size: Dict[int, float]
+    f1_by_shots: Dict[Optional[int], float]
+
+    def diminishing_returns(self) -> bool:
+        """True when the largest ensemble is no worse than the smallest."""
+        sizes = sorted(self.f1_by_ensemble_size)
+        return self.f1_by_ensemble_size[sizes[-1]] >= self.f1_by_ensemble_size[sizes[0]] - 1e-9
+
+
+def run_ensemble_scaling(settings: Optional[ExperimentSettings] = None,
+                         dataset_name: str = "breast_cancer",
+                         ensemble_sizes: Sequence[int] = (5, 20, 60),
+                         shot_counts: Sequence[Optional[int]] = (256, 4096, None),
+                         shots_ensemble: int = 30) -> EnsembleScalingResult:
+    """Sweep ensemble size and shot count on one dataset."""
+    settings = settings or ExperimentSettings()
+    dataset = load_dataset(dataset_name, seed=settings.seed)
+    f1_by_ensemble: Dict[int, float] = {}
+    for size in ensemble_sizes:
+        config = settings.quorum_config(dataset_name, ensemble_groups=int(size))
+        scores, _ = run_quorum(dataset, config)
+        f1_by_ensemble[int(size)] = evaluate_quorum_scores(dataset, scores).f1
+    f1_by_shots: Dict[Optional[int], float] = {}
+    for shots in shot_counts:
+        config = settings.quorum_config(dataset_name, ensemble_groups=shots_ensemble,
+                                        shots=shots)
+        scores, _ = run_quorum(dataset, config)
+        f1_by_shots[shots] = evaluate_quorum_scores(dataset, scores).f1
+    return EnsembleScalingResult(dataset=dataset_name,
+                                 f1_by_ensemble_size=f1_by_ensemble,
+                                 f1_by_shots=f1_by_shots)
+
+
+# ----------------------------------------------------------------- register size
+@dataclass(frozen=True)
+class RegisterSizeResult:
+    """Detection quality as the encoding register grows (Section IV-F)."""
+
+    dataset: str
+    f1_by_num_qubits: Dict[int, float]
+    features_per_circuit: Dict[int, int]
+    circuit_qubits: Dict[int, int]
+
+
+def run_register_size_ablation(settings: Optional[ExperimentSettings] = None,
+                               dataset_name: str = "letter",
+                               register_sizes: Sequence[int] = (2, 3, 4)
+                               ) -> RegisterSizeResult:
+    """Compare 2-, 3-, and 4-qubit encodings on one dataset.
+
+    Larger registers fit more features per circuit (2^n - 1) and add more
+    compression levels ("moments"), at the cost of wider circuits -- exactly the
+    trade-off the paper's scalability section describes.
+    """
+    settings = settings or ExperimentSettings()
+    dataset = load_dataset(dataset_name, seed=settings.seed)
+    f1_by_size: Dict[int, float] = {}
+    features: Dict[int, int] = {}
+    widths: Dict[int, int] = {}
+    for num_qubits in register_sizes:
+        config = settings.quorum_config(dataset_name, num_qubits=int(num_qubits))
+        scores, detector = run_quorum(dataset, config)
+        f1_by_size[int(num_qubits)] = evaluate_quorum_scores(dataset, scores).f1
+        features[int(num_qubits)] = detector.config.features_per_circuit
+        widths[int(num_qubits)] = detector.config.total_circuit_qubits
+    return RegisterSizeResult(dataset=dataset_name, f1_by_num_qubits=f1_by_size,
+                              features_per_circuit=features, circuit_qubits=widths)
+
+
+# ------------------------------------------------------------------- baselines
+@dataclass(frozen=True)
+class BaselineComparisonResult:
+    """F1 of Quorum and every classical baseline per dataset."""
+
+    f1_scores: Dict[str, Dict[str, float]]
+
+    def quorum_rank(self, dataset: str) -> int:
+        """1-based rank of Quorum among all methods on ``dataset`` (1 = best)."""
+        scores = self.f1_scores[dataset]
+        ordered = sorted(scores.values(), reverse=True)
+        return ordered.index(scores["Quorum"]) + 1
+
+
+def _classical_baselines(seed: int) -> Dict[str, object]:
+    return {
+        "Isolation Forest": IsolationForestDetector(num_trees=100, seed=seed),
+        "Local Outlier Factor": LocalOutlierFactorDetector(num_neighbors=20),
+        "HBOS": HBOSDetector(),
+        "k-means": KMeansDetector(num_clusters=8, seed=seed),
+        "PCA": PCAReconstructionDetector(num_components=3),
+        "Autoencoder": AutoencoderDetector(epochs=120, seed=seed),
+    }
+
+
+def run_baseline_comparison(settings: Optional[ExperimentSettings] = None,
+                            dataset_names: Sequence[str] = ("breast_cancer",
+                                                            "power_plant")
+                            ) -> BaselineComparisonResult:
+    """Extended comparison: Quorum vs the classical unsupervised detectors."""
+    settings = settings or ExperimentSettings()
+    all_scores: Dict[str, Dict[str, float]] = {}
+    for name in dataset_names:
+        dataset = load_dataset(name, seed=settings.seed)
+        per_method: Dict[str, float] = {}
+        scores, _ = run_quorum(dataset, settings.quorum_config(name))
+        per_method["Quorum"] = evaluate_quorum_scores(dataset, scores).f1
+        for method_name, detector in _classical_baselines(settings.seed).items():
+            baseline_scores = detector.fit_scores(dataset.data)
+            report = evaluate_top_k(baseline_scores, dataset.labels,
+                                    dataset.num_anomalies)
+            per_method[method_name] = report.f1
+        all_scores[name] = per_method
+    return BaselineComparisonResult(f1_scores=all_scores)
+
+
+# -------------------------------------------------------------------- stability
+@dataclass(frozen=True)
+class StabilityResult:
+    """Ranking-stability diagnostics of the ensemble."""
+
+    dataset: str
+    stability_curve: Dict[int, float]
+    cross_seed_agreement: Dict[str, float]
+
+    def converged(self, threshold: float = 0.9) -> bool:
+        """True when the final checkpoint correlates with the full ranking."""
+        final = max(self.stability_curve)
+        return self.stability_curve[final] >= threshold
+
+
+def run_stability_analysis(settings: Optional[ExperimentSettings] = None,
+                           dataset_name: str = "power_plant",
+                           checkpoints: Sequence[int] = (5, 15, 30),
+                           num_seeds: int = 3) -> StabilityResult:
+    """Measure how quickly the ranking stabilizes and how well seeds agree."""
+    settings = settings or ExperimentSettings()
+    dataset = load_dataset(dataset_name, seed=settings.seed)
+    max_members = max(checkpoints)
+    config = settings.quorum_config(dataset_name, ensemble_groups=max_members)
+    detector = QuorumDetector(config)
+    detector.fit(dataset)
+    deviations = [result.deviations for result in detector.member_results()]
+    curve = ranking_stability_curve(deviations, detector.anomaly_scores(),
+                                    checkpoints)
+
+    score_vectors = []
+    for offset in range(num_seeds):
+        seeded = settings.quorum_config(
+            dataset_name,
+            ensemble_groups=min(15, max_members),
+            seed=settings.seed + 1000 + offset,
+        )
+        scores, _ = run_quorum(dataset, seeded)
+        score_vectors.append(scores)
+    agreement = score_agreement(score_vectors, k=dataset.num_anomalies)
+    return StabilityResult(dataset=dataset_name, stability_curve=curve,
+                           cross_seed_agreement=agreement)

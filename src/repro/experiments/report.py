@@ -1,0 +1,94 @@
+"""One-shot evaluation report: run every experiment and render a markdown summary.
+
+This is the programmatic counterpart of ``EXPERIMENTS.md``: it runs Table I,
+Fig. 8, Fig. 9, Fig. 10, and Table II at the requested scale and assembles their
+formatted tables into a single document (optionally written to disk and
+accompanied by a machine-readable JSON dump).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.fig8 import Fig8Result, format_fig8, run_fig8
+from repro.experiments.fig9 import Fig9Result, format_fig9, run_fig9
+from repro.experiments.fig10 import Fig10Result, format_fig10, run_fig10
+from repro.experiments.table1 import Table1Result, format_table1, run_table1
+from repro.experiments.table2 import Table2Result, format_table2, run_table2
+from repro.utils.serialization import save_json, to_jsonable
+
+__all__ = ["EvaluationReport", "run_full_evaluation", "render_report"]
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """Results of a full evaluation sweep."""
+
+    settings: ExperimentSettings
+    table1: Table1Result
+    fig8: Fig8Result
+    fig9: Fig9Result
+    fig10: Fig10Result
+    table2: Table2Result
+
+    def to_jsonable(self) -> dict:
+        """Machine-readable form of every result."""
+        return {
+            "settings": to_jsonable(self.settings),
+            "table1": to_jsonable(self.table1),
+            "fig8": to_jsonable(self.fig8),
+            "fig9": to_jsonable(self.fig9),
+            "fig10": to_jsonable(self.fig10),
+            "table2": to_jsonable(self.table2),
+        }
+
+
+def run_full_evaluation(settings: Optional[ExperimentSettings] = None,
+                        include_noisy: bool = True) -> EvaluationReport:
+    """Run every experiment runner with shared settings."""
+    settings = settings or ExperimentSettings()
+    return EvaluationReport(
+        settings=settings,
+        table1=run_table1(seed=settings.seed),
+        fig8=run_fig8(settings),
+        fig9=run_fig9(settings, include_noisy=include_noisy),
+        fig10=run_fig10(settings),
+        table2=run_table2(settings),
+    )
+
+
+def render_report(report: EvaluationReport) -> str:
+    """Markdown document covering every table and figure."""
+    settings = report.settings
+    header = (
+        "# Quorum reproduction — evaluation report\n\n"
+        f"Scale: {settings.ensemble_groups} ensemble members, "
+        f"shots = {settings.shots}, seed = {settings.seed}; noisy runs use "
+        f"{settings.noisy_ensemble_groups} members on a stratified subsample of "
+        f"{settings.noisy_subsample} samples.\n"
+    )
+    sections = [
+        header,
+        "## Table I — datasets and bucket sizing\n\n" + format_table1(report.table1),
+        "## Fig. 8 — Quorum vs QNN\n\n" + format_fig8(report.fig8),
+        "## Fig. 9 — detection-rate curves (noiseless vs noisy)\n\n"
+        + format_fig9(report.fig9),
+        "## Fig. 10 — score separation (breast cancer)\n\n"
+        + format_fig10(report.fig10),
+        "## Table II — bucket-size ablation (F1)\n\n" + format_table2(report.table2),
+    ]
+    return "\n\n".join(sections) + "\n"
+
+
+def write_report(report: EvaluationReport, markdown_path: Union[str, Path],
+                 json_path: Optional[Union[str, Path]] = None) -> Path:
+    """Write the rendered report (and optionally its JSON dump) to disk."""
+    markdown_path = Path(markdown_path)
+    markdown_path.parent.mkdir(parents=True, exist_ok=True)
+    markdown_path.write_text(render_report(report), encoding="utf-8")
+    if json_path is not None:
+        save_json(report.to_jsonable(), json_path)
+    return markdown_path

@@ -1,0 +1,84 @@
+"""Table I: dataset inventory and bucket sizing.
+
+Reproduces the paper's Table I rows (samples, anomalies, features, target
+probability of at least one anomaly per bucket) and additionally reports the
+bucket size Quorum derives from that target and the probability it actually
+achieves -- the quantities the bucketing machinery is responsible for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bucketing import bucket_size_for_probability, probability_of_anomalous_bucket
+from repro.data.registry import DATASET_SPECS, load_dataset
+from repro.experiments.common import DEFAULT_DATASETS, markdown_table
+
+__all__ = ["Table1Row", "Table1Result", "run_table1", "format_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One dataset row of Table I plus the derived bucket size."""
+
+    dataset: str
+    samples: int
+    anomalies: int
+    features: int
+    target_probability: float
+    bucket_size: int
+    achieved_probability: float
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """All Table I rows."""
+
+    rows: Tuple[Table1Row, ...]
+
+    def row_for(self, dataset: str) -> Table1Row:
+        """Row for one dataset name."""
+        for row in self.rows:
+            if row.dataset == dataset:
+                return row
+        raise KeyError(dataset)
+
+
+def run_table1(dataset_names: Optional[Sequence[str]] = None,
+               seed: int = 0) -> Table1Result:
+    """Generate every dataset and compute its Table I row."""
+    names = tuple(dataset_names) if dataset_names else DEFAULT_DATASETS
+    rows: List[Table1Row] = []
+    for name in names:
+        spec = DATASET_SPECS[name]
+        dataset = load_dataset(name, seed=seed)
+        bucket_size = bucket_size_for_probability(
+            dataset.num_samples, dataset.anomaly_fraction, spec.bucket_probability
+        )
+        achieved = probability_of_anomalous_bucket(
+            dataset.num_samples, dataset.num_anomalies, bucket_size
+        )
+        rows.append(Table1Row(
+            dataset=name,
+            samples=dataset.num_samples,
+            anomalies=dataset.num_anomalies,
+            features=dataset.num_features,
+            target_probability=spec.bucket_probability,
+            bucket_size=bucket_size,
+            achieved_probability=round(achieved, 3),
+        ))
+    return Table1Result(rows=tuple(rows))
+
+
+def format_table1(result: Table1Result) -> str:
+    """Markdown rendering in the paper's column order."""
+    headers = ["Dataset", "Samples", "Anomalies", "Features",
+               "Pr[Anomaly in Bucket]", "Bucket size", "Achieved Pr"]
+    rows = [
+        (DATASET_SPECS[row.dataset].display_name, row.samples, row.anomalies,
+         row.features, row.target_probability, row.bucket_size,
+         row.achieved_probability)
+        for row in result.rows
+    ]
+    return markdown_table(headers, rows)

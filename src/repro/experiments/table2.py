@@ -1,0 +1,82 @@
+"""Table II: F1 scores across bucket-size targets (the bucket ablation).
+
+For each dataset and each target probability ``p`` of at least one anomaly per
+bucket, Quorum is rerun with the corresponding bucket size and its F1 (flagging as
+many samples as there are anomalies) is recorded.  The paper's qualitative claims
+to check: very small buckets (low ``p``) generally degrade F1, and moderate buckets
+are often at least as good as the largest ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.data.registry import DATASET_SPECS, load_dataset
+from repro.experiments.common import (
+    DEFAULT_DATASETS,
+    ExperimentSettings,
+    evaluate_quorum_scores,
+    markdown_table,
+    run_quorum,
+)
+
+__all__ = ["Table2Result", "run_table2", "format_table2", "PAPER_BUCKET_PROBABILITIES"]
+
+#: The p values of Table II.
+PAPER_BUCKET_PROBABILITIES: Tuple[float, ...] = (0.5, 0.6, 0.75, 0.95, 0.98)
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """F1 per dataset per bucket-size target probability."""
+
+    probabilities: Tuple[float, ...]
+    f1_scores: Dict[str, Tuple[float, ...]]
+    bucket_sizes: Dict[str, Tuple[int, ...]]
+
+    def f1_for(self, dataset: str, probability: float) -> float:
+        """F1 of one (dataset, p) cell."""
+        index = self.probabilities.index(probability)
+        return self.f1_scores[dataset][index]
+
+    def best_probability(self, dataset: str) -> float:
+        """The p value with the highest F1 for a dataset."""
+        scores = self.f1_scores[dataset]
+        return self.probabilities[scores.index(max(scores))]
+
+
+def run_table2(settings: Optional[ExperimentSettings] = None,
+               dataset_names: Optional[Sequence[str]] = None,
+               probabilities: Sequence[float] = PAPER_BUCKET_PROBABILITIES
+               ) -> Table2Result:
+    """Run the bucket-size ablation."""
+    settings = settings or ExperimentSettings()
+    names = tuple(dataset_names) if dataset_names else DEFAULT_DATASETS
+    probabilities = tuple(probabilities)
+    f1_scores: Dict[str, Tuple[float, ...]] = {}
+    bucket_sizes: Dict[str, Tuple[int, ...]] = {}
+    for name in names:
+        dataset = load_dataset(name, seed=settings.seed)
+        per_dataset_f1 = []
+        per_dataset_bucket = []
+        for probability in probabilities:
+            config = settings.quorum_config(name, bucket_probability=probability)
+            scores, detector = run_quorum(dataset, config)
+            report = evaluate_quorum_scores(dataset, scores)
+            per_dataset_f1.append(round(report.f1, 3))
+            per_dataset_bucket.append(int(detector.diagnostics()["bucket_size"]))
+        f1_scores[name] = tuple(per_dataset_f1)
+        bucket_sizes[name] = tuple(per_dataset_bucket)
+    return Table2Result(probabilities=probabilities, f1_scores=f1_scores,
+                        bucket_sizes=bucket_sizes)
+
+
+def format_table2(result: Table2Result) -> str:
+    """Markdown table in the paper's layout (datasets x probabilities)."""
+    headers = ["Dataset"] + [f"p = {p}" for p in result.probabilities]
+    rows = []
+    for name, scores in result.f1_scores.items():
+        display = DATASET_SPECS[name].display_name if name in DATASET_SPECS else name
+        rows.append((display, *(f"{value:.3f}" for value in scores)))
+    return markdown_table(headers, rows)

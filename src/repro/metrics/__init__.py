@@ -1,0 +1,43 @@
+"""Evaluation metrics: classification scores and detection-rate curves."""
+
+from repro.metrics.classification import (
+    ClassificationReport,
+    accuracy_score,
+    confusion_counts,
+    evaluate_flags,
+    evaluate_top_k,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.metrics.detection import (
+    DetectionCurve,
+    detection_rate_at_fraction,
+    detection_rate_curve,
+    separation_profile,
+)
+from repro.metrics.stability import (
+    ranking_stability_curve,
+    score_agreement,
+    spearman_rank_correlation,
+    top_k_jaccard,
+)
+
+__all__ = [
+    "ClassificationReport",
+    "confusion_counts",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "accuracy_score",
+    "evaluate_flags",
+    "evaluate_top_k",
+    "DetectionCurve",
+    "detection_rate_curve",
+    "detection_rate_at_fraction",
+    "separation_profile",
+    "spearman_rank_correlation",
+    "top_k_jaccard",
+    "ranking_stability_curve",
+    "score_agreement",
+]

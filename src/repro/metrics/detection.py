@@ -1,0 +1,112 @@
+"""Detection-rate curves (Fig. 9) and score-separation profiles (Fig. 10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DetectionCurve",
+    "detection_rate_curve",
+    "detection_rate_at_fraction",
+    "separation_profile",
+]
+
+
+@dataclass(frozen=True)
+class DetectionCurve:
+    """Fraction of anomalies detected vs fraction of the dataset inspected.
+
+    Samples are inspected in decreasing anomaly-score order, exactly as in the
+    paper's Fig. 9.
+    """
+
+    fractions: Tuple[float, ...]
+    detection_rates: Tuple[float, ...]
+
+    def rate_at(self, fraction: float) -> float:
+        """Detection rate at the largest tabulated fraction <= ``fraction``."""
+        best = 0.0
+        for tabulated, rate in zip(self.fractions, self.detection_rates):
+            if tabulated <= fraction + 1e-12:
+                best = rate
+            else:
+                break
+        return best
+
+    def area(self) -> float:
+        """Area under the curve (1.0 = all anomalies found immediately)."""
+        return float(np.trapezoid(self.detection_rates, self.fractions))
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """Plain-dict form for serialization in the benchmark harness."""
+        return {
+            "fractions": list(self.fractions),
+            "detection_rates": list(self.detection_rates),
+        }
+
+
+def detection_rate_curve(scores: Sequence[float], y_true: Sequence[int],
+                         num_points: int = 101) -> DetectionCurve:
+    """Compute the Fig. 9 curve for one detector run.
+
+    Parameters
+    ----------
+    scores:
+        Anomaly scores (higher = more anomalous).
+    y_true:
+        Ground-truth binary labels.
+    num_points:
+        Number of evenly spaced dataset fractions (including 0 and 1).
+    """
+    scores = np.asarray(scores, dtype=float).ravel()
+    y_true = np.asarray(y_true, dtype=int).ravel()
+    if scores.shape != y_true.shape:
+        raise ValueError("scores and labels must have the same length")
+    total_anomalies = int(y_true.sum())
+    if total_anomalies == 0:
+        raise ValueError("the dataset contains no anomalies to detect")
+    order = np.argsort(scores)[::-1]
+    sorted_labels = y_true[order]
+    cumulative = np.cumsum(sorted_labels)
+    fractions = np.linspace(0.0, 1.0, num_points)
+    rates = []
+    for fraction in fractions:
+        inspected = int(round(fraction * scores.size))
+        if inspected == 0:
+            rates.append(0.0)
+            continue
+        rates.append(float(cumulative[inspected - 1]) / total_anomalies)
+    return DetectionCurve(fractions=tuple(fractions.tolist()),
+                          detection_rates=tuple(rates))
+
+
+def detection_rate_at_fraction(scores: Sequence[float], y_true: Sequence[int],
+                               fraction: float) -> float:
+    """Detection rate when inspecting the top ``fraction`` of the dataset."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    curve = detection_rate_curve(scores, y_true)
+    return curve.rate_at(fraction)
+
+
+def separation_profile(scores: Sequence[float], y_true: Sequence[int]
+                       ) -> Dict[str, np.ndarray]:
+    """Data behind Fig. 10: scores sorted ascending, split by ground truth.
+
+    Returns the sort order, the sorted scores, and for each sorted position whether
+    the sample is anomalous -- enough to regenerate the paper's scatter plot of
+    "sum absolute std. deviation" with anomalies highlighted.
+    """
+    scores = np.asarray(scores, dtype=float).ravel()
+    y_true = np.asarray(y_true, dtype=int).ravel()
+    if scores.shape != y_true.shape:
+        raise ValueError("scores and labels must have the same length")
+    order = np.argsort(scores)
+    return {
+        "order": order,
+        "sorted_scores": scores[order],
+        "sorted_is_anomaly": y_true[order].astype(bool),
+    }

@@ -1,0 +1,121 @@
+"""Stability diagnostics for ensemble-based anomaly scores.
+
+Quorum's guarantees are statistical: the ranking should stabilize as ensemble
+members accumulate, and independent runs (different seeds) should agree on who the
+anomalies are.  These helpers quantify that, and back the ensemble-scaling
+ablation (the paper's "benefits diminishing" remark in Section V).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "spearman_rank_correlation",
+    "top_k_jaccard",
+    "ranking_stability_curve",
+    "score_agreement",
+]
+
+
+def spearman_rank_correlation(first: Sequence[float], second: Sequence[float]) -> float:
+    """Spearman rank correlation between two score vectors (ties get mean ranks)."""
+    first = np.asarray(first, dtype=float).ravel()
+    second = np.asarray(second, dtype=float).ravel()
+    if first.shape != second.shape:
+        raise ValueError("score vectors must have the same length")
+    if first.size < 2:
+        raise ValueError("need at least two samples")
+    first_ranks = _mean_ranks(first)
+    second_ranks = _mean_ranks(second)
+    first_centered = first_ranks - first_ranks.mean()
+    second_centered = second_ranks - second_ranks.mean()
+    denominator = np.sqrt((first_centered ** 2).sum() * (second_centered ** 2).sum())
+    if denominator == 0.0:
+        return 0.0
+    return float((first_centered * second_centered).sum() / denominator)
+
+
+def _mean_ranks(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty_like(values)
+    ranks[order] = np.arange(1, values.size + 1, dtype=float)
+    # Average the ranks of tied values.
+    unique_values, inverse, counts = np.unique(values, return_inverse=True,
+                                               return_counts=True)
+    sums = np.zeros(unique_values.size)
+    np.add.at(sums, inverse, ranks)
+    return sums[inverse] / counts[inverse]
+
+
+def top_k_jaccard(first: Sequence[float], second: Sequence[float], k: int) -> float:
+    """Jaccard overlap of the top-k index sets of two score vectors."""
+    first = np.asarray(first, dtype=float).ravel()
+    second = np.asarray(second, dtype=float).ravel()
+    if first.shape != second.shape:
+        raise ValueError("score vectors must have the same length")
+    if not 1 <= k <= first.size:
+        raise ValueError("k out of range")
+    top_first = set(np.argsort(first)[::-1][:k].tolist())
+    top_second = set(np.argsort(second)[::-1][:k].tolist())
+    union = top_first | top_second
+    return len(top_first & top_second) / len(union)
+
+
+def ranking_stability_curve(member_deviations: Sequence[np.ndarray],
+                            reference: Sequence[float],
+                            checkpoints: Sequence[int]) -> Dict[int, float]:
+    """Rank correlation of partial ensemble sums against a reference ranking.
+
+    Parameters
+    ----------
+    member_deviations:
+        Per-member deviation vectors (e.g. from
+        :meth:`QuorumDetector.member_results`).
+    reference:
+        The final (full-ensemble) scores to compare against.
+    checkpoints:
+        Ensemble sizes at which to evaluate the partial ranking.
+    """
+    member_deviations = [np.asarray(member, dtype=float) for member in member_deviations]
+    if not member_deviations:
+        raise ValueError("need at least one ensemble member")
+    reference = np.asarray(reference, dtype=float)
+    curve: Dict[int, float] = {}
+    running = np.zeros_like(member_deviations[0])
+    consumed = 0
+    targets = sorted(set(int(point) for point in checkpoints))
+    for target in targets:
+        if not 1 <= target <= len(member_deviations):
+            raise ValueError(f"checkpoint {target} outside the ensemble size")
+        while consumed < target:
+            running = running + member_deviations[consumed]
+            consumed += 1
+        curve[target] = spearman_rank_correlation(running, reference)
+    return curve
+
+
+def score_agreement(score_vectors: Sequence[Sequence[float]], k: int) -> Dict[str, float]:
+    """Pairwise agreement statistics across independent detector runs.
+
+    Returns the mean pairwise Spearman correlation and the mean pairwise top-k
+    Jaccard overlap -- the two numbers that summarize "do different seeds find the
+    same anomalies?".
+    """
+    vectors = [np.asarray(vector, dtype=float).ravel() for vector in score_vectors]
+    if len(vectors) < 2:
+        raise ValueError("need at least two runs to measure agreement")
+    correlations: List[float] = []
+    overlaps: List[float] = []
+    for index_a in range(len(vectors)):
+        for index_b in range(index_a + 1, len(vectors)):
+            correlations.append(spearman_rank_correlation(vectors[index_a],
+                                                          vectors[index_b]))
+            overlaps.append(top_k_jaccard(vectors[index_a], vectors[index_b], k))
+    return {
+        "mean_spearman": float(np.mean(correlations)),
+        "mean_top_k_jaccard": float(np.mean(overlaps)),
+        "num_pairs": float(len(correlations)),
+    }

@@ -1,0 +1,46 @@
+"""Quantum-computing substrate: circuit IR, simulators, noise, and transpilation.
+
+This subpackage is a from-scratch replacement for the slice of Qiskit / Qiskit Aer
+functionality that the Quorum paper depends on:
+
+* :mod:`repro.quantum.gates` -- gate matrices and parameterized gate factories.
+* :mod:`repro.quantum.circuit` -- a :class:`QuantumCircuit` IR with unitary gates,
+  reset, mid-/end-circuit measurement, and barriers.
+* :mod:`repro.quantum.statevector` -- pure-state simulation utilities.
+* :mod:`repro.quantum.density_matrix` -- exact mixed-state evolution (needed for the
+  partial-reset bottleneck of the Quorum ansatz and for noise channels).
+* :mod:`repro.quantum.simulator` -- shot-based execution engines on top of the two
+  state representations.
+* :mod:`repro.quantum.noise` -- Kraus channels and the :class:`NoiseModel` container.
+* :mod:`repro.quantum.backends` -- calibration-style descriptions of fake devices
+  (notably a Brisbane-like backend built from the medians quoted in the paper).
+* :mod:`repro.quantum.transpiler` -- basis decomposition and peephole optimization.
+* :mod:`repro.quantum.operators` -- partial trace, fidelity, purity helpers.
+"""
+
+from repro.quantum.circuit import Instruction, QuantumCircuit
+from repro.quantum.gates import GATE_MATRICES, standard_gate_matrix
+from repro.quantum.simulator import (
+    DensityMatrixSimulator,
+    ExecutionResult,
+    StatevectorSimulator,
+)
+from repro.quantum.noise import NoiseModel
+from repro.quantum.backends import FakeBrisbane, BackendProperties
+from repro.quantum.statevector import Statevector
+from repro.quantum.density_matrix import DensityMatrix
+
+__all__ = [
+    "Instruction",
+    "QuantumCircuit",
+    "GATE_MATRICES",
+    "standard_gate_matrix",
+    "StatevectorSimulator",
+    "DensityMatrixSimulator",
+    "ExecutionResult",
+    "NoiseModel",
+    "FakeBrisbane",
+    "BackendProperties",
+    "Statevector",
+    "DensityMatrix",
+]

@@ -1,0 +1,99 @@
+"""Small library of standard circuits.
+
+These are not used by the Quorum algorithm itself; they exist to exercise and
+validate the simulator/transpiler substrate (tests, benchmarks, examples) with
+well-understood circuits: GHZ and W states, the quantum Fourier transform, and
+reproducible random circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.quantum.circuit import QuantumCircuit
+
+__all__ = ["bell_pair", "ghz_circuit", "w_state_circuit", "qft_circuit",
+           "random_circuit"]
+
+
+def bell_pair() -> QuantumCircuit:
+    """The two-qubit Bell state |00> + |11> (unnormalized notation)."""
+    circuit = QuantumCircuit(2, name="bell")
+    circuit.h(0).cx(0, 1)
+    return circuit
+
+
+def ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    """The ``num_qubits``-qubit GHZ state |0...0> + |1...1>."""
+    if num_qubits < 2:
+        raise ValueError("a GHZ state needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def w_state_circuit(num_qubits: int) -> QuantumCircuit:
+    """The ``num_qubits``-qubit W state (equal superposition of weight-1 strings).
+
+    Built with the standard cascade of controlled rotations: qubit 0 starts in
+    |1>, and the excitation is coherently shared down the register.
+    """
+    if num_qubits < 2:
+        raise ValueError("a W state needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"w_{num_qubits}")
+    circuit.x(0)
+    for qubit in range(num_qubits - 1):
+        remaining = num_qubits - qubit
+        theta = 2.0 * math.acos(math.sqrt(1.0 / remaining))
+        # Move a (1/remaining) share of the excitation from `qubit` to `qubit+1`.
+        circuit.cry(theta, qubit, qubit + 1)
+        circuit.cx(qubit + 1, qubit)
+    return circuit
+
+
+def qft_circuit(num_qubits: int, include_swaps: bool = True) -> QuantumCircuit:
+    """The quantum Fourier transform on ``num_qubits`` qubits."""
+    if num_qubits < 1:
+        raise ValueError("the QFT needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in reversed(range(num_qubits)):
+        circuit.h(target)
+        for control in reversed(range(target)):
+            angle = math.pi / (2 ** (target - control))
+            circuit.cp(angle, control, target)
+    if include_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    return circuit
+
+
+def random_circuit(num_qubits: int, depth: int,
+                   seed: Optional[int] = None) -> QuantumCircuit:
+    """A reproducible random circuit of single-qubit rotations and CX gates.
+
+    Each layer applies a random rotation (RX/RY/RZ with a uniform angle) to every
+    qubit followed by CX gates on a random pairing of neighbouring qubits; useful
+    as a stress test for simulators and the transpiler.
+    """
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}x{depth}")
+    rotations = ("rx", "ry", "rz")
+    for _ in range(depth):
+        for qubit in range(num_qubits):
+            gate = rotations[int(rng.integers(len(rotations)))]
+            angle = float(rng.uniform(0.0, 2.0 * math.pi))
+            getattr(circuit, gate)(angle, qubit)
+        if num_qubits >= 2:
+            offset = int(rng.integers(2))
+            for control in range(offset, num_qubits - 1, 2):
+                circuit.cx(control, control + 1)
+    return circuit

@@ -1,0 +1,212 @@
+"""Mixed-state representation with exact non-unitary operations.
+
+The density-matrix backend is what makes the Quorum autoencoder's *partial reset*
+bottleneck exactly simulable: resetting a subset of entangled qubits produces a
+mixed state, which a single statevector cannot represent.  It is also the natural
+place to apply noise channels (depolarizing, thermal relaxation, readout error).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.quantum.operators import partial_trace, purity
+from repro.quantum.statevector import (
+    Statevector,
+    apply_unitary_to_tensor,
+    bitstring_from_index,
+)
+
+__all__ = ["DensityMatrix", "kraus_to_superoperator"]
+
+
+def kraus_to_superoperator(kraus_operators: Sequence[np.ndarray]) -> np.ndarray:
+    """Superoperator matrix ``S = sum_k K (x) conj(K)`` of a Kraus channel.
+
+    The result acts on the density matrix's combined (row, column) index pair:
+    with ``rho`` flattened row-major, ``vec(rho') = S @ vec(rho)``.
+    """
+    first = np.asarray(kraus_operators[0], dtype=complex)
+    dim = first.shape[0]
+    superop = np.zeros((dim * dim, dim * dim), dtype=complex)
+    for kraus in kraus_operators:
+        kraus = np.asarray(kraus, dtype=complex)
+        superop += np.kron(kraus, np.conj(kraus))
+    return superop
+
+
+class DensityMatrix:
+    """A density matrix over ``num_qubits`` qubits in little-endian ordering."""
+
+    def __init__(self, data: np.ndarray, num_qubits: Optional[int] = None):
+        matrix = np.asarray(data, dtype=complex)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("density matrix must be square")
+        size = matrix.shape[0]
+        inferred = int(np.log2(size)) if size else 0
+        if 2 ** inferred != size:
+            raise ValueError(f"density matrix dimension {size} is not a power of two")
+        if num_qubits is not None and num_qubits != inferred:
+            raise ValueError("num_qubits inconsistent with matrix dimension")
+        self.num_qubits = inferred
+        self.data = matrix
+
+    # ------------------------------------------------------------- constructors
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "DensityMatrix":
+        """|0...0><0...0|."""
+        dim = 2 ** num_qubits
+        matrix = np.zeros((dim, dim), dtype=complex)
+        matrix[0, 0] = 1.0
+        return cls(matrix)
+
+    @classmethod
+    def from_statevector(cls, statevector: Statevector) -> "DensityMatrix":
+        """Pure-state density matrix from a :class:`Statevector`."""
+        return cls(statevector.to_density_matrix())
+
+    # ---------------------------------------------------------------- evolution
+    def copy(self) -> "DensityMatrix":
+        """Deep copy."""
+        return DensityMatrix(self.data.copy())
+
+    def _tensor(self) -> np.ndarray:
+        return self.data.reshape((2,) * (2 * self.num_qubits))
+
+    def evolve_gate(self, gate: np.ndarray, qubits: Sequence[int]) -> "DensityMatrix":
+        """Apply a unitary gate: rho -> U rho U^dagger."""
+        tensor = self._tensor()
+        tensor = apply_unitary_to_tensor(tensor, gate, qubits, self.num_qubits,
+                                         axis_offset=0)
+        tensor = apply_unitary_to_tensor(tensor, np.conj(gate), qubits,
+                                         self.num_qubits,
+                                         axis_offset=self.num_qubits)
+        dim = 2 ** self.num_qubits
+        return DensityMatrix(tensor.reshape(dim, dim))
+
+    def apply_kraus(self, kraus_operators: Sequence[np.ndarray],
+                    qubits: Sequence[int]) -> "DensityMatrix":
+        """Apply a local channel given by Kraus operators acting on ``qubits``.
+
+        Channels with more than two Kraus operators are applied through their
+        superoperator form (one tensor contraction) instead of one contraction
+        pair per Kraus operator, which is substantially faster for e.g. two-qubit
+        depolarizing noise (16 Kraus operators).
+        """
+        if len(kraus_operators) > 2:
+            superop = kraus_to_superoperator(kraus_operators)
+            return self.apply_superoperator(superop, qubits)
+        tensor = self._tensor()
+        dim = 2 ** self.num_qubits
+        accumulated = np.zeros((dim, dim), dtype=complex)
+        for kraus in kraus_operators:
+            kraus = np.asarray(kraus, dtype=complex)
+            branch = apply_unitary_to_tensor(tensor, kraus, qubits, self.num_qubits,
+                                             axis_offset=0)
+            branch = apply_unitary_to_tensor(branch, np.conj(kraus), qubits,
+                                             self.num_qubits,
+                                             axis_offset=self.num_qubits)
+            accumulated += branch.reshape(dim, dim)
+        return DensityMatrix(accumulated)
+
+    def apply_superoperator(self, superoperator: np.ndarray,
+                            qubits: Sequence[int]) -> "DensityMatrix":
+        """Apply a channel in superoperator form to ``qubits``.
+
+        ``superoperator`` must be the ``d^2 x d^2`` matrix returned by
+        :func:`kraus_to_superoperator`, acting on the column-stacked (row index,
+        column index) pair of the local density matrix.
+        """
+        qubits = list(qubits)
+        k = len(qubits)
+        local_dim = 2 ** k
+        if superoperator.shape != (local_dim ** 2, local_dim ** 2):
+            raise ValueError("superoperator shape does not match the qubit count")
+        num_qubits = self.num_qubits
+        tensor = self._tensor()
+        # Combined (row, column) axes of the targeted qubits, most significant
+        # first to match the reshape convention used by kraus_to_superoperator.
+        row_axes = [num_qubits - 1 - q for q in reversed(qubits)]
+        col_axes = [2 * num_qubits - 1 - q for q in reversed(qubits)]
+        target_axes = row_axes + col_axes
+        superop_tensor = superoperator.reshape((2,) * (4 * k))
+        input_axes = list(range(2 * k, 4 * k))
+        moved = np.tensordot(superop_tensor, tensor, axes=(input_axes, target_axes))
+        moved = np.moveaxis(moved, range(2 * k), target_axes)
+        dim = 2 ** num_qubits
+        return DensityMatrix(moved.reshape(dim, dim))
+
+    def reset_qubit(self, qubit: int) -> "DensityMatrix":
+        """Non-selectively reset ``qubit`` to |0>.
+
+        Implemented as the channel with Kraus operators ``|0><0|`` and ``|0><1|``,
+        which is exactly what a measure-and-conditionally-flip reset realizes when
+        the outcome is discarded.
+        """
+        k0 = np.array([[1.0, 0.0], [0.0, 0.0]], dtype=complex)
+        k1 = np.array([[0.0, 1.0], [0.0, 0.0]], dtype=complex)
+        return self.apply_kraus([k0, k1], [qubit])
+
+    # -------------------------------------------------------------- measurement
+    def probabilities(self, qubits: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Computational-basis probabilities, optionally marginalized to ``qubits``."""
+        diagonal = np.real(np.diag(self.data)).copy()
+        diagonal[diagonal < 0.0] = 0.0
+        total = diagonal.sum()
+        if total > 0:
+            diagonal = diagonal / total
+        if qubits is None:
+            return diagonal
+        pure_like = Statevector(np.sqrt(diagonal))
+        return pure_like.probabilities(qubits)
+
+    def probability_of_outcome(self, qubit: int, outcome: int) -> float:
+        """Probability of measuring ``qubit`` in ``outcome``."""
+        probs = self.probabilities([qubit])
+        return float(probs[outcome])
+
+    def expectation_z(self, qubit: int) -> float:
+        """Expectation value of Pauli-Z on ``qubit``."""
+        probs = self.probabilities([qubit])
+        return float(probs[0] - probs[1])
+
+    def sample_counts(self, shots: int, rng: np.random.Generator,
+                      qubits: Optional[Sequence[int]] = None) -> Dict[str, int]:
+        """Sample measurement outcomes from the diagonal of the density matrix."""
+        probs = self.probabilities(qubits)
+        probs = probs / probs.sum()
+        num_bits = self.num_qubits if qubits is None else len(list(qubits))
+        outcomes = rng.multinomial(shots, probs)
+        counts: Dict[str, int] = {}
+        for index, count in enumerate(outcomes):
+            if count:
+                counts[bitstring_from_index(index, num_bits)] = int(count)
+        return counts
+
+    # --------------------------------------------------------------- reductions
+    def reduced(self, keep: Sequence[int]) -> "DensityMatrix":
+        """Partial trace keeping only ``keep`` (in the given significance order)."""
+        return DensityMatrix(partial_trace(self.data, keep, self.num_qubits))
+
+    def purity(self) -> float:
+        """Tr(rho^2)."""
+        return purity(self.data)
+
+    def trace(self) -> float:
+        """Real part of the trace (should be 1 for physical states)."""
+        return float(np.real(np.trace(self.data)))
+
+    def overlap(self, other: "DensityMatrix") -> float:
+        """Hilbert-Schmidt overlap Tr(rho sigma).
+
+        For a pure ``other`` this equals <psi|rho|psi>, which is exactly the
+        quantity estimated by a SWAP test between the two registers.
+        """
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("density matrices have different qubit counts")
+        return float(np.real(np.trace(self.data @ other.data)))
+
+    def __repr__(self) -> str:
+        return f"DensityMatrix(num_qubits={self.num_qubits})"

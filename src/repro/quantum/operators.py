@@ -1,0 +1,117 @@
+"""Operator utilities: partial trace, fidelity, purity, and Kraus application."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import linalg as sla
+
+__all__ = [
+    "partial_trace",
+    "purity",
+    "state_fidelity",
+    "process_is_trace_preserving",
+    "apply_kraus",
+    "is_density_matrix",
+]
+
+
+def partial_trace(rho: np.ndarray, keep: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Trace out every qubit not in ``keep``.
+
+    Parameters
+    ----------
+    rho:
+        ``2^n x 2^n`` density matrix in little-endian ordering.
+    keep:
+        Qubits to retain, in the significance order desired for the output (the
+        first listed qubit becomes the least-significant bit of the reduced matrix).
+    num_qubits:
+        Total number of qubits ``n``.
+    """
+    keep = list(keep)
+    dim_keep = 2 ** len(keep)
+    tensor = np.asarray(rho, dtype=complex).reshape((2,) * (2 * num_qubits))
+    # Axis layout: row axes 0..n-1 (axis n-1-q for qubit q), column axes n..2n-1.
+    traced = tensor
+    removed = 0
+    for qubit in sorted(set(range(num_qubits)) - set(keep), reverse=True):
+        remaining = num_qubits - removed
+        # Tracing in descending qubit order means every previously removed qubit
+        # occupied an axis *before* this one, shifting it left by ``removed``.
+        row_axis = (num_qubits - 1 - qubit) - removed
+        col_axis = row_axis + remaining
+        traced = np.trace(traced, axis1=row_axis, axis2=col_axis)
+        removed += 1
+    remaining_qubits = [q for q in range(num_qubits) if q in keep]
+    reduced = traced.reshape(dim_keep, dim_keep)
+    # ``remaining_qubits`` is ascending; reorder to match the requested ``keep``.
+    if remaining_qubits != keep:
+        perm = _qubit_permutation_matrix(remaining_qubits, keep)
+        reduced = perm @ reduced @ perm.conj().T
+    return reduced
+
+
+def _qubit_permutation_matrix(current: Sequence[int], target: Sequence[int]) -> np.ndarray:
+    """Permutation matrix mapping amplitudes ordered by ``current`` to ``target``."""
+    k = len(current)
+    dim = 2 ** k
+    perm = np.zeros((dim, dim), dtype=complex)
+    position_of = {qubit: pos for pos, qubit in enumerate(current)}
+    for index in range(dim):
+        bits = [(index >> pos) & 1 for pos in range(k)]  # bit of current[pos]
+        new_index = 0
+        for new_pos, qubit in enumerate(target):
+            new_index |= bits[position_of[qubit]] << new_pos
+        perm[new_index, index] = 1.0
+    return perm
+
+
+def purity(rho: np.ndarray) -> float:
+    """Tr(rho^2); 1 for pure states, 1/d for the maximally mixed state."""
+    rho = np.asarray(rho, dtype=complex)
+    return float(np.real(np.trace(rho @ rho)))
+
+
+def state_fidelity(rho: np.ndarray, sigma: np.ndarray) -> float:
+    """Uhlmann fidelity F(rho, sigma) = (Tr sqrt(sqrt(rho) sigma sqrt(rho)))^2."""
+    rho = np.asarray(rho, dtype=complex)
+    sigma = np.asarray(sigma, dtype=complex)
+    sqrt_rho = sla.sqrtm(rho)
+    inner = sla.sqrtm(sqrt_rho @ sigma @ sqrt_rho)
+    value = float(np.real(np.trace(inner)) ** 2)
+    return min(max(value, 0.0), 1.0)
+
+
+def apply_kraus(rho: np.ndarray, kraus_operators: Sequence[np.ndarray]) -> np.ndarray:
+    """Apply a channel given by Kraus operators to a density matrix."""
+    rho = np.asarray(rho, dtype=complex)
+    out = np.zeros_like(rho)
+    for kraus in kraus_operators:
+        out += kraus @ rho @ kraus.conj().T
+    return out
+
+
+def process_is_trace_preserving(kraus_operators: Sequence[np.ndarray],
+                                atol: float = 1e-9) -> bool:
+    """Check the completeness relation sum_k K_k^dagger K_k = I."""
+    first = np.asarray(kraus_operators[0], dtype=complex)
+    total = np.zeros_like(first)
+    for kraus in kraus_operators:
+        kraus = np.asarray(kraus, dtype=complex)
+        total = total + kraus.conj().T @ kraus
+    return bool(np.allclose(total, np.eye(total.shape[0]), atol=atol))
+
+
+def is_density_matrix(rho: np.ndarray, atol: float = 1e-8) -> bool:
+    """True when ``rho`` is Hermitian, unit trace, and positive semidefinite."""
+    rho = np.asarray(rho, dtype=complex)
+    if rho.ndim != 2 or rho.shape[0] != rho.shape[1]:
+        return False
+    if not np.allclose(rho, rho.conj().T, atol=atol):
+        return False
+    if abs(np.trace(rho).real - 1.0) > atol:
+        return False
+    eigenvalues = np.linalg.eigvalsh(rho)
+    return bool(eigenvalues.min() >= -atol)

@@ -1,0 +1,189 @@
+"""Pauli-string operators and expectation values.
+
+Provides the observable side of the substrate: tensor products of {I, X, Y, Z}
+addressed by label strings (e.g. ``"ZII"``), and real linear combinations of them
+(:class:`PauliSum`).  The QNN baseline's readout (<Z> on qubit 0) and several
+tests are expressed through these helpers.
+
+Label convention: the **rightmost** character of a label acts on qubit 0, matching
+the little-endian bitstring convention used everywhere else in the package (and
+Qiskit's `Pauli` labels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.statevector import Statevector
+
+__all__ = ["PauliString", "PauliSum", "single_qubit_pauli"]
+
+_SINGLE = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+_StateLike = Union[Statevector, DensityMatrix, np.ndarray]
+
+
+@dataclass(frozen=True)
+class PauliString:
+    """A tensor product of single-qubit Paulis, e.g. ``PauliString("ZXI")``."""
+
+    label: str
+
+    def __post_init__(self) -> None:
+        label = self.label.upper()
+        if not label or any(char not in _SINGLE for char in label):
+            raise ValueError(
+                f"invalid Pauli label {self.label!r}; use characters from I, X, Y, Z"
+            )
+        object.__setattr__(self, "label", label)
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the string acts on."""
+        return len(self.label)
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity factors."""
+        return sum(1 for char in self.label if char != "I")
+
+    def factor(self, qubit: int) -> str:
+        """The Pauli acting on ``qubit`` (rightmost label character = qubit 0)."""
+        if not 0 <= qubit < self.num_qubits:
+            raise IndexError(f"qubit {qubit} out of range")
+        return self.label[self.num_qubits - 1 - qubit]
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense ``2^n x 2^n`` matrix (little-endian qubit ordering)."""
+        matrix = np.array([[1.0]], dtype=complex)
+        # The leftmost label character is the most significant qubit, so building
+        # the Kronecker product left to right yields the little-endian matrix.
+        for char in self.label:
+            matrix = np.kron(matrix, _SINGLE[char])
+        return matrix
+
+    # -------------------------------------------------------------- algebra
+    def commutes_with(self, other: "PauliString") -> bool:
+        """True when the two strings commute (even number of anticommuting sites)."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("Pauli strings act on different qubit counts")
+        anticommuting = 0
+        for mine, theirs in zip(self.label, other.label):
+            if mine != "I" and theirs != "I" and mine != theirs:
+                anticommuting += 1
+        return anticommuting % 2 == 0
+
+    def compose(self, other: "PauliString") -> Tuple[complex, "PauliString"]:
+        """Product ``self @ other`` as (phase, PauliString)."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("Pauli strings act on different qubit counts")
+        phase: complex = 1.0
+        characters: List[str] = []
+        rules: Dict[Tuple[str, str], Tuple[complex, str]] = {
+            ("X", "Y"): (1j, "Z"), ("Y", "X"): (-1j, "Z"),
+            ("Y", "Z"): (1j, "X"), ("Z", "Y"): (-1j, "X"),
+            ("Z", "X"): (1j, "Y"), ("X", "Z"): (-1j, "Y"),
+        }
+        for mine, theirs in zip(self.label, other.label):
+            if mine == "I":
+                characters.append(theirs)
+            elif theirs == "I":
+                characters.append(mine)
+            elif mine == theirs:
+                characters.append("I")
+            else:
+                factor_phase, result = rules[(mine, theirs)]
+                phase *= factor_phase
+                characters.append(result)
+        return phase, PauliString("".join(characters))
+
+    # --------------------------------------------------------------- expectation
+    def expectation(self, state: _StateLike) -> float:
+        """Real expectation value <P> in ``state``.
+
+        ``state`` may be a :class:`Statevector`, a :class:`DensityMatrix`, or a
+        raw amplitude vector.
+        """
+        matrix = self.to_matrix()
+        if isinstance(state, Statevector):
+            vector = state.data
+        elif isinstance(state, DensityMatrix):
+            return float(np.real(np.trace(matrix @ state.data)))
+        else:
+            vector = np.asarray(state, dtype=complex).ravel()
+        if vector.shape[0] != matrix.shape[0]:
+            raise ValueError("state dimension does not match the Pauli string")
+        return float(np.real(np.vdot(vector, matrix @ vector)))
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def single_qubit_pauli(pauli: str, qubit: int, num_qubits: int) -> PauliString:
+    """A weight-one Pauli string, e.g. ``Z`` on qubit 0 of a 3-qubit register."""
+    pauli = pauli.upper()
+    if pauli not in _SINGLE or pauli == "I":
+        raise ValueError("pauli must be one of X, Y, Z")
+    if not 0 <= qubit < num_qubits:
+        raise ValueError("qubit out of range")
+    characters = ["I"] * num_qubits
+    characters[num_qubits - 1 - qubit] = pauli
+    return PauliString("".join(characters))
+
+
+class PauliSum:
+    """A real-weighted sum of Pauli strings (an observable)."""
+
+    def __init__(self, terms: Iterable[Tuple[float, Union[str, PauliString]]]):
+        parsed: List[Tuple[float, PauliString]] = []
+        for coefficient, label in terms:
+            string = label if isinstance(label, PauliString) else PauliString(label)
+            parsed.append((float(coefficient), string))
+        if not parsed:
+            raise ValueError("a PauliSum needs at least one term")
+        num_qubits = parsed[0][1].num_qubits
+        if any(string.num_qubits != num_qubits for _, string in parsed):
+            raise ValueError("all terms must act on the same number of qubits")
+        self.terms: Tuple[Tuple[float, PauliString], ...] = tuple(parsed)
+        self.num_qubits = num_qubits
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense matrix of the observable."""
+        dim = 2 ** self.num_qubits
+        matrix = np.zeros((dim, dim), dtype=complex)
+        for coefficient, string in self.terms:
+            matrix += coefficient * string.to_matrix()
+        return matrix
+
+    def expectation(self, state: _StateLike) -> float:
+        """Expectation value of the observable in ``state``."""
+        return float(sum(coefficient * string.expectation(state)
+                         for coefficient, string in self.terms))
+
+    def simplified(self) -> "PauliSum":
+        """Merge duplicate labels and drop zero coefficients."""
+        merged: Dict[str, float] = {}
+        for coefficient, string in self.terms:
+            merged[string.label] = merged.get(string.label, 0.0) + coefficient
+        remaining = [(value, label) for label, value in merged.items()
+                     if abs(value) > 1e-15]
+        if not remaining:
+            remaining = [(0.0, "I" * self.num_qubits)]
+        return PauliSum(remaining)
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __repr__(self) -> str:
+        body = " + ".join(f"{coeff:g}*{string}" for coeff, string in self.terms)
+        return f"PauliSum({body})"

@@ -1,0 +1,218 @@
+"""Pure-state representation and gate application kernels.
+
+States are stored as flat complex vectors of length ``2**n`` indexed in
+little-endian order: basis index ``i`` encodes qubit ``q``'s bit as
+``(i >> q) & 1``.  Internally, gate application reshapes to an ``n``-axis tensor
+where axis ``n - 1 - q`` corresponds to qubit ``q`` (numpy's reshape places the most
+significant bit on the first axis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Statevector",
+    "apply_unitary_to_tensor",
+    "expand_gate",
+    "bitstring_from_index",
+    "index_from_bitstring",
+]
+
+
+def bitstring_from_index(index: int, num_bits: int) -> str:
+    """Little-endian bitstring for ``index`` (qubit 0 is the rightmost character)."""
+    return format(index, f"0{num_bits}b")
+
+
+def index_from_bitstring(bitstring: str) -> int:
+    """Inverse of :func:`bitstring_from_index`."""
+    return int(bitstring, 2)
+
+
+def apply_unitary_to_tensor(tensor: np.ndarray, gate: np.ndarray,
+                            qubits: Sequence[int], num_qubits: int,
+                            axis_offset: int = 0) -> np.ndarray:
+    """Apply ``gate`` to the tensor representation of a state.
+
+    Parameters
+    ----------
+    tensor:
+        State tensor with at least ``num_qubits`` axes of dimension 2.  For a
+        statevector the tensor has exactly ``num_qubits`` axes; for a density matrix
+        the row and column indices are handled with two calls using
+        ``axis_offset``.
+    gate:
+        ``2^k x 2^k`` unitary whose row/column index treats the first listed qubit
+        as the least-significant bit.
+    qubits:
+        Target qubits (little-endian significance order).
+    num_qubits:
+        Total number of qubits represented by the axes block.
+    axis_offset:
+        Offset of the axes block inside ``tensor`` (0 for row indices, ``num_qubits``
+        for the column indices of a density matrix).
+    """
+    k = len(qubits)
+    gate_tensor = np.asarray(gate, dtype=complex).reshape((2,) * (2 * k))
+    # Contract the gate's input axes with the state axes of the target qubits.  The
+    # gate tensor's input axes are ordered most-significant-first, i.e. they
+    # correspond to reversed(qubits).
+    input_axes = list(range(k, 2 * k))
+    state_axes = [axis_offset + num_qubits - 1 - q for q in reversed(qubits)]
+    moved = np.tensordot(gate_tensor, tensor, axes=(input_axes, state_axes))
+    # tensordot puts the gate's output axes first; move them back into place.
+    return np.moveaxis(moved, range(k), state_axes)
+
+
+def expand_gate(gate: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Embed a k-qubit gate into the full ``2^n x 2^n`` unitary."""
+    dim = 2 ** num_qubits
+    identity = np.eye(dim, dtype=complex)
+    columns = identity.reshape((dim,) + (2,) * num_qubits)
+    transformed = np.empty_like(columns)
+    for col in range(dim):
+        transformed[col] = apply_unitary_to_tensor(
+            columns[col], gate, qubits, num_qubits
+        )
+    # Row of the full matrix indexes the output state; we built U e_col per column.
+    return transformed.reshape(dim, dim).T.copy()
+
+
+class Statevector:
+    """A pure quantum state with convenience methods used across the package."""
+
+    def __init__(self, data: Sequence[complex], num_qubits: Optional[int] = None):
+        vector = np.asarray(data, dtype=complex).ravel()
+        size = vector.shape[0]
+        inferred = int(np.log2(size)) if size else 0
+        if 2 ** inferred != size:
+            raise ValueError(f"statevector length {size} is not a power of two")
+        if num_qubits is not None and num_qubits != inferred:
+            raise ValueError(
+                f"num_qubits={num_qubits} inconsistent with vector of length {size}"
+            )
+        self.num_qubits = inferred
+        self.data = vector
+
+    # ------------------------------------------------------------- constructors
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        """The all-zeros computational basis state |0...0>."""
+        vector = np.zeros(2 ** num_qubits, dtype=complex)
+        vector[0] = 1.0
+        return cls(vector)
+
+    @classmethod
+    def from_amplitudes(cls, amplitudes: Sequence[complex]) -> "Statevector":
+        """Build a state from (possibly unnormalized) amplitudes."""
+        vector = np.asarray(amplitudes, dtype=complex).ravel()
+        norm = np.linalg.norm(vector)
+        if norm < 1e-15:
+            raise ValueError("cannot normalize the zero vector")
+        return cls(vector / norm)
+
+    # -------------------------------------------------------------- operations
+    def copy(self) -> "Statevector":
+        """Deep copy."""
+        return Statevector(self.data.copy())
+
+    def tensor(self) -> np.ndarray:
+        """Tensor view with axis ``n-1-q`` for qubit ``q``."""
+        return self.data.reshape((2,) * self.num_qubits)
+
+    def evolve_gate(self, gate: np.ndarray, qubits: Sequence[int]) -> "Statevector":
+        """Return the state after applying ``gate`` to ``qubits``."""
+        tensor = apply_unitary_to_tensor(
+            self.tensor(), gate, qubits, self.num_qubits
+        )
+        return Statevector(tensor.reshape(-1))
+
+    def probabilities(self, qubits: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Measurement probabilities, optionally marginalized onto ``qubits``.
+
+        The returned array is indexed little-endian over the requested qubits in
+        the order given.
+        """
+        probs = np.abs(self.data) ** 2
+        if qubits is None:
+            return probs
+        qubits = list(qubits)
+        tensor = probs.reshape((2,) * self.num_qubits)
+        keep_axes = [self.num_qubits - 1 - q for q in qubits]
+        drop_axes = tuple(
+            axis for axis in range(self.num_qubits) if axis not in keep_axes
+        )
+        marginal = tensor.sum(axis=drop_axes) if drop_axes else tensor
+        # ``marginal`` axes are ordered by ascending original axis index, i.e. by
+        # descending qubit index; reorder to match the requested qubit order.
+        remaining_axes = [axis for axis in range(self.num_qubits) if axis in keep_axes]
+        order = [remaining_axes.index(axis) for axis in keep_axes]
+        marginal = np.transpose(marginal, order)
+        # Requested order maps first qubit -> most significant axis of the result;
+        # flatten so that the first listed qubit is the least significant bit.
+        flat = marginal.reshape(-1)
+        k = len(qubits)
+        out = np.empty_like(flat)
+        for idx in range(flat.shape[0]):
+            bits = [(idx >> (k - 1 - pos)) & 1 for pos in range(k)]
+            little = sum(bit << pos for pos, bit in enumerate(bits))
+            out[little] = flat[idx]
+        return out
+
+    def probability_of_outcome(self, qubit: int, outcome: int) -> float:
+        """Probability of measuring ``qubit`` in ``outcome`` (0 or 1)."""
+        probs = self.probabilities([qubit])
+        return float(probs[outcome])
+
+    def expectation_z(self, qubit: int) -> float:
+        """Expectation value of Pauli-Z on ``qubit``."""
+        probs = self.probabilities([qubit])
+        return float(probs[0] - probs[1])
+
+    def inner(self, other: "Statevector") -> complex:
+        """Inner product <self|other>."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("statevectors have different qubit counts")
+        return complex(np.vdot(self.data, other.data))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """Squared overlap |<self|other>|^2."""
+        return float(abs(self.inner(other)) ** 2)
+
+    def to_density_matrix(self) -> np.ndarray:
+        """Return the pure-state density matrix |psi><psi|."""
+        return np.outer(self.data, self.data.conj())
+
+    def sample_counts(self, shots: int, rng: np.random.Generator,
+                      qubits: Optional[Sequence[int]] = None) -> Dict[str, int]:
+        """Sample measurement outcomes.
+
+        Parameters
+        ----------
+        shots:
+            Number of samples.
+        rng:
+            Random generator to draw from.
+        qubits:
+            Qubits to measure; all qubits by default.  Returned bitstring keys are
+            little-endian (first listed qubit is the rightmost character).
+        """
+        probs = self.probabilities(qubits)
+        probs = probs / probs.sum()
+        num_bits = self.num_qubits if qubits is None else len(list(qubits))
+        outcomes = rng.multinomial(shots, probs)
+        counts: Dict[str, int] = {}
+        for index, count in enumerate(outcomes):
+            if count:
+                counts[bitstring_from_index(index, num_bits)] = int(count)
+        return counts
+
+    def is_normalized(self, atol: float = 1e-9) -> bool:
+        """True when the 2-norm of the amplitudes is 1 within ``atol``."""
+        return bool(abs(np.linalg.norm(self.data) - 1.0) <= atol)
+
+    def __repr__(self) -> str:
+        return f"Statevector(num_qubits={self.num_qubits})"

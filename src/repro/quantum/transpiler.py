@@ -1,0 +1,385 @@
+"""Basis decomposition and peephole optimization passes.
+
+The Quorum circuits are written in terms of amplitude initialization, RX/RZ
+rotations, CX, H, and CSWAP (for the SWAP test).  Real devices (and realistic
+noise accounting) require lowering to a restricted basis such as IBM's
+``{rz, sx, x, cx}``.  This module provides that lowering plus a handful of cheap
+optimization passes, all of which are verified unitary-equivalent (up to global
+phase) in the test suite.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.quantum.circuit import Instruction, QuantumCircuit
+
+__all__ = [
+    "euler_zyz_angles",
+    "decompose_single_qubit",
+    "decompose_instruction",
+    "transpile",
+    "merge_adjacent_rotations",
+    "cancel_adjacent_self_inverse",
+    "drop_trivial_gates",
+    "unitaries_equivalent",
+]
+
+_TWO_PI = 2.0 * math.pi
+
+#: Gates that square to the identity (used by the cancellation pass).
+_SELF_INVERSE = {"x", "y", "z", "h", "cx", "cz", "cy", "swap", "ccx", "cswap", "id"}
+
+#: Rotation gates whose adjacent instances can be merged by summing angles.
+_MERGEABLE_ROTATIONS = {"rx", "ry", "rz", "p", "rzz", "rxx", "crx", "cry", "crz", "cp"}
+
+SUPPORTED_BASES: Tuple[Tuple[str, ...], ...] = (
+    ("rz", "sx", "x", "cx"),
+    ("rz", "rx", "cx"),
+)
+
+
+def euler_zyz_angles(unitary: np.ndarray) -> Tuple[float, float, float, float]:
+    """Decompose a 2x2 unitary as ``e^{i alpha} RZ(a) RY(b) RZ(c)``.
+
+    Returns ``(alpha, a, b, c)``.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    if unitary.shape != (2, 2):
+        raise ValueError("expected a single-qubit unitary")
+    determinant = np.linalg.det(unitary)
+    alpha = cmath.phase(determinant) / 2.0
+    special = unitary * cmath.exp(-1.0j * alpha)
+    b = 2.0 * math.atan2(abs(special[1, 0]), abs(special[0, 0]))
+    if abs(special[0, 0]) < 1e-12:
+        # cos(b/2) == 0: only a - c is determined.
+        a = 2.0 * cmath.phase(special[1, 0])
+        c = 0.0
+    elif abs(special[1, 0]) < 1e-12:
+        # sin(b/2) == 0: only a + c is determined.
+        a = 2.0 * cmath.phase(special[1, 1])
+        c = 0.0
+    else:
+        plus = 2.0 * cmath.phase(special[1, 1])
+        minus = 2.0 * cmath.phase(special[1, 0])
+        a = (plus + minus) / 2.0
+        c = (plus - minus) / 2.0
+    return alpha, a, b, c
+
+
+def decompose_single_qubit(unitary: np.ndarray, qubit: int,
+                           basis: Sequence[str]) -> List[Instruction]:
+    """Decompose a single-qubit unitary into the requested basis.
+
+    Global phase is discarded (it never affects measurement statistics).
+    """
+    basis = tuple(basis)
+    _, a, b, c = euler_zyz_angles(unitary)
+    instructions: List[Instruction] = []
+    if "rx" in basis:
+        # RY(b) = RZ(pi/2) RX(b) RZ(-pi/2)  =>  U ~ RZ(a + pi/2) RX(b) RZ(c - pi/2).
+        angles = [("rz", a + math.pi / 2.0), ("rx", b), ("rz", c - math.pi / 2.0)]
+    elif "sx" in basis:
+        # ZXZXZ form: U ~ RZ(a) SX RZ(pi - b) SX RZ(pi + c), applied right-to-left.
+        angles = [("rz", a), ("sx", None), ("rz", math.pi - b), ("sx", None),
+                  ("rz", math.pi + c)]
+    else:
+        raise ValueError(f"unsupported single-qubit basis {basis}")
+    # The angle list above is written left-to-right as matrix products (leftmost is
+    # applied last); circuits list instructions in application order, so reverse.
+    for name, angle in reversed(angles):
+        if angle is None:
+            instructions.append(Instruction(name=name, qubits=(qubit,)))
+            continue
+        angle = _wrap_angle(angle)
+        if abs(angle) < 1e-12:
+            continue
+        instructions.append(Instruction(name=name, qubits=(qubit,), params=(angle,)))
+    return instructions
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap an angle into (-pi, pi] for canonical comparison and pruning."""
+    wrapped = math.fmod(angle, _TWO_PI)
+    if wrapped > math.pi:
+        wrapped -= _TWO_PI
+    elif wrapped <= -math.pi:
+        wrapped += _TWO_PI
+    return wrapped
+
+
+#: Controlled single-qubit gates and the matrix applied to the target.
+_CONTROLLED_BASE = {
+    "cz": lambda params: np.array([[1, 0], [0, -1]], dtype=complex),
+    "cy": lambda params: np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "ch": lambda params: (1.0 / math.sqrt(2.0)) * np.array([[1, 1], [1, -1]],
+                                                           dtype=complex),
+    "crx": lambda params: _rotation_matrix("rx", params[0]),
+    "cry": lambda params: _rotation_matrix("ry", params[0]),
+    "crz": lambda params: _rotation_matrix("rz", params[0]),
+    "cp": lambda params: np.array([[1, 0], [0, cmath.exp(1j * params[0])]],
+                                  dtype=complex),
+}
+
+
+def _rotation_matrix(name: str, theta: float) -> np.ndarray:
+    from repro.quantum.gates import rx_matrix, ry_matrix, rz_matrix
+
+    return {"rx": rx_matrix, "ry": ry_matrix, "rz": rz_matrix}[name](theta)
+
+
+def controlled_unitary_decomposition(base_unitary: np.ndarray, control: int,
+                                     target: int) -> List[Instruction]:
+    """ABC decomposition of a controlled single-qubit unitary.
+
+    Writes ``U = e^{i alpha} Rz(a) Ry(b) Rz(c)`` and emits
+    ``C; CX; B; CX; A; P(alpha) on control`` with ``A B C = I`` and
+    ``A X B X C = U`` (up to the tracked phase), the textbook construction.
+    """
+    alpha, a, b, c = euler_zyz_angles(base_unitary)
+    sequence: List[Instruction] = []
+
+    def gate(gate_name: str, qubits: Tuple[int, ...], *params: float) -> None:
+        sequence.append(Instruction(name=gate_name, qubits=qubits,
+                                     params=tuple(params)))
+
+    # C = Rz((c - a) / 2)
+    gate("rz", (target,), (c - a) / 2.0)
+    gate("cx", (control, target))
+    # B = Ry(-b / 2) Rz(-(a + c) / 2)   (rightmost factor applied first)
+    gate("rz", (target,), -(a + c) / 2.0)
+    gate("ry", (target,), -b / 2.0)
+    gate("cx", (control, target))
+    # A = Rz(a) Ry(b / 2)
+    gate("ry", (target,), b / 2.0)
+    gate("rz", (target,), a)
+    if abs(_wrap_angle(alpha)) > 1e-12:
+        gate("p", (control,), alpha)
+    return sequence
+
+
+def _two_qubit_decomposition(instruction: Instruction) -> List[Instruction]:
+    """Rewrite standard two-qubit gates in terms of {1q gates, cx}."""
+    name = instruction.name
+    gates: List[Instruction] = []
+
+    def gate(gate_name: str, qubits: Tuple[int, ...], *params: float) -> None:
+        gates.append(Instruction(name=gate_name, qubits=qubits,
+                                 params=tuple(params)))
+
+    if name == "cx":
+        return [instruction]
+    if name in _CONTROLLED_BASE:
+        control, target = instruction.qubits
+        base = _CONTROLLED_BASE[name](instruction.params)
+        return controlled_unitary_decomposition(base, control, target)
+    if name == "swap":
+        qubit_a, qubit_b = instruction.qubits
+        gate("cx", (qubit_a, qubit_b))
+        gate("cx", (qubit_b, qubit_a))
+        gate("cx", (qubit_a, qubit_b))
+        return gates
+    if name == "rzz":
+        (theta,) = instruction.params
+        qubit_a, qubit_b = instruction.qubits
+        gate("cx", (qubit_a, qubit_b))
+        gate("rz", (qubit_b,), theta)
+        gate("cx", (qubit_a, qubit_b))
+        return gates
+    if name == "rxx":
+        (theta,) = instruction.params
+        qubit_a, qubit_b = instruction.qubits
+        gate("h", (qubit_a,))
+        gate("h", (qubit_b,))
+        gate("cx", (qubit_a, qubit_b))
+        gate("rz", (qubit_b,), theta)
+        gate("cx", (qubit_a, qubit_b))
+        gate("h", (qubit_a,))
+        gate("h", (qubit_b,))
+        return gates
+    if name == "unitary":
+        raise ValueError("generic two-qubit unitaries require a KAK decomposition, "
+                         "which is out of scope; build the gate from the standard set")
+    raise ValueError(f"no decomposition registered for two-qubit gate '{name}'")
+
+
+def _three_qubit_decomposition(instruction: Instruction) -> List[Instruction]:
+    """Rewrite Toffoli / Fredkin in terms of {1q gates, cx}."""
+    name = instruction.name
+    gates: List[Instruction] = []
+
+    def gate(gate_name: str, qubits: Tuple[int, ...], *params: float) -> None:
+        gates.append(Instruction(name=gate_name, qubits=qubits,
+                                 params=tuple(params)))
+
+    if name == "ccx":
+        control_a, control_b, target = instruction.qubits
+        gate("h", (target,))
+        gate("cx", (control_b, target))
+        gate("tdg", (target,))
+        gate("cx", (control_a, target))
+        gate("t", (target,))
+        gate("cx", (control_b, target))
+        gate("tdg", (target,))
+        gate("cx", (control_a, target))
+        gate("t", (control_b,))
+        gate("t", (target,))
+        gate("h", (target,))
+        gate("cx", (control_a, control_b))
+        gate("t", (control_a,))
+        gate("tdg", (control_b,))
+        gate("cx", (control_a, control_b))
+        return gates
+    if name == "cswap":
+        control, target_a, target_b = instruction.qubits
+        gate("cx", (target_b, target_a))
+        gates.extend(
+            _three_qubit_decomposition(
+                Instruction(name="ccx", qubits=(control, target_a, target_b))
+            )
+        )
+        gate("cx", (target_b, target_a))
+        return gates
+    raise ValueError(f"no decomposition registered for three-qubit gate '{name}'")
+
+
+def decompose_instruction(instruction: Instruction,
+                          basis: Sequence[str]) -> List[Instruction]:
+    """Lower one instruction into the basis (non-unitary instructions pass through)."""
+    basis = tuple(name.lower() for name in basis)
+    if not instruction.is_unitary or instruction.name == "barrier":
+        return [instruction]
+    if instruction.name in basis and instruction.name != "unitary":
+        return [instruction]
+    arity = len(instruction.qubits)
+    if arity == 1:
+        return decompose_single_qubit(instruction.matrix_or_standard(),
+                                      instruction.qubits[0], basis)
+    if arity == 2:
+        intermediate = _two_qubit_decomposition(instruction)
+    elif arity == 3:
+        intermediate = _three_qubit_decomposition(instruction)
+    else:
+        raise ValueError(
+            f"cannot decompose {arity}-qubit instruction '{instruction.name}'"
+        )
+    lowered: List[Instruction] = []
+    for part in intermediate:
+        lowered.extend(decompose_instruction(part, basis))
+    return lowered
+
+
+# --------------------------------------------------------------------- passes
+def drop_trivial_gates(instructions: List[Instruction],
+                       atol: float = 1e-12) -> List[Instruction]:
+    """Remove identity gates and rotations with (wrapped) angle ~ 0."""
+    kept: List[Instruction] = []
+    for instruction in instructions:
+        if instruction.name == "id":
+            continue
+        if instruction.name in _MERGEABLE_ROTATIONS:
+            angle = _wrap_angle(instruction.params[0])
+            if abs(angle) <= atol:
+                continue
+        kept.append(instruction)
+    return kept
+
+
+def merge_adjacent_rotations(instructions: List[Instruction]) -> List[Instruction]:
+    """Merge consecutive same-axis rotations acting on the same qubits."""
+    merged: List[Instruction] = []
+    for instruction in instructions:
+        if (merged
+                and instruction.name in _MERGEABLE_ROTATIONS
+                and merged[-1].name == instruction.name
+                and merged[-1].qubits == instruction.qubits):
+            combined = _wrap_angle(merged[-1].params[0] + instruction.params[0])
+            merged.pop()
+            if abs(combined) > 1e-12:
+                merged.append(Instruction(name=instruction.name,
+                                          qubits=instruction.qubits,
+                                          params=(combined,)))
+            continue
+        merged.append(instruction)
+    return merged
+
+
+def cancel_adjacent_self_inverse(instructions: List[Instruction]) -> List[Instruction]:
+    """Cancel immediately repeated self-inverse gates (e.g. back-to-back CX)."""
+    result: List[Instruction] = []
+    for instruction in instructions:
+        if (result
+                and instruction.name in _SELF_INVERSE
+                and result[-1].name == instruction.name
+                and result[-1].qubits == instruction.qubits):
+            result.pop()
+            continue
+        result.append(instruction)
+    return result
+
+
+def _commutes_past(instruction: Instruction, blocker: Instruction) -> bool:
+    """Conservative commutation check: disjoint qubit supports always commute."""
+    return not set(instruction.qubits) & set(blocker.qubits)
+
+
+def _optimize(instructions: List[Instruction], rounds: int = 3) -> List[Instruction]:
+    current = list(instructions)
+    for _ in range(rounds):
+        before = len(current)
+        current = drop_trivial_gates(current)
+        current = merge_adjacent_rotations(current)
+        current = cancel_adjacent_self_inverse(current)
+        if len(current) == before:
+            break
+    return current
+
+
+def transpile(circuit: QuantumCircuit, basis: Sequence[str] = ("rz", "sx", "x", "cx"),
+              optimization_level: int = 1) -> QuantumCircuit:
+    """Lower ``circuit`` to ``basis`` and optionally run peephole optimization.
+
+    Parameters
+    ----------
+    circuit:
+        Input circuit.  ``initialize``, ``reset``, ``measure`` and barriers are kept
+        verbatim (state preparation synthesis lives in :mod:`repro.encoding`).
+    basis:
+        Target basis gate set; one of :data:`SUPPORTED_BASES` (order irrelevant).
+    optimization_level:
+        0 = decomposition only, 1 = peephole passes after decomposition.
+    """
+    basis_set = tuple(sorted(name.lower() for name in basis))
+    if basis_set not in {tuple(sorted(b)) for b in SUPPORTED_BASES}:
+        raise ValueError(f"unsupported basis {basis}; pick one of {SUPPORTED_BASES}")
+    lowered: List[Instruction] = []
+    for instruction in circuit.instructions:
+        lowered.extend(decompose_instruction(instruction, basis))
+    if optimization_level >= 1:
+        lowered = _optimize(lowered)
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
+                         name=f"{circuit.name}_transpiled")
+    for instruction in lowered:
+        out.append(instruction)
+    return out
+
+
+def unitaries_equivalent(first: np.ndarray, second: np.ndarray,
+                         atol: float = 1e-8) -> bool:
+    """Check equality of two unitaries up to a global phase."""
+    first = np.asarray(first, dtype=complex)
+    second = np.asarray(second, dtype=complex)
+    if first.shape != second.shape:
+        return False
+    # Find the largest-magnitude entry of ``first`` to fix the relative phase.
+    index = np.unravel_index(np.argmax(np.abs(first)), first.shape)
+    if abs(second[index]) < 1e-12:
+        return False
+    phase = first[index] / second[index]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(first, phase * second, atol=atol))

@@ -1,0 +1,142 @@
+"""Plain-text circuit drawing.
+
+A small renderer producing fixed-width diagrams of :class:`QuantumCircuit`
+objects, e.g. for the examples and for debugging ansatz construction::
+
+    q0: ─[RX(1.05)]─[RZ(0.52)]─●────────
+    q1: ────────────────────────X────●───
+    q2: ─────────────────────────────X───
+
+The output is intentionally simple (one column per instruction); it is not meant
+to compete with Qiskit's drawer, only to make circuits inspectable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.quantum.circuit import Instruction, QuantumCircuit
+
+__all__ = ["draw_circuit"]
+
+_CONTROL = "●"
+_TARGET_X = "X"
+_SWAP = "x"
+
+
+def _gate_label(instruction: Instruction) -> str:
+    name = instruction.name.upper()
+    if instruction.params:
+        params = ",".join(f"{value:.2f}" for value in instruction.params)
+        return f"[{name}({params})]"
+    return f"[{name}]"
+
+
+def _column_for(instruction: Instruction, num_qubits: int) -> List[str]:
+    """Per-qubit cell strings for one instruction column."""
+    cells = ["" for _ in range(num_qubits)]
+    name = instruction.name
+    qubits = instruction.qubits
+    if name == "barrier":
+        for qubit in qubits:
+            cells[qubit] = "░"
+        return cells
+    if name == "measure":
+        cells[qubits[0]] = f"[M->c{instruction.clbits[0]}]"
+        return cells
+    if name == "reset":
+        cells[qubits[0]] = "[|0>]"
+        return cells
+    if name == "initialize":
+        for qubit in qubits:
+            cells[qubit] = "[INIT]"
+        return cells
+    if name in {"cx", "cy", "cz", "ch", "crx", "cry", "crz", "cp"}:
+        control, target = qubits
+        cells[control] = _CONTROL
+        label = name[1:].upper()
+        if instruction.params:
+            label += f"({instruction.params[0]:.2f})"
+        cells[target] = _TARGET_X if name == "cx" else f"[{label}]"
+        return cells
+    if name == "swap":
+        cells[qubits[0]] = _SWAP
+        cells[qubits[1]] = _SWAP
+        return cells
+    if name == "cswap":
+        cells[qubits[0]] = _CONTROL
+        cells[qubits[1]] = _SWAP
+        cells[qubits[2]] = _SWAP
+        return cells
+    if name == "ccx":
+        cells[qubits[0]] = _CONTROL
+        cells[qubits[1]] = _CONTROL
+        cells[qubits[2]] = _TARGET_X
+        return cells
+    # Generic single- or multi-qubit boxed gate.
+    label = _gate_label(instruction)
+    for qubit in qubits:
+        cells[qubit] = label
+    return cells
+
+
+def draw_circuit(circuit: QuantumCircuit, max_width: int = 120) -> str:
+    """Render ``circuit`` as fixed-width text.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to draw.
+    max_width:
+        Wrap the diagram into stacked blocks at roughly this character width.
+    """
+    num_qubits = circuit.num_qubits
+    columns: List[List[str]] = [
+        _column_for(instruction, num_qubits) for instruction in circuit.instructions
+    ]
+    if not columns:
+        return "\n".join(f"q{qubit}: ───" for qubit in range(num_qubits))
+
+    widths = []
+    for column in columns:
+        longest = max((len(cell) for cell in column if cell), default=1)
+        widths.append(longest + 2)
+
+    # Vertical connector positions for multi-qubit columns.
+    spans = []
+    for instruction in circuit.instructions:
+        touched = instruction.qubits
+        spans.append((min(touched), max(touched)) if len(touched) > 1 else None)
+
+    prefix_width = len(f"q{num_qubits - 1}: ")
+    blocks: List[List[str]] = []
+    current: List[str] = [f"q{qubit}: ".ljust(prefix_width) for qubit in range(num_qubits)]
+    current_width = prefix_width
+
+    def flush() -> None:
+        nonlocal current, current_width
+        blocks.append(current)
+        current = [f"q{qubit}: ".ljust(prefix_width) for qubit in range(num_qubits)]
+        current_width = prefix_width
+
+    for column, width, span in zip(columns, widths, spans):
+        if current_width + width > max_width and current_width > prefix_width:
+            flush()
+        for qubit in range(num_qubits):
+            cell = column[qubit]
+            if not cell and span is not None and span[0] < qubit < span[1]:
+                cell = "│"
+            filler = "─" if cell != "│" else "│"
+            rendered = cell.center(width, "─") if cell != "│" else "│".center(width, "─")
+            if not cell:
+                rendered = "─" * width
+            current[qubit] += rendered
+        current_width += width
+    flush()
+
+    lines: List[str] = []
+    for index, block in enumerate(blocks):
+        if index:
+            lines.append("")
+        lines.extend(block)
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Shared utilities: result serialization, timing, and seed management."""
+
+from repro.utils.serialization import (
+    dataclass_to_dict,
+    load_json,
+    save_json,
+    to_jsonable,
+)
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.seeding import spawn_seeds, stable_hash_seed
+
+__all__ = [
+    "to_jsonable",
+    "dataclass_to_dict",
+    "save_json",
+    "load_json",
+    "Stopwatch",
+    "timed",
+    "spawn_seeds",
+    "stable_hash_seed",
+]

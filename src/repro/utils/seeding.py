@@ -1,0 +1,35 @@
+"""Deterministic seed management shared by detectors, baselines, and experiments."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["spawn_seeds", "stable_hash_seed"]
+
+
+def spawn_seeds(master_seed: Optional[int], count: int) -> List[int]:
+    """Derive ``count`` independent child seeds from ``master_seed``.
+
+    Uses numpy's ``SeedSequence`` spawning, so children are statistically
+    independent and the mapping is stable across platforms and numpy versions.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    sequence = np.random.SeedSequence(master_seed)
+    return [int(child.generate_state(1)[0]) for child in sequence.spawn(count)]
+
+
+def stable_hash_seed(*parts: object, bits: int = 32) -> int:
+    """A process-independent integer seed derived from arbitrary labels.
+
+    Useful for giving every (dataset, experiment, variant) combination its own
+    reproducible randomness without hand-maintaining seed tables.
+    """
+    if not 1 <= bits <= 63:
+        raise ValueError("bits must be between 1 and 63")
+    text = "\x1f".join(str(part) for part in parts)
+    digest = hashlib.blake2s(text.encode("utf-8"), digest_size=8).hexdigest()
+    return int(digest, 16) % (1 << bits)

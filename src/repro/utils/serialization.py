@@ -1,0 +1,76 @@
+"""JSON serialization for experiment results and run artifacts.
+
+Experiment runners return frozen dataclasses holding numpy arrays, tuples, and
+nested dataclasses; :func:`to_jsonable` converts any of those into plain JSON
+types so results can be archived next to ``EXPERIMENTS.md`` and reloaded later.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+__all__ = ["to_jsonable", "dataclass_to_dict", "save_json", "load_json"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serializable Python types.
+
+    Supports dataclasses, numpy scalars/arrays, mappings, sets, and sequences.
+    Unknown objects fall back to their ``repr`` (results should stay inspectable
+    rather than raising deep inside a sweep).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: to_jsonable(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, Path):
+        return str(value)
+    return repr(value)
+
+
+def dataclass_to_dict(instance: Any) -> Dict[str, Any]:
+    """JSON-ready dictionary for a dataclass instance.
+
+    Raises
+    ------
+    TypeError
+        If ``instance`` is not a dataclass instance.
+    """
+    if not dataclasses.is_dataclass(instance) or isinstance(instance, type):
+        raise TypeError("expected a dataclass instance")
+    return to_jsonable(instance)
+
+
+def save_json(value: Any, path: Union[str, Path], indent: int = 2) -> Path:
+    """Serialize ``value`` (via :func:`to_jsonable`) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(value), handle, indent=indent, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Load a JSON document written by :func:`save_json`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,57 @@
+"""Lightweight wall-clock timing helpers for examples and experiment runners."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+__all__ = ["Stopwatch", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock durations.
+
+    Examples
+    --------
+    >>> watch = Stopwatch()
+    >>> with watch.measure("encode"):
+    ...     do_work()          # doctest: +SKIP
+    >>> watch.total_seconds()  # doctest: +SKIP
+    """
+
+    durations: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        """Context manager adding the elapsed time under ``label``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[label] = self.durations.get(label, 0.0) + elapsed
+
+    def seconds(self, label: str) -> float:
+        """Accumulated seconds for ``label`` (0 when never measured)."""
+        return self.durations.get(label, 0.0)
+
+    def total_seconds(self) -> float:
+        """Sum of every measured duration."""
+        return sum(self.durations.values())
+
+    def summary(self) -> Dict[str, float]:
+        """Copy of the label -> seconds mapping, rounded for display."""
+        return {label: round(value, 6) for label, value in self.durations.items()}
+
+
+@contextmanager
+def timed(label: str = "block", printer=None) -> Iterator[Stopwatch]:
+    """Standalone timing context; prints the duration when ``printer`` is given."""
+    watch = Stopwatch()
+    with watch.measure(label):
+        yield watch
+    if printer is not None:
+        printer(f"{label}: {watch.seconds(label):.3f}s")

@@ -1,0 +1,116 @@
+"""Tests for the SWAP test construction and readout helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.swap_test import (
+    append_swap_test,
+    overlap_from_counts,
+    overlap_from_p1,
+    p1_from_counts,
+    swap_test_circuit,
+)
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.simulator import DensityMatrixSimulator
+
+
+def _encode_pair(theta_a, theta_b, register_size=1):
+    """Circuit with two single-qubit registers in RY(theta) states plus ancilla 0."""
+    circuit = QuantumCircuit(2 * register_size + 1, 1)
+    circuit.ry(theta_a, 1)
+    circuit.ry(theta_b, 2)
+    return circuit
+
+
+class TestSwapTestConstruction:
+    def test_standalone_circuit_structure(self):
+        circuit = swap_test_circuit(3)
+        counts = circuit.count_ops()
+        assert counts["h"] == 2
+        assert counts["cswap"] == 3
+        assert counts["measure"] == 1
+
+    def test_register_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            swap_test_circuit(0)
+
+    def test_register_length_mismatch_raises(self):
+        circuit = QuantumCircuit(4)
+        with pytest.raises(ValueError):
+            append_swap_test(circuit, 0, [1], [2, 3])
+
+    def test_ancilla_cannot_be_in_register(self):
+        circuit = QuantumCircuit(3)
+        with pytest.raises(ValueError):
+            append_swap_test(circuit, 1, [1], [2])
+
+    def test_overlapping_registers_raise(self):
+        circuit = QuantumCircuit(3)
+        with pytest.raises(ValueError):
+            append_swap_test(circuit, 0, [1], [1])
+
+    def test_measure_false_skips_measurement(self):
+        circuit = QuantumCircuit(3, 1)
+        append_swap_test(circuit, 0, [1], [2], measure=False)
+        assert "measure" not in circuit.count_ops()
+
+
+class TestSwapTestPhysics:
+    def test_identical_states_give_p1_zero(self):
+        circuit = _encode_pair(0.7, 0.7)
+        append_swap_test(circuit, 0, [1], [2])
+        result = DensityMatrixSimulator(seed=0).run(circuit, shots=2048)
+        assert result.counts.get("1", 0) == 0
+
+    def test_orthogonal_states_give_p1_half(self):
+        circuit = _encode_pair(0.0, math.pi)
+        append_swap_test(circuit, 0, [1], [2])
+        result = DensityMatrixSimulator(seed=1).run(circuit, shots=8192)
+        p1 = result.counts.get("1", 0) / 8192
+        assert abs(p1 - 0.5) < 0.03
+
+    @given(theta_a=st.floats(min_value=0.0, max_value=math.pi),
+           theta_b=st.floats(min_value=0.0, max_value=math.pi))
+    @settings(max_examples=15, deadline=None)
+    def test_p1_matches_analytic_overlap(self, theta_a, theta_b):
+        circuit = _encode_pair(theta_a, theta_b)
+        append_swap_test(circuit, 0, [1], [2], measure=False)
+        final = DensityMatrixSimulator().evolve(circuit)
+        p1 = final.probability_of_outcome(0, 1)
+        overlap = math.cos((theta_a - theta_b) / 2.0) ** 2
+        assert abs(p1 - (1.0 - overlap) / 2.0) < 1e-9
+
+    def test_two_qubit_registers(self):
+        circuit = QuantumCircuit(5, 1)
+        circuit.h(1).h(2)
+        circuit.h(3).h(4)
+        append_swap_test(circuit, 0, [1, 2], [3, 4], measure=False)
+        final = DensityMatrixSimulator().evolve(circuit)
+        assert final.probability_of_outcome(0, 1) < 1e-9
+
+
+class TestReadoutHelpers:
+    def test_overlap_from_p1_bounds(self):
+        assert overlap_from_p1(0.0) == 1.0
+        assert overlap_from_p1(0.5) == 0.0
+        assert overlap_from_p1(0.7) == 0.0  # clipped
+
+    def test_p1_from_counts(self):
+        counts = {"0": 75, "1": 25}
+        assert p1_from_counts(counts) == pytest.approx(0.25)
+
+    def test_p1_from_counts_multibit_register(self):
+        counts = {"10": 30, "11": 10, "00": 60}
+        assert p1_from_counts(counts, clbit=0) == pytest.approx(0.1)
+        assert p1_from_counts(counts, clbit=1) == pytest.approx(0.4)
+
+    def test_empty_counts_raise(self):
+        with pytest.raises(ValueError):
+            p1_from_counts({})
+
+    def test_overlap_from_counts(self):
+        counts = {"0": 900, "1": 100}
+        assert overlap_from_counts(counts) == pytest.approx(0.8)

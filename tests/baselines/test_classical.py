@@ -1,0 +1,142 @@
+"""Tests for the classical baselines (Isolation Forest, k-means, PCA, autoencoder)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.autoencoder import AutoencoderDetector
+from repro.baselines.clustering import KMeansDetector
+from repro.baselines.isolation_forest import IsolationForestDetector
+from repro.baselines.pca import PCAReconstructionDetector
+from repro.data.datasets import make_gaussian_anomaly_dataset
+from repro.metrics.classification import evaluate_top_k
+
+
+def planted_dataset(seed=0):
+    return make_gaussian_anomaly_dataset(
+        name="classical_toy", num_samples=150, num_anomalies=10, num_features=8,
+        num_clusters=1, separation=6.0, anomaly_spread=1.5, seed=seed,
+    )
+
+
+class TestIsolationForest:
+    def test_scores_in_unit_interval(self):
+        dataset = planted_dataset()
+        scores = IsolationForestDetector(num_trees=30, seed=1).fit_scores(dataset.data)
+        assert np.all(scores > 0.0)
+        assert np.all(scores < 1.0)
+
+    def test_detects_planted_anomalies(self):
+        dataset = planted_dataset()
+        scores = IsolationForestDetector(num_trees=60, seed=1).fit_scores(dataset.data)
+        report = evaluate_top_k(scores, dataset.labels, dataset.num_anomalies)
+        assert report.recall >= 0.6
+
+    def test_predict_flag_count(self):
+        dataset = planted_dataset()
+        detector = IsolationForestDetector(num_trees=20, seed=2).fit(dataset.data)
+        assert detector.predict(dataset.data, 7).sum() == 7
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            IsolationForestDetector().anomaly_scores(np.zeros((3, 2)))
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            IsolationForestDetector(num_trees=0)
+        with pytest.raises(ValueError):
+            IsolationForestDetector(subsample_size=1)
+
+    def test_reproducible_with_seed(self):
+        dataset = planted_dataset()
+        first = IsolationForestDetector(num_trees=15, seed=5).fit_scores(dataset.data)
+        second = IsolationForestDetector(num_trees=15, seed=5).fit_scores(dataset.data)
+        assert np.allclose(first, second)
+
+
+class TestKMeans:
+    def test_detects_planted_anomalies(self):
+        dataset = planted_dataset()
+        scores = KMeansDetector(num_clusters=3, seed=1).fit_scores(dataset.data)
+        report = evaluate_top_k(scores, dataset.labels, dataset.num_anomalies)
+        assert report.recall >= 0.6
+
+    def test_centroid_count(self):
+        dataset = planted_dataset()
+        detector = KMeansDetector(num_clusters=4, seed=0).fit(dataset.data)
+        assert detector.centroids_.shape == (4, dataset.num_features)
+
+    def test_converges_before_iteration_cap(self):
+        dataset = planted_dataset()
+        detector = KMeansDetector(num_clusters=2, max_iterations=200, seed=0)
+        detector.fit(dataset.data)
+        assert detector.iterations_run_ < 200
+
+    def test_more_samples_than_clusters_required(self):
+        with pytest.raises(ValueError):
+            KMeansDetector(num_clusters=10).fit(np.zeros((5, 2)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeansDetector().anomaly_scores(np.zeros((3, 2)))
+
+    def test_predict_flag_count(self):
+        dataset = planted_dataset()
+        detector = KMeansDetector(num_clusters=3, seed=3).fit(dataset.data)
+        assert detector.predict(dataset.data, 10).sum() == 10
+
+
+class TestPCA:
+    def test_detects_planted_anomalies(self):
+        dataset = planted_dataset()
+        scores = PCAReconstructionDetector(num_components=3).fit_scores(dataset.data)
+        report = evaluate_top_k(scores, dataset.labels, dataset.num_anomalies)
+        assert report.recall >= 0.5
+
+    def test_perfect_reconstruction_with_full_rank(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(40, 4))
+        scores = PCAReconstructionDetector(num_components=4).fit_scores(data)
+        assert np.allclose(scores, 0.0, atol=1e-18)
+
+    def test_explained_variance_ratio_sums_below_one(self):
+        dataset = planted_dataset()
+        detector = PCAReconstructionDetector(num_components=2).fit(dataset.data)
+        assert detector.explained_variance_ratio_.sum() <= 1.0 + 1e-9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PCAReconstructionDetector().anomaly_scores(np.zeros((3, 2)))
+
+    def test_invalid_components_raise(self):
+        with pytest.raises(ValueError):
+            PCAReconstructionDetector(num_components=0)
+
+
+class TestClassicalAutoencoder:
+    def test_training_reduces_loss(self):
+        dataset = planted_dataset()
+        detector = AutoencoderDetector(epochs=60, seed=1)
+        detector.fit(dataset.data)
+        assert detector.loss_history_[-1] < detector.loss_history_[0]
+
+    def test_detects_planted_anomalies(self):
+        dataset = planted_dataset()
+        detector = AutoencoderDetector(epochs=150, bottleneck=2, hidden=12, seed=1)
+        scores = detector.fit_scores(dataset.data)
+        report = evaluate_top_k(scores, dataset.labels, dataset.num_anomalies)
+        assert report.recall >= 0.4
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            AutoencoderDetector().anomaly_scores(np.zeros((3, 2)))
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            AutoencoderDetector(bottleneck=0)
+        with pytest.raises(ValueError):
+            AutoencoderDetector(learning_rate=0.0)
+
+    def test_predict_flag_count(self):
+        dataset = planted_dataset()
+        detector = AutoencoderDetector(epochs=30, seed=2).fit(dataset.data)
+        assert detector.predict(dataset.data, 5).sum() == 5

@@ -1,0 +1,111 @@
+"""Tests for the density-based classical baselines (LOF and HBOS)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hbos import HBOSDetector
+from repro.baselines.lof import LocalOutlierFactorDetector
+from repro.data.datasets import make_gaussian_anomaly_dataset
+from repro.metrics.classification import evaluate_top_k
+
+
+def planted_dataset(seed=0):
+    return make_gaussian_anomaly_dataset(
+        name="density_toy", num_samples=180, num_anomalies=12, num_features=6,
+        num_clusters=2, separation=5.0, anomaly_spread=1.5, seed=seed,
+    )
+
+
+class TestLocalOutlierFactor:
+    def test_scores_shape_and_scale(self):
+        dataset = planted_dataset()
+        scores = LocalOutlierFactorDetector(num_neighbors=15).fit_scores(dataset.data)
+        assert scores.shape == (dataset.num_samples,)
+        # Inliers cluster around LOF ~ 1.
+        assert 0.8 < np.median(scores) < 1.3
+
+    def test_detects_planted_anomalies(self):
+        dataset = planted_dataset()
+        scores = LocalOutlierFactorDetector(num_neighbors=20).fit_scores(dataset.data)
+        report = evaluate_top_k(scores, dataset.labels, dataset.num_anomalies)
+        assert report.recall >= 0.6
+
+    def test_isolated_point_has_high_lof(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(60, 3))
+        data[0] = 25.0
+        scores = LocalOutlierFactorDetector(num_neighbors=10).fit_scores(data)
+        assert scores.argmax() == 0
+        assert scores[0] > 2.0
+
+    def test_neighbor_count_capped(self):
+        data = np.random.default_rng(1).normal(size=(10, 2))
+        scores = LocalOutlierFactorDetector(num_neighbors=50).fit_scores(data)
+        assert scores.shape == (10,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LocalOutlierFactorDetector().anomaly_scores()
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            LocalOutlierFactorDetector(num_neighbors=0)
+        with pytest.raises(ValueError):
+            LocalOutlierFactorDetector().fit(np.zeros((2, 2)))
+
+    def test_transductive_score_size_check(self):
+        data = np.random.default_rng(2).normal(size=(20, 2))
+        detector = LocalOutlierFactorDetector(num_neighbors=5).fit(data)
+        with pytest.raises(ValueError):
+            detector.anomaly_scores(np.zeros((5, 2)))
+
+    def test_predict_flag_count(self):
+        dataset = planted_dataset()
+        detector = LocalOutlierFactorDetector(num_neighbors=15).fit(dataset.data)
+        assert detector.predict(dataset.data, 6).sum() == 6
+
+
+class TestHBOS:
+    def test_detects_planted_anomalies(self):
+        dataset = planted_dataset()
+        scores = HBOSDetector().fit_scores(dataset.data)
+        report = evaluate_top_k(scores, dataset.labels, dataset.num_anomalies)
+        assert report.recall >= 0.5
+
+    def test_rare_bin_scores_higher(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(200, 1))
+        data[0] = 40.0
+        scores = HBOSDetector(num_bins=20).fit_scores(data)
+        assert scores.argmax() == 0
+
+    def test_scores_additive_over_features(self):
+        rng = np.random.default_rng(2)
+        single = rng.normal(size=(100, 1))
+        double = np.hstack([single, single])
+        single_scores = HBOSDetector(num_bins=10).fit_scores(single)
+        double_scores = HBOSDetector(num_bins=10).fit_scores(double)
+        assert np.allclose(double_scores, 2 * single_scores)
+
+    def test_constant_feature_handled(self):
+        data = np.column_stack([np.ones(50), np.random.default_rng(3).normal(size=50)])
+        scores = HBOSDetector().fit_scores(data)
+        assert np.all(np.isfinite(scores))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            HBOSDetector().anomaly_scores(np.zeros((3, 2)))
+
+    def test_feature_count_mismatch_raises(self):
+        detector = HBOSDetector().fit(np.random.default_rng(4).normal(size=(30, 3)))
+        with pytest.raises(ValueError):
+            detector.anomaly_scores(np.zeros((5, 2)))
+
+    def test_invalid_bins_raise(self):
+        with pytest.raises(ValueError):
+            HBOSDetector(num_bins=1)
+
+    def test_predict_flag_count(self):
+        dataset = planted_dataset()
+        detector = HBOSDetector().fit(dataset.data)
+        assert detector.predict(dataset.data, 9).sum() == 9

@@ -1,0 +1,135 @@
+"""Tests for the supervised QNN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.qnn import QNNClassifier, QNNConfig
+from repro.data.datasets import make_gaussian_anomaly_dataset
+
+
+def separable_dataset(seed=0):
+    return make_gaussian_anomaly_dataset(
+        name="qnn_toy", num_samples=120, num_anomalies=20, num_features=6,
+        num_clusters=1, separation=6.0, anomaly_spread=1.0, seed=seed,
+    )
+
+
+class TestConfig:
+    def test_parameter_count(self):
+        assert QNNConfig(num_qubits=3, num_layers=2).num_parameters == 12
+
+    @pytest.mark.parametrize("overrides", [
+        {"num_qubits": 0},
+        {"num_layers": 0},
+        {"epochs": 0},
+        {"learning_rate": 0.0},
+        {"threshold": 1.5},
+    ])
+    def test_invalid_config_raises(self, overrides):
+        with pytest.raises(ValueError):
+            QNNConfig(**overrides)
+
+
+class TestTraining:
+    def test_untrained_queries_raise(self):
+        classifier = QNNClassifier(epochs=1)
+        with pytest.raises(RuntimeError):
+            classifier.predict(np.zeros((2, 3)))
+
+    def test_training_reduces_loss(self):
+        dataset = separable_dataset()
+        classifier = QNNClassifier(epochs=25, seed=1)
+        classifier.fit(dataset.data, dataset.labels)
+        history = classifier.training_history_
+        assert history[-1] <= history[0]
+
+    def test_learns_separable_problem(self):
+        dataset = separable_dataset()
+        classifier = QNNClassifier(epochs=40, seed=1, class_weighting=True)
+        classifier.fit(dataset.data, dataset.labels)
+        predictions = classifier.predict(dataset.data)
+        accuracy = (predictions == dataset.labels).mean()
+        assert accuracy > 0.75
+
+    def test_probabilities_in_unit_interval(self):
+        dataset = separable_dataset()
+        classifier = QNNClassifier(epochs=5, seed=2)
+        classifier.fit(dataset.data, dataset.labels)
+        probabilities = classifier.decision_function(dataset.data)
+        assert np.all(probabilities >= 0.0)
+        assert np.all(probabilities <= 1.0)
+
+    def test_selects_highest_variance_features(self):
+        rng = np.random.default_rng(0)
+        data = np.column_stack([
+            rng.normal(scale=0.01, size=50),
+            rng.normal(scale=5.0, size=50),
+            rng.normal(scale=3.0, size=50),
+            rng.normal(scale=4.0, size=50),
+        ])
+        labels = rng.integers(0, 2, size=50)
+        classifier = QNNClassifier(epochs=1, seed=0)
+        classifier.fit(data, labels)
+        assert 0 not in classifier.selected_features_.tolist()
+
+    def test_unweighted_training_is_conservative_on_imbalanced_data(self):
+        dataset = make_gaussian_anomaly_dataset(
+            name="imbalanced", num_samples=200, num_anomalies=6, num_features=6,
+            num_clusters=1, separation=2.0, anomaly_spread=1.0, seed=3,
+        )
+        classifier = QNNClassifier(epochs=25, seed=1)
+        classifier.fit(dataset.data, dataset.labels)
+        flagged = classifier.predict(dataset.data).sum()
+        # The baseline flags far fewer samples than a balanced detector would.
+        assert flagged <= dataset.num_anomalies * 2
+
+    def test_reproducible_with_seed(self):
+        dataset = separable_dataset()
+        first = QNNClassifier(epochs=5, seed=9).fit(dataset.data, dataset.labels)
+        second = QNNClassifier(epochs=5, seed=9).fit(dataset.data, dataset.labels)
+        assert np.allclose(first.parameters_, second.parameters_)
+
+    def test_input_validation(self):
+        classifier = QNNClassifier(epochs=1)
+        with pytest.raises(ValueError):
+            classifier.fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            classifier.fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            classifier.fit(np.zeros((5, 2)), np.array([0, 1, 2, 0, 1]))
+
+    def test_score_report(self):
+        dataset = separable_dataset()
+        classifier = QNNClassifier(epochs=3, seed=2)
+        classifier.fit(dataset.data, dataset.labels)
+        report = classifier.score_report()
+        assert report["epochs"] == 3
+        assert report["num_parameters"] == 12
+
+
+class TestGradients:
+    def test_parameter_shift_matches_finite_differences(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(12, 4))
+        labels = rng.integers(0, 2, size=12).astype(float)
+        classifier = QNNClassifier(epochs=1, seed=4)
+        classifier.selected_features_ = np.array([0, 1, 2])
+        classifier.feature_min_ = data[:, :3].min(axis=0)
+        classifier.feature_max_ = data[:, :3].max(axis=0)
+        encoded = classifier._encoded_states(classifier._encode_angles(data))
+        weights = np.full(12, 1.0 / 12)
+        parameters = rng.uniform(0, 2 * np.pi, size=classifier.config.num_parameters)
+        analytic = classifier._parameter_shift_gradient(encoded, labels, weights,
+                                                        parameters)
+        numeric = np.zeros_like(parameters)
+        epsilon = 1e-5
+        for index in range(parameters.shape[0]):
+            up = parameters.copy()
+            up[index] += epsilon
+            down = parameters.copy()
+            down[index] -= epsilon
+            numeric[index] = (
+                classifier._loss(encoded, labels, weights, up)
+                - classifier._loss(encoded, labels, weights, down)
+            ) / (2 * epsilon)
+        assert np.allclose(analytic, numeric, atol=1e-5)

@@ -1,0 +1,96 @@
+"""Tests for ensemble members and batch amplitude encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import QuorumConfig
+from repro.core.ensemble import batch_amplitudes, run_ensemble_member
+from repro.encoding.amplitude import amplitudes_from_features
+
+
+def normalized_toy_data(num_samples=40, num_features=10, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0.0, 1.0 / np.sqrt(7), size=(num_samples, num_features))
+    return data
+
+
+class TestBatchAmplitudes:
+    def test_matches_single_sample_encoding(self):
+        values = normalized_toy_data(5, 7, 1)
+        batch = batch_amplitudes(values, 3)
+        for row in range(5):
+            single = amplitudes_from_features(values[row], 3)
+            assert np.allclose(batch[row], single)
+
+    def test_rows_are_normalized(self):
+        batch = batch_amplitudes(normalized_toy_data(20, 7, 2), 3)
+        assert np.allclose(np.sum(batch ** 2, axis=1), 1.0)
+
+    def test_too_many_features_raise(self):
+        with pytest.raises(ValueError):
+            batch_amplitudes(np.zeros((3, 8)), 3)
+
+    def test_oversized_values_raise(self):
+        with pytest.raises(ValueError):
+            batch_amplitudes(np.ones((2, 7)), 3)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            batch_amplitudes(np.zeros(7), 3)
+
+
+class TestEnsembleMember:
+    def _config(self, **overrides):
+        defaults = {"ensemble_groups": 1, "shots": None, "seed": 0}
+        defaults.update(overrides)
+        return QuorumConfig(**defaults)
+
+    def test_result_structure(self):
+        data = normalized_toy_data()
+        result = run_ensemble_member(data, self._config(), member_index=3,
+                                     member_seed=42)
+        assert result.member_index == 3
+        assert result.deviations.shape == (40,)
+        assert result.num_runs == 2  # compression levels 1 and 2
+        assert set(result.p1_statistics) == {1, 2}
+        assert result.selected_features.shape == (7,)
+
+    def test_deviations_nonnegative(self):
+        result = run_ensemble_member(normalized_toy_data(), self._config(),
+                                     member_index=0, member_seed=1)
+        assert np.all(result.deviations >= 0.0)
+
+    def test_same_seed_reproducible(self):
+        data = normalized_toy_data()
+        first = run_ensemble_member(data, self._config(), 0, member_seed=5)
+        second = run_ensemble_member(data, self._config(), 0, member_seed=5)
+        assert np.allclose(first.deviations, second.deviations)
+        assert np.array_equal(first.selected_features, second.selected_features)
+
+    def test_different_seeds_differ(self):
+        data = normalized_toy_data()
+        first = run_ensemble_member(data, self._config(), 0, member_seed=5)
+        second = run_ensemble_member(data, self._config(), 0, member_seed=6)
+        assert not np.allclose(first.deviations, second.deviations)
+
+    def test_explicit_bucket_size_respected(self):
+        data = normalized_toy_data()
+        result = run_ensemble_member(data, self._config(), 0, member_seed=2,
+                                     bucket_size=10)
+        assert result.bucket_size == 10
+        assert result.num_buckets == 4
+
+    def test_explicit_compression_levels(self):
+        config = self._config(compression_levels=(2,))
+        result = run_ensemble_member(normalized_toy_data(), config, 0, member_seed=3)
+        assert result.num_runs == 1
+        assert set(result.p1_statistics) == {2}
+
+    def test_fewer_features_than_capacity(self):
+        data = normalized_toy_data(num_features=4)
+        result = run_ensemble_member(data, self._config(), 0, member_seed=4)
+        assert result.selected_features.shape == (4,)
+
+    def test_rejects_1d_data(self):
+        with pytest.raises(ValueError):
+            run_ensemble_member(np.zeros(10), self._config(), 0, 0)

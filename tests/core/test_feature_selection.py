@@ -1,0 +1,49 @@
+"""Tests for uniform random feature selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.feature_selection import select_feature_subset
+
+
+class TestSelection:
+    def test_selects_requested_count(self):
+        selected = select_feature_subset(30, 7, np.random.default_rng(0))
+        assert selected.shape == (7,)
+        assert len(set(selected.tolist())) == 7
+
+    def test_small_dataset_uses_all_features(self):
+        selected = select_feature_subset(5, 7, np.random.default_rng(0))
+        assert sorted(selected.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_indices_sorted_and_in_range(self):
+        selected = select_feature_subset(20, 6, np.random.default_rng(1))
+        assert list(selected) == sorted(selected)
+        assert selected.min() >= 0
+        assert selected.max() < 20
+
+    def test_different_rngs_give_different_subsets(self):
+        first = select_feature_subset(30, 7, np.random.default_rng(1))
+        second = select_feature_subset(30, 7, np.random.default_rng(2))
+        assert not np.array_equal(first, second)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            select_feature_subset(0, 3)
+        with pytest.raises(ValueError):
+            select_feature_subset(3, 0)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_no_duplicates_ever(self, seed):
+        selected = select_feature_subset(16, 7, np.random.default_rng(seed))
+        assert len(set(selected.tolist())) == len(selected)
+
+    def test_uniform_coverage_over_many_draws(self):
+        rng = np.random.default_rng(7)
+        counts = np.zeros(10)
+        for _ in range(2000):
+            counts[select_feature_subset(10, 3, rng)] += 1
+        frequencies = counts / counts.sum()
+        assert np.all(np.abs(frequencies - 0.1) < 0.02)

@@ -1,0 +1,65 @@
+"""Tests for the parallel ensemble dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import QuorumConfig
+from repro.core.parallel import derive_member_seeds, run_ensemble_members
+
+
+def toy_data(seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0 / np.sqrt(7), size=(30, 8))
+
+
+class TestSeedDerivation:
+    def test_count_and_determinism(self):
+        first = derive_member_seeds(42, 5)
+        second = derive_member_seeds(42, 5)
+        assert len(first) == 5
+        assert first == second
+
+    def test_distinct_seeds(self):
+        seeds = derive_member_seeds(1, 50)
+        assert len(set(seeds)) == 50
+
+    def test_different_master_seed_differs(self):
+        assert derive_member_seeds(1, 3) != derive_member_seeds(2, 3)
+
+    def test_none_master_seed_is_random_but_valid(self):
+        seeds = derive_member_seeds(None, 4)
+        assert len(seeds) == 4
+
+    def test_zero_count_raises(self):
+        with pytest.raises(ValueError):
+            derive_member_seeds(1, 0)
+
+
+class TestRunMembers:
+    def test_serial_execution(self):
+        config = QuorumConfig(ensemble_groups=3, shots=None, seed=0, n_jobs=1)
+        seeds = derive_member_seeds(0, 3)
+        results = run_ensemble_members(toy_data(), config, seeds)
+        assert len(results) == 3
+        assert all(result.deviations.shape == (30,) for result in results)
+
+    def test_parallel_matches_serial(self):
+        data = toy_data()
+        seeds = derive_member_seeds(3, 4)
+        serial_config = QuorumConfig(ensemble_groups=4, shots=None, seed=3, n_jobs=1)
+        parallel_config = QuorumConfig(ensemble_groups=4, shots=None, seed=3, n_jobs=2)
+        serial = run_ensemble_members(data, serial_config, seeds)
+        parallel = run_ensemble_members(data, parallel_config, seeds)
+        for serial_result, parallel_result in zip(serial, parallel):
+            assert np.allclose(serial_result.deviations, parallel_result.deviations)
+
+    def test_explicit_bucket_size_passed_through(self):
+        config = QuorumConfig(ensemble_groups=2, shots=None, seed=1)
+        results = run_ensemble_members(toy_data(), config, derive_member_seeds(1, 2),
+                                       bucket_size=15)
+        assert all(result.bucket_size == 15 for result in results)
+
+    def test_member_indices_are_sequential(self):
+        config = QuorumConfig(ensemble_groups=3, shots=None, seed=1)
+        results = run_ensemble_members(toy_data(), config, derive_member_seeds(1, 3))
+        assert [result.member_index for result in results] == [0, 1, 2]

@@ -1,0 +1,98 @@
+"""Tests for bucket z-scoring and the AnomalyScores container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bucketing import BucketAssignment, assign_buckets
+from repro.core.scoring import AnomalyScores, bucket_deviations
+
+
+class TestBucketDeviations:
+    def test_outlier_gets_largest_deviation(self):
+        buckets = BucketAssignment(buckets=((0, 1, 2, 3, 4),))
+        p1 = np.array([0.1, 0.11, 0.09, 0.1, 0.45])
+        deviations = bucket_deviations(p1, buckets)
+        assert deviations.argmax() == 4
+        assert deviations[4] > 1.5
+
+    def test_identical_values_give_zero(self):
+        buckets = BucketAssignment(buckets=((0, 1, 2),))
+        deviations = bucket_deviations(np.full(3, 0.2), buckets)
+        assert np.allclose(deviations, 0.0)
+
+    def test_deviations_computed_per_bucket(self):
+        buckets = BucketAssignment(buckets=((0, 1), (2, 3)))
+        p1 = np.array([0.1, 0.3, 0.5, 0.7])
+        deviations = bucket_deviations(p1, buckets)
+        # Within each two-sample bucket, both members are exactly one std away.
+        assert np.allclose(deviations, 1.0)
+
+    def test_size_mismatch_raises(self):
+        buckets = BucketAssignment(buckets=((0, 1),))
+        with pytest.raises(ValueError):
+            bucket_deviations(np.zeros(3), buckets)
+
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_deviations_are_nonnegative_and_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        p1 = rng.uniform(0, 0.5, size=40)
+        buckets = assign_buckets(40, 8, rng)
+        deviations = bucket_deviations(p1, buckets)
+        assert np.all(deviations >= 0.0)
+        assert np.all(np.isfinite(deviations))
+
+
+class TestAnomalyScores:
+    def _scores(self):
+        return AnomalyScores(scores=np.array([1.0, 5.0, 3.0, 0.5]), num_runs=2)
+
+    def test_ranking(self):
+        assert self._scores().ranking().tolist() == [1, 2, 0, 3]
+
+    def test_top_k(self):
+        assert self._scores().top_k(2).tolist() == [1, 2]
+
+    def test_top_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            self._scores().top_k(10)
+
+    def test_predictions_by_count(self):
+        flags = self._scores().predictions(num_flagged=1)
+        assert flags.tolist() == [0, 1, 0, 0]
+
+    def test_predictions_by_contamination(self):
+        flags = self._scores().predictions(contamination=0.5)
+        assert flags.sum() == 2
+
+    def test_predictions_requires_exactly_one_argument(self):
+        with pytest.raises(ValueError):
+            self._scores().predictions()
+        with pytest.raises(ValueError):
+            self._scores().predictions(num_flagged=1, contamination=0.5)
+
+    def test_invalid_contamination_raises(self):
+        with pytest.raises(ValueError):
+            self._scores().predictions(contamination=1.5)
+
+    def test_mean_scores(self):
+        assert np.allclose(self._scores().mean_scores(),
+                           np.array([0.5, 2.5, 1.5, 0.25]))
+
+    def test_threshold_at_percentile(self):
+        assert self._scores().threshold_at_percentile(100) == 5.0
+
+    def test_merge(self):
+        merged = self._scores().merged_with(self._scores())
+        assert merged.num_runs == 4
+        assert np.allclose(merged.scores, np.array([2.0, 10.0, 6.0, 1.0]))
+
+    def test_merge_size_mismatch_raises(self):
+        other = AnomalyScores(scores=np.zeros(3))
+        with pytest.raises(ValueError):
+            self._scores().merged_with(other)
+
+    def test_empty_scores_raise(self):
+        with pytest.raises(ValueError):
+            AnomalyScores(scores=np.array([]))

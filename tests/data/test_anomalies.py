@@ -1,0 +1,73 @@
+"""Tests for plausible-anomaly injection."""
+
+import numpy as np
+import pytest
+
+from repro.data.anomalies import inject_plausible_anomalies, scatter_anomalies
+
+
+class TestInjection:
+    def test_counts_and_labels(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(50, 3))
+        stacked, labels = inject_plausible_anomalies(data, 5, rng=rng)
+        assert stacked.shape == (55, 3)
+        assert labels.sum() == 5
+        assert labels[:50].sum() == 0
+
+    def test_zero_anomalies(self):
+        data = np.zeros((10, 2))
+        stacked, labels = inject_plausible_anomalies(data, 0)
+        assert stacked.shape == (10, 2)
+        assert labels.sum() == 0
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            inject_plausible_anomalies(np.zeros((5, 2)), -1)
+
+    def test_rejects_1d_data(self):
+        with pytest.raises(ValueError):
+            inject_plausible_anomalies(np.zeros(5), 1)
+
+    def test_explicit_ranges_respected(self):
+        rng = np.random.default_rng(1)
+        data = rng.uniform(0.4, 0.6, size=(30, 2))
+        ranges = [(0.0, 1.0), (0.0, 1.0)]
+        stacked, labels = inject_plausible_anomalies(data, 10, feature_ranges=ranges,
+                                                     rng=rng, edge_fraction=0.1)
+        anomalies = stacked[labels == 1]
+        assert np.all(anomalies >= 0.0)
+        assert np.all(anomalies <= 1.0)
+        # Every anomalous value sits within 10% of a range edge.
+        near_edge = (anomalies <= 0.1) | (anomalies >= 0.9)
+        assert np.all(near_edge)
+
+    def test_wrong_ranges_length_raises(self):
+        with pytest.raises(ValueError):
+            inject_plausible_anomalies(np.zeros((5, 2)), 1, feature_ranges=[(0, 1)])
+
+    def test_anomalies_are_extreme_relative_to_normals(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(200, 4))
+        stacked, labels = inject_plausible_anomalies(data, 20, rng=rng)
+        normal_std = data.std()
+        anomaly_deviation = np.abs(stacked[labels == 1] - data.mean(axis=0)).mean()
+        assert anomaly_deviation > normal_std
+
+
+class TestScatter:
+    def test_shuffling_preserves_pairing(self):
+        data = np.arange(20, dtype=float).reshape(10, 2)
+        labels = np.array([0] * 8 + [1] * 2)
+        shuffled_data, shuffled_labels = scatter_anomalies(
+            data, labels, np.random.default_rng(3)
+        )
+        assert shuffled_labels.sum() == 2
+        # The rows flagged anomalous are still the original anomalous rows.
+        original_anomalies = {tuple(row) for row in data[labels == 1]}
+        shuffled_anomalies = {tuple(row) for row in shuffled_data[shuffled_labels == 1]}
+        assert original_anomalies == shuffled_anomalies
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            scatter_anomalies(np.zeros((5, 2)), np.zeros(4))

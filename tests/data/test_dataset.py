@@ -1,0 +1,72 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+
+
+def small_dataset():
+    data = np.arange(12, dtype=float).reshape(6, 2)
+    labels = np.array([0, 0, 1, 0, 1, 0])
+    return Dataset(name="toy", data=data, labels=labels,
+                   feature_names=["a", "b"])
+
+
+class TestValidation:
+    def test_valid_dataset(self):
+        dataset = small_dataset()
+        assert dataset.num_samples == 6
+        assert dataset.num_features == 2
+        assert dataset.num_anomalies == 2
+        assert dataset.anomaly_fraction == pytest.approx(1 / 3)
+
+    def test_rejects_1d_data(self):
+        with pytest.raises(ValueError):
+            Dataset("bad", np.ones(4), np.zeros(4))
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError):
+            Dataset("bad", np.ones((4, 2)), np.zeros(3))
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(ValueError):
+            Dataset("bad", np.ones((3, 2)), np.array([0, 1, 2]))
+
+    def test_rejects_wrong_feature_names_length(self):
+        with pytest.raises(ValueError):
+            Dataset("bad", np.ones((3, 2)), np.zeros(3), feature_names=["only_one"])
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(ValueError):
+            Dataset("bad", np.ones((3, 2)), np.zeros((3, 1)))
+
+
+class TestAccessors:
+    def test_anomaly_indices(self):
+        assert small_dataset().anomaly_indices.tolist() == [2, 4]
+
+    def test_features_only_is_a_copy(self):
+        dataset = small_dataset()
+        features = dataset.features_only()
+        features[0, 0] = 999.0
+        assert dataset.data[0, 0] == 0.0
+
+    def test_subset_preserves_labels(self):
+        subset = small_dataset().subset([2, 3, 4])
+        assert subset.num_samples == 3
+        assert subset.labels.tolist() == [1, 0, 1]
+
+    def test_shuffled_preserves_counts(self):
+        shuffled = small_dataset().shuffled(seed=0)
+        assert shuffled.num_anomalies == 2
+        assert shuffled.num_samples == 6
+
+    def test_summary_matches_table_row(self):
+        summary = small_dataset().summary()
+        assert summary["samples"] == 6
+        assert summary["anomalies"] == 2
+        assert summary["features"] == 2
+
+    def test_repr_contains_name(self):
+        assert "toy" in repr(small_dataset())

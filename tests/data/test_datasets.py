@@ -1,0 +1,102 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    make_breast_cancer_like,
+    make_gaussian_anomaly_dataset,
+    make_letter_like,
+    make_pen_global_like,
+    make_power_plant_like,
+)
+from repro.data.registry import DATASET_SPECS, available_datasets, load_dataset
+
+
+class TestGaussianGenerator:
+    def test_shapes_and_counts(self):
+        dataset = make_gaussian_anomaly_dataset(
+            "toy", num_samples=100, num_anomalies=10, num_features=5,
+            num_clusters=2, separation=3.0, anomaly_spread=1.0, seed=0,
+        )
+        assert dataset.num_samples == 100
+        assert dataset.num_anomalies == 10
+        assert dataset.num_features == 5
+
+    def test_determinism(self):
+        first = make_gaussian_anomaly_dataset(
+            "toy", 60, 6, 4, 2, 2.0, 1.0, seed=3)
+        second = make_gaussian_anomaly_dataset(
+            "toy", 60, 6, 4, 2, 2.0, 1.0, seed=3)
+        assert np.allclose(first.data, second.data)
+        assert np.array_equal(first.labels, second.labels)
+
+    def test_different_seeds_differ(self):
+        first = make_gaussian_anomaly_dataset("toy", 60, 6, 4, 2, 2.0, 1.0, seed=1)
+        second = make_gaussian_anomaly_dataset("toy", 60, 6, 4, 2, 2.0, 1.0, seed=2)
+        assert not np.allclose(first.data, second.data)
+
+    def test_too_many_anomalies_raise(self):
+        with pytest.raises(ValueError):
+            make_gaussian_anomaly_dataset("toy", 10, 10, 3, 1, 1.0, 1.0)
+
+    def test_separation_increases_anomaly_distance(self):
+        near = make_gaussian_anomaly_dataset("near", 300, 20, 8, 1, 1.0, 1.0, seed=5)
+        far = make_gaussian_anomaly_dataset("far", 300, 20, 8, 1, 6.0, 1.0, seed=5)
+
+        def mean_anomaly_distance(dataset):
+            normal_mean = dataset.data[dataset.labels == 0].mean(axis=0)
+            anomalies = dataset.data[dataset.labels == 1]
+            return np.linalg.norm(anomalies - normal_mean, axis=1).mean()
+
+        assert mean_anomaly_distance(far) > mean_anomaly_distance(near)
+
+
+class TestTableIDatasets:
+    @pytest.mark.parametrize("name", ["breast_cancer", "pen_global", "letter",
+                                      "power_plant"])
+    def test_counts_match_table1(self, name):
+        spec = DATASET_SPECS[name]
+        dataset = load_dataset(name, seed=0)
+        assert dataset.num_samples == spec.samples
+        assert dataset.num_anomalies == spec.anomalies
+        assert dataset.num_features == spec.features
+
+    def test_generators_callable_directly(self):
+        assert make_breast_cancer_like(0).name == "breast_cancer"
+        assert make_pen_global_like(0).name == "pen_global"
+        assert make_letter_like(0).name == "letter"
+        assert make_power_plant_like(0).name == "power_plant"
+
+    def test_power_plant_feature_semantics(self):
+        dataset = make_power_plant_like(0)
+        assert dataset.feature_names == ["ambient_temp", "vacuum", "pressure",
+                                         "humidity", "output"]
+        temps = dataset.data[dataset.labels == 0, 0]
+        assert temps.min() > -10.0
+        assert temps.max() < 45.0
+
+    def test_power_plant_output_correlates_negatively_with_temperature(self):
+        dataset = make_power_plant_like(0)
+        normal = dataset.data[dataset.labels == 0]
+        correlation = np.corrcoef(normal[:, 0], normal[:, 4])[0, 1]
+        assert correlation < -0.5
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        assert available_datasets() == ["breast_cancer", "pen_global", "letter",
+                                        "power_plant"]
+
+    def test_name_normalization(self):
+        assert load_dataset("Pen-Global").name == "pen_global"
+        assert load_dataset("breast cancer").name == "breast_cancer"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("mnist")
+
+    def test_load_is_deterministic_per_seed(self):
+        first = load_dataset("letter", seed=4)
+        second = load_dataset("letter", seed=4)
+        assert np.allclose(first.data, second.data)

@@ -1,0 +1,87 @@
+"""Tests for CSV dataset import/export."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.io import load_dataset_csv, save_dataset_csv
+from repro.data.registry import load_dataset
+
+
+class TestRoundTrip:
+    def test_save_and_load_preserves_content(self, tmp_path):
+        dataset = load_dataset("power_plant", seed=0).subset(range(40))
+        path = save_dataset_csv(dataset, tmp_path / "plant.csv")
+        loaded = load_dataset_csv(path)
+        assert loaded.num_samples == dataset.num_samples
+        assert loaded.num_features == dataset.num_features
+        assert np.array_equal(loaded.labels, dataset.labels)
+        assert np.allclose(loaded.data, dataset.data, rtol=1e-8)
+        assert loaded.feature_names == dataset.feature_names
+
+    def test_custom_label_column(self, tmp_path):
+        dataset = Dataset("toy", np.arange(6, dtype=float).reshape(3, 2),
+                          np.array([0, 1, 0]), feature_names=["a", "b"])
+        path = save_dataset_csv(dataset, tmp_path / "toy.csv", label_column="is_bad")
+        loaded = load_dataset_csv(path, label_column="is_bad")
+        assert loaded.num_anomalies == 1
+
+    def test_label_column_collision_raises(self, tmp_path):
+        dataset = Dataset("toy", np.zeros((2, 1)), np.zeros(2), feature_names=["label"])
+        with pytest.raises(ValueError):
+            save_dataset_csv(dataset, tmp_path / "bad.csv")
+
+
+class TestLoading:
+    def _write(self, tmp_path, text, name="data.csv"):
+        path = tmp_path / name
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_non_numeric_cells_are_hashed(self, tmp_path):
+        path = self._write(tmp_path, "amount,merchant,label\n10.5,grocer,0\n9000,casino,1\n")
+        dataset = load_dataset_csv(path)
+        assert dataset.num_features == 2
+        assert dataset.num_anomalies == 1
+        merchant_column = dataset.feature_names.index("merchant")
+        assert 0.0 <= dataset.data[0, merchant_column] < 1.0
+
+    def test_unlabeled_file(self, tmp_path):
+        path = self._write(tmp_path, "x,y\n1,2\n3,4\n")
+        dataset = load_dataset_csv(path, label_column=None)
+        assert dataset.num_anomalies == 0
+        assert dataset.num_features == 2
+
+    def test_string_labels_recognized(self, tmp_path):
+        path = self._write(tmp_path, "x,label\n1,normal\n2,anomaly\n3,no\n4,yes\n")
+        dataset = load_dataset_csv(path)
+        assert dataset.labels.tolist() == [0, 1, 0, 1]
+
+    def test_missing_label_column_raises(self, tmp_path):
+        path = self._write(tmp_path, "x,y\n1,2\n")
+        with pytest.raises(ValueError):
+            load_dataset_csv(path, label_column="label")
+
+    def test_empty_file_raises(self, tmp_path):
+        path = self._write(tmp_path, "")
+        with pytest.raises(ValueError):
+            load_dataset_csv(path)
+
+    def test_header_only_raises(self, tmp_path):
+        path = self._write(tmp_path, "x,label\n")
+        with pytest.raises(ValueError):
+            load_dataset_csv(path)
+
+    def test_ragged_row_raises(self, tmp_path):
+        path = self._write(tmp_path, "x,y,label\n1,2,0\n3,0\n")
+        with pytest.raises(ValueError):
+            load_dataset_csv(path)
+
+    def test_empty_cells_become_zero(self, tmp_path):
+        path = self._write(tmp_path, "x,y,label\n1,,0\n2,3,1\n")
+        dataset = load_dataset_csv(path)
+        assert dataset.data[0, dataset.feature_names.index("y")] == 0.0
+
+    def test_dataset_name_defaults_to_stem(self, tmp_path):
+        path = self._write(tmp_path, "x,label\n1,0\n2,1\n", name="sensors.csv")
+        assert load_dataset_csv(path).name == "sensors"

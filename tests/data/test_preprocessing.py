@@ -1,0 +1,88 @@
+"""Tests for record preprocessing: hashing, label stripping."""
+
+import numpy as np
+import pytest
+
+from repro.data.preprocessing import (
+    hash_feature,
+    preprocess_records,
+    records_to_matrix,
+    strip_labels,
+)
+
+
+class TestHashFeature:
+    def test_numeric_passthrough(self):
+        assert hash_feature(3.5) == 3.5
+        assert hash_feature(7) == 7.0
+
+    def test_string_maps_to_unit_interval(self):
+        value = hash_feature("hello")
+        assert 0.0 <= value < 1.0
+
+    def test_deterministic(self):
+        assert hash_feature("abc") == hash_feature("abc")
+
+    def test_distinct_strings_usually_differ(self):
+        assert hash_feature("abc") != hash_feature("abd")
+
+    def test_bool_is_hashed_not_passed_through(self):
+        # Booleans are categorical flags, not magnitudes.
+        assert 0.0 <= hash_feature(True) < 1.0
+
+
+class TestRecordsToMatrix:
+    def test_basic_conversion(self):
+        records = [{"x": 1.0, "y": "cat"}, {"x": 2.0, "y": "dog"}]
+        matrix, keys = records_to_matrix(records)
+        assert matrix.shape == (2, 2)
+        assert keys == ["x", "y"]
+        assert matrix[0, 0] == 1.0
+
+    def test_missing_keys_become_zero(self):
+        records = [{"x": 1.0}, {"y": 5.0}]
+        matrix, keys = records_to_matrix(records)
+        assert matrix.shape == (2, 2)
+        assert matrix[0, keys.index("y")] == 0.0
+
+    def test_empty_records_raise(self):
+        with pytest.raises(ValueError):
+            records_to_matrix([])
+
+    def test_explicit_feature_order(self):
+        records = [{"a": 1, "b": 2}]
+        matrix, keys = records_to_matrix(records, feature_keys=["b", "a"])
+        assert keys == ["b", "a"]
+        assert matrix[0, 0] == 2.0
+
+
+class TestStripLabels:
+    def test_numeric_labels(self):
+        records = [{"x": 1, "label": 0}, {"x": 2, "label": 1}]
+        cleaned, labels = strip_labels(records, "label")
+        assert labels.tolist() == [0, 1]
+        assert all("label" not in record for record in cleaned)
+
+    def test_string_labels(self):
+        records = [{"x": 1, "y": "anomaly"}, {"x": 2, "y": "normal"}]
+        _, labels = strip_labels(records, "y")
+        assert labels.tolist() == [1, 0]
+
+    def test_missing_label_defaults_to_normal(self):
+        _, labels = strip_labels([{"x": 1}], "label")
+        assert labels.tolist() == [0]
+
+
+class TestPreprocessRecords:
+    def test_full_pipeline(self):
+        records = [
+            {"amount": 10.0, "merchant": "grocer", "fraud": 0},
+            {"amount": 9000.0, "merchant": "casino", "fraud": 1},
+            {"amount": 12.0, "merchant": "grocer", "fraud": 0},
+        ]
+        dataset = preprocess_records(records, label_key="fraud", name="fraud_demo")
+        assert dataset.num_samples == 3
+        assert dataset.num_anomalies == 1
+        assert dataset.num_features == 2
+        assert dataset.name == "fraud_demo"
+        assert np.issubdtype(dataset.data.dtype, np.floating)

@@ -1,0 +1,132 @@
+"""Tests for amplitude encoding and the state-preparation synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.amplitude import (
+    AmplitudeEncoder,
+    amplitude_probabilities,
+    amplitudes_from_features,
+    state_preparation_circuit,
+)
+from repro.quantum.simulator import StatevectorSimulator
+
+
+def random_features(num_features, seed, scale=None):
+    rng = np.random.default_rng(seed)
+    scale = scale if scale is not None else 1.0 / np.sqrt(num_features)
+    return rng.uniform(0.0, scale, size=num_features)
+
+
+class TestAmplitudeProbabilities:
+    def test_probabilities_sum_to_one(self):
+        probs = amplitude_probabilities([0.2, 0.3, 0.1], 2)
+        assert np.isclose(probs.sum(), 1.0)
+
+    def test_overflow_takes_residual_mass(self):
+        probs = amplitude_probabilities([0.5], 1)
+        assert np.isclose(probs[0], 0.25)
+        assert np.isclose(probs[1], 0.75)
+
+    def test_too_many_features_raises(self):
+        with pytest.raises(ValueError):
+            amplitude_probabilities([0.1] * 4, 2)
+
+    def test_negative_feature_raises(self):
+        with pytest.raises(ValueError):
+            amplitude_probabilities([-0.5, 0.1], 2)
+
+    def test_oversized_mass_raises(self):
+        with pytest.raises(ValueError):
+            amplitude_probabilities([1.0, 1.0], 2)
+
+    def test_amplitudes_are_square_roots(self):
+        features = [0.3, 0.4]
+        probs = amplitude_probabilities(features, 2)
+        amps = amplitudes_from_features(features, 2)
+        assert np.allclose(amps ** 2, probs)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_full_feature_set_normalized(self, seed):
+        features = random_features(7, seed)
+        probs = amplitude_probabilities(features, 3)
+        assert probs.shape == (8,)
+        assert np.isclose(probs.sum(), 1.0)
+        assert np.all(probs >= 0)
+
+
+class TestStatePreparation:
+    @given(seed=st.integers(min_value=0, max_value=500),
+           num_qubits=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_synthesized_circuit_prepares_target_state(self, seed, num_qubits):
+        features = random_features(2 ** num_qubits - 1, seed,
+                                   scale=1.0 / np.sqrt(2 ** num_qubits))
+        amplitudes = amplitudes_from_features(features, num_qubits)
+        circuit = state_preparation_circuit(amplitudes)
+        result = StatevectorSimulator().run(circuit, shots=0)
+        prepared = np.abs(result.statevector.data)
+        assert np.allclose(prepared, amplitudes, atol=1e-9)
+
+    def test_sparse_amplitudes(self):
+        amplitudes = np.zeros(8)
+        amplitudes[0] = 1.0
+        circuit = state_preparation_circuit(amplitudes)
+        result = StatevectorSimulator().run(circuit, shots=0)
+        assert np.isclose(abs(result.statevector.data[0]), 1.0)
+
+    def test_uniform_superposition(self):
+        amplitudes = np.full(4, 0.5)
+        circuit = state_preparation_circuit(amplitudes)
+        result = StatevectorSimulator().run(circuit, shots=0)
+        assert np.allclose(np.abs(result.statevector.data), 0.5, atol=1e-9)
+
+    def test_only_ry_and_cx_gates_used(self):
+        amplitudes = amplitudes_from_features([0.2, 0.3, 0.1], 2)
+        circuit = state_preparation_circuit(amplitudes)
+        names = {instr.name for instr in circuit.instructions}
+        assert names <= {"ry", "cx"}
+
+    def test_rejects_negative_amplitudes(self):
+        with pytest.raises(ValueError):
+            state_preparation_circuit([0.8, -0.6])
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            state_preparation_circuit([0.5, 0.5])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            state_preparation_circuit([0.6, 0.6, np.sqrt(1 - 0.72)])
+
+    def test_num_qubits_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            state_preparation_circuit([1.0, 0.0], num_qubits=2)
+
+
+class TestAmplitudeEncoder:
+    def test_max_features(self):
+        assert AmplitudeEncoder(3).max_features == 7
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(ValueError):
+            AmplitudeEncoder(0)
+
+    def test_initialize_route_matches_gate_route(self):
+        encoder = AmplitudeEncoder(2)
+        features = [0.3, 0.25, 0.4]
+        exact = StatevectorSimulator().run(
+            encoder.encoding_circuit(features, gate_level=False), shots=0
+        ).statevector.data
+        synthesized = StatevectorSimulator().run(
+            encoder.encoding_circuit(features, gate_level=True), shots=0
+        ).statevector.data
+        assert np.allclose(np.abs(exact), np.abs(synthesized), atol=1e-9)
+
+    def test_probabilities_and_amplitudes_consistent(self):
+        encoder = AmplitudeEncoder(3)
+        features = random_features(7, 3)
+        assert np.allclose(encoder.amplitudes(features) ** 2,
+                           encoder.probabilities(features))

@@ -1,0 +1,103 @@
+"""Tests for Quorum's range-based normalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.normalization import QuorumNormalizer, normalize_dataset
+
+
+class TestQuorumNormalizer:
+    def test_default_ceiling_is_one_over_m(self):
+        data = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 40.0]])
+        normalizer = QuorumNormalizer()
+        normalized = normalizer.fit_transform(data)
+        assert np.isclose(normalized.max(), 0.5)
+        assert normalizer.effective_target_max() == pytest.approx(0.5)
+
+    def test_custom_target_max(self):
+        data = np.array([[0.0, 1.0], [2.0, 3.0]])
+        normalized = QuorumNormalizer(target_max=0.25).fit_transform(data)
+        assert np.isclose(normalized.max(), 0.25)
+        assert normalized.min() >= 0.0
+
+    def test_range_mode_handles_negative_values(self):
+        data = np.array([[-5.0, 1.0], [5.0, 2.0], [0.0, 3.0]])
+        normalized = QuorumNormalizer().fit_transform(data)
+        assert normalized.min() >= 0.0
+        assert normalized.max() <= 0.5 + 1e-12
+
+    def test_max_mode_matches_paper_formula(self):
+        data = np.array([[1.0, 4.0], [2.0, 8.0]])
+        normalized = QuorumNormalizer(mode="max").fit_transform(data)
+        # raw / max / M with M = 2.
+        assert np.isclose(normalized[0, 0], 1.0 / 2.0 / 2.0)
+        assert np.isclose(normalized[1, 1], 8.0 / 8.0 / 2.0)
+
+    def test_max_mode_rejects_negative_data(self):
+        with pytest.raises(ValueError):
+            QuorumNormalizer(mode="max").fit(np.array([[-1.0, 2.0]]))
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError):
+            QuorumNormalizer(mode="weird")
+
+    def test_invalid_target_max_raises(self):
+        with pytest.raises(ValueError):
+            QuorumNormalizer(target_max=1.5)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            QuorumNormalizer().transform(np.ones((2, 2)))
+
+    def test_feature_count_mismatch_raises(self):
+        normalizer = QuorumNormalizer().fit(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            normalizer.transform(np.ones((3, 4)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            QuorumNormalizer().fit(np.array([[np.nan, 1.0]]))
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            QuorumNormalizer().fit(np.ones(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            QuorumNormalizer().fit(np.empty((0, 3)))
+
+    def test_constant_feature_maps_to_zero(self):
+        data = np.array([[3.0, 1.0], [3.0, 2.0]])
+        normalized = QuorumNormalizer().fit_transform(data)
+        assert np.allclose(normalized[:, 0], 0.0)
+
+    def test_unseen_data_is_clipped(self):
+        normalizer = QuorumNormalizer().fit(np.array([[0.0], [10.0]]))
+        out = normalizer.transform(np.array([[20.0], [-5.0]]))
+        assert out.max() <= 1.0
+        assert out.min() >= 0.0
+
+    @given(seed=st.integers(min_value=0, max_value=500),
+           num_features=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_of_squares_never_exceeds_one(self, seed, num_features):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(scale=50.0, size=(20, num_features))
+        normalized = QuorumNormalizer().fit_transform(data)
+        assert np.all((normalized ** 2).sum(axis=1) <= 1.0 + 1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_sqrt_ceiling_also_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(-5, 5, size=(30, 7))
+        ceiling = 1.0 / np.sqrt(7)
+        normalized = QuorumNormalizer(target_max=ceiling).fit_transform(data)
+        assert np.all((normalized ** 2).sum(axis=1) <= 1.0 + 1e-9)
+
+
+class TestConvenienceWrapper:
+    def test_normalize_dataset(self):
+        data = np.array([[0.0, 2.0], [4.0, 6.0]])
+        assert np.isclose(normalize_dataset(data).max(), 0.5)

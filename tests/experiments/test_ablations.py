@@ -1,0 +1,56 @@
+"""Small-scale tests of the ablation-study runners."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_baseline_comparison,
+    run_ensemble_scaling,
+    run_register_size_ablation,
+    run_stability_analysis,
+)
+from repro.experiments.common import ExperimentSettings
+
+TINY = ExperimentSettings(ensemble_groups=3, shots=None, seed=13, qnn_epochs=2)
+
+
+class TestEnsembleScaling:
+    def test_sweep_structure(self):
+        result = run_ensemble_scaling(TINY, dataset_name="power_plant",
+                                      ensemble_sizes=(2, 5),
+                                      shot_counts=(128, None),
+                                      shots_ensemble=3)
+        assert set(result.f1_by_ensemble_size) == {2, 5}
+        assert set(result.f1_by_shots) == {128, None}
+        assert all(0.0 <= value <= 1.0 for value in result.f1_by_ensemble_size.values())
+        assert isinstance(result.diminishing_returns(), bool)
+
+
+class TestRegisterSize:
+    def test_two_vs_three_qubits(self):
+        result = run_register_size_ablation(TINY, dataset_name="power_plant",
+                                            register_sizes=(2, 3))
+        assert result.features_per_circuit == {2: 3, 3: 7}
+        assert result.circuit_qubits == {2: 5, 3: 7}
+        assert set(result.f1_by_num_qubits) == {2, 3}
+
+
+class TestBaselineComparison:
+    def test_quorum_and_all_baselines_scored(self):
+        result = run_baseline_comparison(TINY, dataset_names=("power_plant",))
+        methods = result.f1_scores["power_plant"]
+        assert "Quorum" in methods
+        assert "Isolation Forest" in methods
+        assert "Local Outlier Factor" in methods
+        assert len(methods) == 7
+        rank = result.quorum_rank("power_plant")
+        assert 1 <= rank <= 7
+
+
+class TestStability:
+    def test_curve_and_agreement(self):
+        result = run_stability_analysis(TINY, dataset_name="power_plant",
+                                        checkpoints=(2, 4), num_seeds=2)
+        assert set(result.stability_curve) == {2, 4}
+        assert result.stability_curve[4] == pytest.approx(1.0)
+        assert 0.0 <= result.cross_seed_agreement["mean_top_k_jaccard"] <= 1.0
+        assert result.converged(threshold=0.99)

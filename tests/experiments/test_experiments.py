@@ -1,0 +1,145 @@
+"""Small-scale tests of the experiment runners (full scale lives in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    markdown_table,
+    run_qnn_baseline,
+    run_quorum,
+    stratified_subsample,
+)
+from repro.experiments.fig8 import format_fig8, run_fig8
+from repro.experiments.fig9 import format_fig9, run_fig9
+from repro.experiments.fig10 import format_fig10, run_fig10
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+from repro.data.registry import load_dataset
+
+
+TINY = ExperimentSettings(ensemble_groups=4, shots=None, seed=5,
+                          noisy_ensemble_groups=1, noisy_subsample=30,
+                          qnn_epochs=4)
+
+
+class TestCommon:
+    def test_quorum_config_uses_table1_probability(self):
+        config = TINY.quorum_config("letter")
+        assert config.bucket_probability == 0.95
+        assert config.anomaly_fraction_estimate == pytest.approx(33 / 533)
+
+    def test_run_quorum_returns_scores_and_detector(self):
+        dataset = load_dataset("power_plant", seed=TINY.seed).subset(range(60))
+        scores, detector = run_quorum(dataset, TINY.quorum_config("power_plant"))
+        assert scores.shape == (60,)
+        assert detector.is_fitted
+
+    def test_stratified_subsample_keeps_anomalies(self):
+        dataset = load_dataset("pen_global", seed=1)
+        subsample = stratified_subsample(dataset, 80, seed=2)
+        assert subsample.num_samples == 80
+        assert subsample.num_anomalies >= 1
+
+    def test_stratified_subsample_full_size_is_identity(self):
+        dataset = load_dataset("breast_cancer", seed=1)
+        assert stratified_subsample(dataset, 10_000, seed=0) is dataset
+
+    def test_markdown_table_shape(self):
+        table = markdown_table(["a", "b"], [(1, 2), (3, 4)])
+        assert table.count("\n") == 3
+        assert "| 3 | 4 |" in table
+
+    def test_qnn_baseline_runs(self):
+        dataset = load_dataset("power_plant", seed=TINY.seed).subset(range(100))
+        predictions, report = run_qnn_baseline(dataset, TINY)
+        assert predictions.shape == (100,)
+        assert 0.0 <= report.f1 <= 1.0
+
+
+class TestTable1:
+    def test_rows_cover_all_datasets(self):
+        result = run_table1()
+        assert len(result.rows) == 4
+        assert result.row_for("letter").target_probability == 0.95
+
+    def test_bucket_probability_achieved(self):
+        for row in run_table1().rows:
+            assert row.achieved_probability >= row.target_probability - 1e-9
+
+    def test_format_contains_display_names(self):
+        formatted = format_table1(run_table1())
+        assert "Breast Cancer" in formatted
+        assert "Power Plant" in formatted
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            run_table1().row_for("mnist")
+
+
+class TestFig8:
+    def test_single_dataset_entry(self):
+        result = run_fig8(TINY, dataset_names=["power_plant"])
+        entry = result.entry_for("power_plant")
+        assert 0.0 <= entry.quorum.f1 <= 1.0
+        assert 0.0 <= entry.qnn.f1 <= 1.0
+        assert isinstance(result.average_f1_advantage, float)
+
+    def test_format_lists_both_methods(self):
+        result = run_fig8(TINY, dataset_names=["power_plant"])
+        formatted = format_fig8(result)
+        assert "Quorum" in formatted
+        assert "QNN" in formatted
+
+    def test_missing_entry_raises(self):
+        result = run_fig8(TINY, dataset_names=["power_plant"])
+        with pytest.raises(KeyError):
+            result.entry_for("letter")
+
+
+class TestFig9:
+    def test_noiseless_only(self):
+        result = run_fig9(TINY, dataset_names=["power_plant"], include_noisy=False)
+        entry = result.entry_for("power_plant")
+        assert entry.noisy is None
+        assert entry.noiseless.detection_rates[-1] == pytest.approx(1.0)
+        assert entry.degradation_at(0.2) is None
+
+    def test_with_noisy_subsample(self):
+        result = run_fig9(TINY, dataset_names=["power_plant"], include_noisy=True)
+        entry = result.entry_for("power_plant")
+        assert entry.noisy is not None
+        assert entry.noisy.detection_rates[-1] == pytest.approx(1.0)
+        formatted = format_fig9(result)
+        assert "noisy (Brisbane)" in formatted
+
+
+class TestFig10:
+    def test_summary_statistics(self):
+        result = run_fig10(TINY, shots=2048)
+        assert result.dataset == "breast_cancer"
+        assert result.num_anomalies == 10
+        assert len(result.sorted_scores) == 367
+        assert result.anomaly_mean_score > result.normal_mean_score
+        assert "Separation ratio" in format_fig10(result)
+
+
+class TestTable2:
+    def test_shape_and_lookup(self):
+        result = run_table2(TINY, dataset_names=["power_plant"],
+                            probabilities=(0.5, 0.75))
+        assert result.probabilities == (0.5, 0.75)
+        assert len(result.f1_scores["power_plant"]) == 2
+        assert isinstance(result.f1_for("power_plant", 0.75), float)
+        assert result.best_probability("power_plant") in (0.5, 0.75)
+
+    def test_bucket_size_grows_with_probability(self):
+        result = run_table2(TINY, dataset_names=["power_plant"],
+                            probabilities=(0.5, 0.95))
+        sizes = result.bucket_sizes["power_plant"]
+        assert sizes[1] > sizes[0]
+
+    def test_format_contains_probability_headers(self):
+        result = run_table2(TINY, dataset_names=["power_plant"],
+                            probabilities=(0.5, 0.75))
+        assert "p = 0.75" in format_table2(result)

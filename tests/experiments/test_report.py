@@ -1,0 +1,33 @@
+"""Tests for the full-evaluation report generator."""
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.report import (
+    render_report,
+    run_full_evaluation,
+    write_report,
+)
+
+TINY = ExperimentSettings(ensemble_groups=3, shots=None, seed=9,
+                          noisy_ensemble_groups=1, noisy_subsample=25,
+                          qnn_epochs=2)
+
+
+class TestFullEvaluation:
+    def test_report_generation_end_to_end(self, tmp_path):
+        report = run_full_evaluation(TINY, include_noisy=False)
+
+        rendered = render_report(report)
+        for heading in ("Table I", "Fig. 8", "Fig. 9", "Fig. 10", "Table II"):
+            assert heading in rendered
+
+        markdown_path = write_report(report, tmp_path / "report.md",
+                                     json_path=tmp_path / "report.json")
+        assert markdown_path.exists()
+        assert (tmp_path / "report.json").exists()
+        assert "Table II" in markdown_path.read_text(encoding="utf-8")
+
+        payload = report.to_jsonable()
+        assert set(payload) == {"settings", "table1", "fig8", "fig9", "fig10",
+                                "table2"}
+        assert payload["settings"]["ensemble_groups"] == 3
+        assert len(payload["fig8"]["entries"]) == 4

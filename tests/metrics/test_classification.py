@@ -1,0 +1,113 @@
+"""Tests for the classification metrics used in Fig. 8."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.classification import (
+    accuracy_score,
+    confusion_counts,
+    evaluate_flags,
+    evaluate_top_k,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+
+
+Y_TRUE = [0, 0, 1, 1, 0, 1]
+Y_PRED = [0, 1, 1, 0, 0, 1]
+
+
+class TestBasicMetrics:
+    def test_confusion_counts(self):
+        counts = confusion_counts(Y_TRUE, Y_PRED)
+        assert counts == {"tp": 2, "fp": 1, "fn": 1, "tn": 2}
+
+    def test_precision(self):
+        assert precision_score(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+
+    def test_recall(self):
+        assert recall_score(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+
+    def test_f1(self):
+        assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+
+    def test_accuracy(self):
+        assert accuracy_score(Y_TRUE, Y_PRED) == pytest.approx(4 / 6)
+
+    def test_no_flags_gives_zero_precision_and_recall(self):
+        assert precision_score([1, 0], [0, 0]) == 0.0
+        assert f1_score([1, 0], [0, 0]) == 0.0
+
+    def test_no_anomalies_gives_zero_recall(self):
+        assert recall_score([0, 0], [1, 0]) == 0.0
+
+    def test_perfect_prediction(self):
+        report = evaluate_flags([0, 1, 0, 1], [0, 1, 0, 1])
+        assert report.precision == report.recall == report.f1 == report.accuracy == 1.0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            precision_score([0, 1], [0])
+
+    def test_non_binary_labels_raise(self):
+        with pytest.raises(ValueError):
+            precision_score([0, 2], [0, 1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            precision_score([], [])
+
+    def test_report_as_dict(self):
+        report = evaluate_flags(Y_TRUE, Y_PRED)
+        as_dict = report.as_dict()
+        assert as_dict["tp"] == 2
+        assert as_dict["f1"] == pytest.approx(2 / 3)
+
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_f1_is_harmonic_mean(self, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 2, size=40)
+        y_pred = rng.integers(0, 2, size=40)
+        if y_true.sum() == 0 or y_pred.sum() == 0:
+            return
+        precision = precision_score(y_true, y_pred)
+        recall = recall_score(y_true, y_pred)
+        expected = 0.0 if precision + recall == 0 else (
+            2 * precision * recall / (precision + recall))
+        assert f1_score(y_true, y_pred) == pytest.approx(expected)
+
+
+class TestTopK:
+    def test_flags_top_scores(self):
+        scores = [0.1, 0.9, 0.2, 0.8]
+        y_true = [0, 1, 0, 1]
+        report = evaluate_top_k(scores, y_true, 2)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+
+    def test_zero_flagged(self):
+        report = evaluate_top_k([0.1, 0.2], [0, 1], 0)
+        assert report.recall == 0.0
+        assert report.precision == 0.0
+
+    def test_out_of_range_k_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_top_k([0.1], [1], 5)
+
+    def test_score_label_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_top_k([0.1, 0.2], [1], 1)
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_flag_count_equals_k(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=30)
+        y_true = rng.integers(0, 2, size=30)
+        if y_true.sum() == 0:
+            return
+        report = evaluate_top_k(scores, y_true, 5)
+        assert report.tp + report.fp == 5

@@ -1,0 +1,92 @@
+"""Tests for detection-rate curves and separation profiles (Figs. 9-10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.detection import (
+    detection_rate_at_fraction,
+    detection_rate_curve,
+    separation_profile,
+)
+
+
+class TestDetectionCurve:
+    def test_perfect_detector(self):
+        scores = [10.0, 9.0, 1.0, 0.5, 0.1]
+        labels = [1, 1, 0, 0, 0]
+        curve = detection_rate_curve(scores, labels, num_points=11)
+        assert curve.rate_at(0.4) == 1.0
+        assert curve.detection_rates[-1] == 1.0
+        assert curve.detection_rates[0] == 0.0
+
+    def test_worst_detector(self):
+        scores = [0.1, 0.2, 5.0, 6.0]
+        labels = [1, 1, 0, 0]
+        curve = detection_rate_curve(scores, labels, num_points=5)
+        assert curve.rate_at(0.5) == 0.0
+        assert curve.rate_at(1.0) == 1.0
+
+    def test_monotonically_nondecreasing(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=60)
+        labels = rng.integers(0, 2, size=60)
+        curve = detection_rate_curve(scores, labels)
+        rates = np.asarray(curve.detection_rates)
+        assert np.all(np.diff(rates) >= -1e-12)
+
+    def test_area_of_perfect_detector_is_high(self):
+        scores = np.arange(100, 0, -1, dtype=float)
+        labels = np.zeros(100, dtype=int)
+        labels[:5] = 1  # the 5 highest scores are the anomalies
+        curve = detection_rate_curve(scores, labels)
+        assert curve.area() > 0.9
+
+    def test_no_anomalies_raises(self):
+        with pytest.raises(ValueError):
+            detection_rate_curve([0.1, 0.2], [0, 0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            detection_rate_curve([0.1], [0, 1])
+
+    def test_rate_at_fraction_helper(self):
+        scores = [3.0, 2.0, 1.0, 0.5]
+        labels = [1, 0, 0, 1]
+        assert detection_rate_at_fraction(scores, labels, 0.25) == 0.5
+
+    def test_fraction_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            detection_rate_at_fraction([1.0], [1], 1.5)
+
+    def test_as_dict_round_trip(self):
+        curve = detection_rate_curve([3.0, 1.0], [1, 0], num_points=3)
+        as_dict = curve.as_dict()
+        assert len(as_dict["fractions"]) == 3
+        assert as_dict["detection_rates"][-1] == 1.0
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_final_rate_is_always_one(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=50)
+        labels = np.zeros(50, dtype=int)
+        labels[rng.choice(50, size=5, replace=False)] = 1
+        curve = detection_rate_curve(scores, labels)
+        assert curve.detection_rates[-1] == pytest.approx(1.0)
+
+
+class TestSeparationProfile:
+    def test_sorted_scores_ascending(self):
+        profile = separation_profile([3.0, 1.0, 2.0], [1, 0, 0])
+        assert list(profile["sorted_scores"]) == [1.0, 2.0, 3.0]
+        assert list(profile["sorted_is_anomaly"]) == [False, False, True]
+
+    def test_order_indexes_original_array(self):
+        scores = np.array([5.0, 1.0, 3.0])
+        profile = separation_profile(scores, [1, 0, 0])
+        assert np.allclose(scores[profile["order"]], profile["sorted_scores"])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            separation_profile([1.0], [1, 0])

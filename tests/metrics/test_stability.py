@@ -1,0 +1,125 @@
+"""Tests for the ranking-stability diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.stability import (
+    ranking_stability_curve,
+    score_agreement,
+    spearman_rank_correlation,
+    top_k_jaccard,
+)
+
+
+class TestSpearman:
+    def test_identical_rankings(self):
+        scores = [1.0, 3.0, 2.0, 5.0]
+        assert spearman_rank_correlation(scores, scores) == pytest.approx(1.0)
+
+    def test_reversed_rankings(self):
+        first = [1.0, 2.0, 3.0, 4.0]
+        second = [4.0, 3.0, 2.0, 1.0]
+        assert spearman_rank_correlation(first, second) == pytest.approx(-1.0)
+
+    def test_monotone_transform_preserves_correlation(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=50)
+        assert spearman_rank_correlation(scores, np.exp(scores)) == pytest.approx(1.0)
+
+    def test_constant_vector_gives_zero(self):
+        assert spearman_rank_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_ties_handled_symmetrically(self):
+        first = [1.0, 1.0, 2.0]
+        second = [2.0, 1.0, 1.0]
+        forward = spearman_rank_correlation(first, second)
+        backward = spearman_rank_correlation(second, first)
+        assert forward == pytest.approx(backward)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1.0], [1.0, 2.0])
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1.0], [2.0])
+
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_bounded_in_minus_one_one(self, seed):
+        rng = np.random.default_rng(seed)
+        first = rng.normal(size=30)
+        second = rng.normal(size=30)
+        value = spearman_rank_correlation(first, second)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestTopKJaccard:
+    def test_identical_scores(self):
+        scores = [0.1, 0.9, 0.5, 0.7]
+        assert top_k_jaccard(scores, scores, 2) == 1.0
+
+    def test_disjoint_top_sets(self):
+        first = [10.0, 9.0, 0.0, 0.0]
+        second = [0.0, 0.0, 9.0, 10.0]
+        assert top_k_jaccard(first, second, 2) == 0.0
+
+    def test_partial_overlap(self):
+        first = [10.0, 9.0, 1.0, 0.0]
+        second = [10.0, 0.0, 9.0, 1.0]
+        assert top_k_jaccard(first, second, 2) == pytest.approx(1.0 / 3.0)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            top_k_jaccard([1.0, 2.0], [1.0, 2.0], 0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            top_k_jaccard([1.0, 2.0], [1.0], 1)
+
+
+class TestStabilityCurve:
+    def test_final_checkpoint_correlates_perfectly(self):
+        rng = np.random.default_rng(1)
+        members = [rng.uniform(size=20) for _ in range(6)]
+        reference = np.sum(members, axis=0)
+        curve = ranking_stability_curve(members, reference, checkpoints=[2, 4, 6])
+        assert curve[6] == pytest.approx(1.0)
+        assert set(curve) == {2, 4, 6}
+
+    def test_correlation_generally_increases(self):
+        rng = np.random.default_rng(2)
+        base = rng.uniform(size=40)
+        members = [base + rng.normal(scale=0.3, size=40) for _ in range(10)]
+        reference = np.sum(members, axis=0)
+        curve = ranking_stability_curve(members, reference, checkpoints=[1, 5, 10])
+        assert curve[10] >= curve[1]
+
+    def test_invalid_checkpoint_raises(self):
+        members = [np.ones(5)]
+        with pytest.raises(ValueError):
+            ranking_stability_curve(members, np.ones(5), checkpoints=[2])
+
+    def test_empty_members_raise(self):
+        with pytest.raises(ValueError):
+            ranking_stability_curve([], np.ones(5), checkpoints=[1])
+
+
+class TestScoreAgreement:
+    def test_identical_runs_agree_perfectly(self):
+        scores = np.random.default_rng(3).uniform(size=30)
+        result = score_agreement([scores, scores.copy(), scores.copy()], k=5)
+        assert result["mean_spearman"] == pytest.approx(1.0)
+        assert result["mean_top_k_jaccard"] == pytest.approx(1.0)
+        assert result["num_pairs"] == 3
+
+    def test_independent_noise_reduces_agreement(self):
+        rng = np.random.default_rng(4)
+        runs = [rng.uniform(size=50) for _ in range(3)]
+        result = score_agreement(runs, k=5)
+        assert result["mean_spearman"] < 0.5
+
+    def test_needs_two_runs(self):
+        with pytest.raises(ValueError):
+            score_agreement([np.ones(5)], k=1)

@@ -1,0 +1,118 @@
+"""Tests for the standard-circuit library (and, through it, the substrate)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum.circuit_library import (
+    bell_pair,
+    ghz_circuit,
+    qft_circuit,
+    random_circuit,
+    w_state_circuit,
+)
+from repro.quantum.simulator import StatevectorSimulator
+from repro.quantum.transpiler import transpile, unitaries_equivalent
+
+
+def final_state(circuit):
+    return StatevectorSimulator().run(circuit, shots=0).statevector
+
+
+class TestBellAndGhz:
+    def test_bell_pair_amplitudes(self):
+        state = final_state(bell_pair())
+        assert np.isclose(abs(state.data[0]) ** 2, 0.5)
+        assert np.isclose(abs(state.data[3]) ** 2, 0.5)
+
+    @pytest.mark.parametrize("num_qubits", [2, 3, 5])
+    def test_ghz_amplitudes(self, num_qubits):
+        state = final_state(ghz_circuit(num_qubits))
+        probabilities = np.abs(state.data) ** 2
+        assert np.isclose(probabilities[0], 0.5)
+        assert np.isclose(probabilities[-1], 0.5)
+        assert np.isclose(probabilities[1:-1].sum(), 0.0)
+
+    def test_ghz_requires_two_qubits(self):
+        with pytest.raises(ValueError):
+            ghz_circuit(1)
+
+
+class TestWState:
+    @pytest.mark.parametrize("num_qubits", [2, 3, 4])
+    def test_w_state_is_uniform_over_weight_one_strings(self, num_qubits):
+        state = final_state(w_state_circuit(num_qubits))
+        probabilities = np.abs(state.data) ** 2
+        for index, probability in enumerate(probabilities):
+            weight = bin(index).count("1")
+            if weight == 1:
+                assert probability == pytest.approx(1.0 / num_qubits, abs=1e-9)
+            else:
+                assert probability == pytest.approx(0.0, abs=1e-9)
+
+    def test_w_state_requires_two_qubits(self):
+        with pytest.raises(ValueError):
+            w_state_circuit(1)
+
+
+class TestQft:
+    def test_qft_matrix_matches_dft(self):
+        num_qubits = 3
+        dim = 2 ** num_qubits
+        unitary = qft_circuit(num_qubits).to_unitary()
+        omega = np.exp(2j * math.pi / dim)
+        dft = np.array([[omega ** (row * col) for col in range(dim)]
+                        for row in range(dim)]) / math.sqrt(dim)
+        assert unitaries_equivalent(unitary, dft)
+
+    def test_qft_on_zero_state_is_uniform(self):
+        state = final_state(qft_circuit(4))
+        assert np.allclose(np.abs(state.data), 0.25, atol=1e-9)
+
+    def test_qft_without_swaps_permutes_outputs(self):
+        with_swaps = qft_circuit(3).to_unitary()
+        without_swaps = qft_circuit(3, include_swaps=False).to_unitary()
+        assert not unitaries_equivalent(with_swaps, without_swaps)
+
+    def test_qft_transpiles_to_brisbane_basis(self):
+        circuit = qft_circuit(3)
+        lowered = transpile(circuit, basis=("rz", "sx", "x", "cx"))
+        assert unitaries_equivalent(lowered.to_unitary(), circuit.to_unitary())
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            qft_circuit(0)
+
+
+class TestRandomCircuit:
+    def test_reproducibility(self):
+        first = random_circuit(4, 5, seed=3)
+        second = random_circuit(4, 5, seed=3)
+        assert [i.name for i in first.instructions] == [i.name for i in second.instructions]
+        assert np.allclose(
+            [i.params[0] for i in first.instructions if i.params],
+            [i.params[0] for i in second.instructions if i.params],
+        )
+
+    def test_different_seeds_differ(self):
+        first = random_circuit(4, 5, seed=1)
+        second = random_circuit(4, 5, seed=2)
+        params_first = [i.params[0] for i in first.instructions if i.params]
+        params_second = [i.params[0] for i in second.instructions if i.params]
+        assert params_first != params_second
+
+    def test_transpiled_random_circuit_is_equivalent(self):
+        circuit = random_circuit(3, 4, seed=9)
+        lowered = transpile(circuit, basis=("rz", "rx", "cx"))
+        assert unitaries_equivalent(lowered.to_unitary(), circuit.to_unitary())
+
+    def test_normalized_output_state(self):
+        state = final_state(random_circuit(5, 6, seed=0))
+        assert state.is_normalized()
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            random_circuit(0, 3)
+        with pytest.raises(ValueError):
+            random_circuit(3, 0)

@@ -1,0 +1,125 @@
+"""Tests for the density-matrix representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quantum import gates
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.noise import amplitude_damping_kraus, depolarizing_kraus
+from repro.quantum.operators import is_density_matrix
+from repro.quantum.statevector import Statevector
+
+
+def random_statevector(num_qubits, seed):
+    rng = np.random.default_rng(seed)
+    vec = rng.normal(size=2 ** num_qubits) + 1j * rng.normal(size=2 ** num_qubits)
+    return Statevector.from_amplitudes(vec)
+
+
+class TestConstruction:
+    def test_zero_state(self):
+        rho = DensityMatrix.zero_state(2)
+        assert rho.num_qubits == 2
+        assert np.isclose(rho.data[0, 0].real, 1.0)
+
+    def test_from_statevector(self):
+        state = random_statevector(2, 1)
+        rho = DensityMatrix.from_statevector(state)
+        assert np.isclose(rho.purity(), 1.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(np.ones((2, 3)))
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(np.eye(3))
+
+
+class TestEvolution:
+    def test_unitary_evolution_matches_statevector(self):
+        state = random_statevector(3, 5)
+        rho = DensityMatrix.from_statevector(state)
+        gate = gates.standard_gate_matrix("cry", [1.1])
+        evolved_rho = rho.evolve_gate(gate, [0, 2])
+        evolved_state = state.evolve_gate(gate, [0, 2])
+        assert np.allclose(evolved_rho.data, evolved_state.to_density_matrix())
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_evolution_preserves_density_matrix_properties(self, seed):
+        rho = DensityMatrix.from_statevector(random_statevector(2, seed))
+        evolved = rho.evolve_gate(gates.H, [0]).evolve_gate(gates.CX, [0, 1])
+        assert is_density_matrix(evolved.data)
+
+    def test_reset_on_product_state(self):
+        state = Statevector.zero_state(2).evolve_gate(gates.X, [0])
+        rho = DensityMatrix.from_statevector(state).reset_qubit(0)
+        assert np.isclose(rho.data[0, 0].real, 1.0)
+
+    def test_reset_on_entangled_state_gives_mixed_state(self):
+        state = Statevector.zero_state(2)
+        state = state.evolve_gate(gates.H, [0]).evolve_gate(gates.CX, [0, 1])
+        rho = DensityMatrix.from_statevector(state).reset_qubit(0)
+        # Qubit 0 is |0> but qubit 1 stays maximally mixed.
+        assert np.isclose(rho.purity(), 0.5)
+        assert np.isclose(rho.probability_of_outcome(0, 0), 1.0)
+        assert np.isclose(rho.probability_of_outcome(1, 0), 0.5)
+
+    def test_reset_is_trace_preserving(self):
+        rho = DensityMatrix.from_statevector(random_statevector(3, 8)).reset_qubit(1)
+        assert np.isclose(rho.trace(), 1.0)
+
+    def test_apply_depolarizing_channel(self):
+        rho = DensityMatrix.zero_state(1)
+        noisy = rho.apply_kraus(depolarizing_kraus(1.0, 1), [0])
+        # Full depolarization leaves the maximally mixed state.
+        assert np.allclose(noisy.data, np.eye(2) / 2, atol=1e-9)
+
+    def test_apply_amplitude_damping(self):
+        excited = DensityMatrix.from_statevector(
+            Statevector.zero_state(1).evolve_gate(gates.X, [0])
+        )
+        damped = excited.apply_kraus(amplitude_damping_kraus(1.0), [0])
+        assert np.isclose(damped.probability_of_outcome(0, 0), 1.0)
+
+
+class TestMeasurement:
+    def test_probabilities_match_statevector(self):
+        state = random_statevector(3, 12)
+        rho = DensityMatrix.from_statevector(state)
+        assert np.allclose(rho.probabilities(), state.probabilities())
+        assert np.allclose(rho.probabilities([1]), state.probabilities([1]))
+
+    def test_sample_counts_total(self):
+        rho = DensityMatrix.from_statevector(random_statevector(2, 4))
+        counts = rho.sample_counts(256, np.random.default_rng(1))
+        assert sum(counts.values()) == 256
+
+    def test_expectation_z(self):
+        rho = DensityMatrix.zero_state(1)
+        assert np.isclose(rho.expectation_z(0), 1.0)
+
+
+class TestReductionsAndOverlap:
+    def test_reduced_of_product_state(self):
+        state = Statevector.zero_state(2).evolve_gate(gates.X, [1])
+        rho = DensityMatrix.from_statevector(state)
+        reduced = rho.reduced([1])
+        assert np.isclose(reduced.data[1, 1].real, 1.0)
+
+    def test_overlap_identical_pure_states(self):
+        rho = DensityMatrix.from_statevector(random_statevector(2, 6))
+        assert np.isclose(rho.overlap(rho), 1.0)
+
+    def test_overlap_orthogonal_states(self):
+        zero = DensityMatrix.zero_state(1)
+        one = DensityMatrix.from_statevector(
+            Statevector.zero_state(1).evolve_gate(gates.X, [0])
+        )
+        assert np.isclose(zero.overlap(one), 0.0)
+
+    def test_overlap_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DensityMatrix.zero_state(1).overlap(DensityMatrix.zero_state(2))

@@ -1,0 +1,154 @@
+"""Unit tests for gate matrices."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.quantum import gates
+
+
+ANGLES = st.floats(min_value=-4 * math.pi, max_value=4 * math.pi,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestFixedGates:
+    def test_all_fixed_gates_are_unitary(self):
+        for name, matrix in gates.GATE_MATRICES.items():
+            assert gates.is_unitary(matrix), f"{name} is not unitary"
+
+    def test_pauli_algebra(self):
+        assert np.allclose(gates.X @ gates.X, np.eye(2))
+        assert np.allclose(gates.Y @ gates.Y, np.eye(2))
+        assert np.allclose(gates.Z @ gates.Z, np.eye(2))
+        assert np.allclose(gates.X @ gates.Y, 1j * gates.Z)
+
+    def test_hadamard_maps_z_to_x(self):
+        assert np.allclose(gates.H @ gates.Z @ gates.H, gates.X)
+
+    def test_s_squared_is_z(self):
+        assert np.allclose(gates.S @ gates.S, gates.Z)
+
+    def test_t_squared_is_s(self):
+        assert np.allclose(gates.T @ gates.T, gates.S)
+
+    def test_sx_squared_is_x(self):
+        assert np.allclose(gates.SX @ gates.SX, gates.X)
+
+    def test_cx_flips_target_when_control_set(self):
+        # Little endian: control is qubit 0 (LSB).  |control=1, target=0> = index 1.
+        state = np.zeros(4, dtype=complex)
+        state[1] = 1.0
+        result = gates.CX @ state
+        expected = np.zeros(4, dtype=complex)
+        expected[3] = 1.0  # |11>
+        assert np.allclose(result, expected)
+
+    def test_cx_identity_when_control_clear(self):
+        state = np.zeros(4, dtype=complex)
+        state[2] = 1.0  # |control=0, target=1>
+        assert np.allclose(gates.CX @ state, state)
+
+    def test_swap_exchanges_basis_states(self):
+        state = np.zeros(4, dtype=complex)
+        state[1] = 1.0  # |q0=1, q1=0>
+        expected = np.zeros(4, dtype=complex)
+        expected[2] = 1.0  # |q0=0, q1=1>
+        assert np.allclose(gates.SWAP @ state, expected)
+
+    def test_cswap_swaps_targets_only_when_control_set(self):
+        # Qubit order (control, a, b); control = LSB.
+        # |control=1, a=1, b=0> = 1 + 2 = 3 -> |control=1, a=0, b=1> = 1 + 4 = 5.
+        state = np.zeros(8, dtype=complex)
+        state[3] = 1.0
+        expected = np.zeros(8, dtype=complex)
+        expected[5] = 1.0
+        assert np.allclose(gates.CSWAP @ state, expected)
+        # Control clear: nothing happens.
+        state = np.zeros(8, dtype=complex)
+        state[2] = 1.0
+        assert np.allclose(gates.CSWAP @ state, state)
+
+    def test_ccx_flips_target_only_when_both_controls_set(self):
+        # Qubit order (c0, c1, target), c0 = LSB.
+        state = np.zeros(8, dtype=complex)
+        state[3] = 1.0  # c0=1, c1=1, t=0
+        expected = np.zeros(8, dtype=complex)
+        expected[7] = 1.0
+        assert np.allclose(gates.CCX @ state, expected)
+        state = np.zeros(8, dtype=complex)
+        state[1] = 1.0  # only c0 set
+        assert np.allclose(gates.CCX @ state, state)
+
+
+class TestParametricGates:
+    @given(theta=ANGLES)
+    def test_rotations_are_unitary(self, theta):
+        for factory in (gates.rx_matrix, gates.ry_matrix, gates.rz_matrix):
+            assert gates.is_unitary(factory(theta))
+
+    @given(theta=ANGLES)
+    def test_rotation_inverse_is_negated_angle(self, theta):
+        for factory in (gates.rx_matrix, gates.ry_matrix, gates.rz_matrix):
+            product = factory(theta) @ factory(-theta)
+            assert np.allclose(product, np.eye(2), atol=1e-9)
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        assert np.allclose(gates.rx_matrix(math.pi), -1j * gates.X)
+
+    def test_ry_pi_is_y_up_to_phase(self):
+        assert np.allclose(gates.ry_matrix(math.pi), -1j * gates.Y)
+
+    def test_rz_pi_is_z_up_to_phase(self):
+        assert np.allclose(gates.rz_matrix(math.pi), -1j * gates.Z)
+
+    def test_u_gate_special_cases(self):
+        assert np.allclose(gates.u_matrix(0, 0, 0), np.eye(2))
+        assert np.allclose(gates.u_matrix(math.pi / 2, 0, math.pi), gates.H, atol=1e-12)
+
+    @given(theta=ANGLES)
+    def test_controlled_rotation_block_structure(self, theta):
+        crx = gates.standard_gate_matrix("crx", [theta])
+        # Control clear (even indices in little endian with control = LSB):
+        assert np.isclose(crx[0, 0], 1.0)
+        assert np.isclose(crx[2, 2], 1.0)
+        # Control set block equals rx(theta).
+        block = crx[np.ix_([1, 3], [1, 3])]
+        assert np.allclose(block, gates.rx_matrix(theta))
+
+    def test_rzz_is_diagonal(self):
+        matrix = gates.rzz_matrix(0.7)
+        assert np.allclose(matrix, np.diag(np.diag(matrix)))
+
+
+class TestStandardGateLookup:
+    def test_lookup_fixed_gate(self):
+        assert np.allclose(gates.standard_gate_matrix("h"), gates.H)
+
+    def test_lookup_parametric_gate(self):
+        assert np.allclose(gates.standard_gate_matrix("rx", [0.3]),
+                           gates.rx_matrix(0.3))
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            gates.standard_gate_matrix("nope")
+
+    def test_fixed_gate_with_params_raises(self):
+        with pytest.raises(ValueError):
+            gates.standard_gate_matrix("x", [0.1])
+
+    def test_parametric_gate_with_wrong_arity_raises(self):
+        with pytest.raises(ValueError):
+            gates.standard_gate_matrix("u", [0.1])
+
+    def test_gate_num_qubits_consistent_with_matrices(self):
+        for name, arity in gates.GATE_NUM_QUBITS.items():
+            if name in gates.GATE_MATRICES:
+                assert gates.GATE_MATRICES[name].shape == (2 ** arity, 2 ** arity)
+
+    def test_is_unitary_rejects_non_square(self):
+        assert not gates.is_unitary(np.ones((2, 3)))
+
+    def test_is_unitary_rejects_singular(self):
+        assert not gates.is_unitary(np.zeros((2, 2)))

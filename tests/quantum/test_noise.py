@@ -1,0 +1,148 @@
+"""Tests for noise channels, the noise model container, and fake backends."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.backends import BackendProperties, FakeBrisbane, FakeIdealBackend
+from repro.quantum.circuit import Instruction
+from repro.quantum.noise import (
+    NoiseModel,
+    QuantumError,
+    ReadoutError,
+    amplitude_damping_kraus,
+    bit_flip_kraus,
+    depolarizing_kraus,
+    phase_damping_kraus,
+    phase_flip_kraus,
+    thermal_relaxation_kraus,
+)
+from repro.quantum.operators import apply_kraus, process_is_trace_preserving
+
+
+class TestChannels:
+    @pytest.mark.parametrize("probability", [0.0, 0.1, 0.5, 1.0])
+    def test_depolarizing_is_trace_preserving(self, probability):
+        assert process_is_trace_preserving(depolarizing_kraus(probability, 1))
+        assert process_is_trace_preserving(depolarizing_kraus(probability, 2))
+
+    def test_depolarizing_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            depolarizing_kraus(1.5, 1)
+
+    def test_amplitude_damping_trace_preserving(self):
+        assert process_is_trace_preserving(amplitude_damping_kraus(0.3))
+
+    def test_phase_damping_trace_preserving(self):
+        assert process_is_trace_preserving(phase_damping_kraus(0.3))
+
+    def test_bit_and_phase_flip_trace_preserving(self):
+        assert process_is_trace_preserving(bit_flip_kraus(0.2))
+        assert process_is_trace_preserving(phase_flip_kraus(0.2))
+
+    def test_thermal_relaxation_trace_preserving(self):
+        kraus = thermal_relaxation_kraus(t1=230.0, t2=143.0, gate_time=0.5)
+        assert process_is_trace_preserving(kraus)
+
+    def test_thermal_relaxation_rejects_t2_greater_than_2t1(self):
+        with pytest.raises(ValueError):
+            thermal_relaxation_kraus(t1=10.0, t2=25.0, gate_time=0.1)
+
+    def test_phase_damping_kills_coherences(self):
+        plus = 0.5 * np.ones((2, 2), dtype=complex)
+        dephased = apply_kraus(plus, phase_damping_kraus(1.0))
+        assert np.allclose(dephased, np.diag([0.5, 0.5]))
+
+    def test_amplitude_damping_decays_excited_population(self):
+        excited = np.diag([0.0, 1.0]).astype(complex)
+        damped = apply_kraus(excited, amplitude_damping_kraus(0.4))
+        assert np.isclose(damped[0, 0].real, 0.4)
+        assert np.isclose(damped[1, 1].real, 0.6)
+
+
+class TestReadoutError:
+    def test_symmetric_constructor(self):
+        error = ReadoutError.symmetric(0.02)
+        assert error.prob_1_given_0 == error.prob_0_given_1 == 0.02
+
+    def test_confusion_matrix_columns_sum_to_one(self):
+        matrix = ReadoutError(0.1, 0.2).confusion_matrix()
+        assert np.allclose(matrix.sum(axis=0), [1.0, 1.0])
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            ReadoutError(1.5, 0.0)
+
+    def test_apply_to_bit_statistics(self):
+        rng = np.random.default_rng(0)
+        error = ReadoutError(0.3, 0.0)
+        flips = sum(error.apply_to_bit(0, rng) for _ in range(5000))
+        assert 0.25 < flips / 5000 < 0.35
+
+
+class TestNoiseModel:
+    def test_trivial_model(self):
+        assert NoiseModel().is_trivial
+
+    def test_gate_specific_error_lookup(self):
+        model = NoiseModel()
+        error = QuantumError.from_kraus(depolarizing_kraus(0.01, 2))
+        model.add_gate_error("cx", error)
+        found = model.error_for_instruction(Instruction(name="cx", qubits=(0, 1)))
+        assert found is error
+        assert model.error_for_instruction(Instruction(name="h", qubits=(0,))) is None
+
+    def test_default_arity_errors(self):
+        model = NoiseModel()
+        one_q = QuantumError.from_kraus(depolarizing_kraus(0.01, 1))
+        two_q = QuantumError.from_kraus(depolarizing_kraus(0.02, 2))
+        model.add_all_single_qubit_error(one_q)
+        model.add_all_two_qubit_error(two_q)
+        assert model.error_for_instruction(
+            Instruction(name="rx", qubits=(0,), params=(0.3,))) is one_q
+        assert model.error_for_instruction(
+            Instruction(name="cx", qubits=(0, 1))) is two_q
+
+    def test_arity_mismatch_raises(self):
+        model = NoiseModel()
+        two_q = QuantumError.from_kraus(depolarizing_kraus(0.02, 2))
+        with pytest.raises(ValueError):
+            model.add_all_single_qubit_error(two_q)
+
+    def test_non_unitary_instructions_have_no_error(self):
+        model = NoiseModel()
+        model.add_all_single_qubit_error(
+            QuantumError.from_kraus(depolarizing_kraus(0.01, 1)))
+        assert model.error_for_instruction(Instruction(name="reset", qubits=(0,))) is None
+
+    def test_repr_lists_gates(self):
+        model = NoiseModel()
+        model.add_gate_error("cx", QuantumError.from_kraus(depolarizing_kraus(0.1, 2)))
+        assert "cx" in repr(model)
+
+
+class TestBackends:
+    def test_brisbane_figures_match_paper(self):
+        backend = FakeBrisbane()
+        assert backend.t1_us == pytest.approx(230.42)
+        assert backend.t2_us == pytest.approx(143.41)
+        assert backend.single_qubit_gate_error == pytest.approx(2.274e-4)
+        assert backend.two_qubit_gate_error == pytest.approx(2.903e-3)
+        assert backend.readout_error == pytest.approx(1.38e-2)
+
+    def test_brisbane_noise_model_is_not_trivial(self):
+        assert not FakeBrisbane().to_noise_model().is_trivial
+
+    def test_ideal_backend_errors_are_zero(self):
+        backend = FakeIdealBackend()
+        assert backend.single_qubit_gate_error == 0.0
+        assert backend.readout_error == 0.0
+
+    def test_invalid_properties_raise(self):
+        with pytest.raises(ValueError):
+            BackendProperties(name="bad", num_qubits=0, t1_us=1, t2_us=1,
+                              single_qubit_gate_error=0, two_qubit_gate_error=0,
+                              readout_error=0)
+        with pytest.raises(ValueError):
+            BackendProperties(name="bad", num_qubits=1, t1_us=1, t2_us=1,
+                              single_qubit_gate_error=2.0, two_qubit_gate_error=0,
+                              readout_error=0)

@@ -1,0 +1,131 @@
+"""Tests for partial trace, fidelity, purity, and Kraus helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quantum import gates
+from repro.quantum.operators import (
+    apply_kraus,
+    is_density_matrix,
+    partial_trace,
+    process_is_trace_preserving,
+    purity,
+    state_fidelity,
+)
+from repro.quantum.statevector import Statevector
+
+
+def bell_density_matrix():
+    state = Statevector.zero_state(2)
+    state = state.evolve_gate(gates.H, [0]).evolve_gate(gates.CX, [0, 1])
+    return state.to_density_matrix()
+
+
+def random_pure_density(num_qubits, seed):
+    rng = np.random.default_rng(seed)
+    vec = rng.normal(size=2 ** num_qubits) + 1j * rng.normal(size=2 ** num_qubits)
+    return Statevector.from_amplitudes(vec).to_density_matrix()
+
+
+class TestPartialTrace:
+    def test_bell_state_reduction_is_maximally_mixed(self):
+        rho = bell_density_matrix()
+        reduced = partial_trace(rho, [0], 2)
+        assert np.allclose(reduced, np.eye(2) / 2)
+        reduced = partial_trace(rho, [1], 2)
+        assert np.allclose(reduced, np.eye(2) / 2)
+
+    def test_product_state_reduction(self):
+        # Qubit 0 in |1>, qubit 1 in |+>.
+        state = Statevector.zero_state(2)
+        state = state.evolve_gate(gates.X, [0]).evolve_gate(gates.H, [1])
+        rho = state.to_density_matrix()
+        reduced0 = partial_trace(rho, [0], 2)
+        assert np.allclose(reduced0, np.array([[0, 0], [0, 1]], dtype=complex))
+        reduced1 = partial_trace(rho, [1], 2)
+        assert np.allclose(reduced1, 0.5 * np.ones((2, 2), dtype=complex))
+
+    def test_keep_all_returns_input(self):
+        rho = random_pure_density(2, 1)
+        assert np.allclose(partial_trace(rho, [0, 1], 2), rho)
+
+    def test_keep_order_permutes_result(self):
+        # Qubit 0 in |1>, qubit 1 in |0>; keeping (0,1) vs (1,0) permutes the index.
+        state = Statevector.zero_state(2).evolve_gate(gates.X, [0])
+        rho = state.to_density_matrix()
+        keep01 = partial_trace(rho, [0, 1], 2)
+        keep10 = partial_trace(rho, [1, 0], 2)
+        assert np.isclose(keep01[1, 1].real, 1.0)
+        assert np.isclose(keep10[2, 2].real, 1.0)
+
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_reduced_states_are_density_matrices(self, seed):
+        rho = random_pure_density(3, seed)
+        for keep in ([0], [1], [2], [0, 1], [1, 2], [0, 2]):
+            reduced = partial_trace(rho, keep, 3)
+            assert is_density_matrix(reduced)
+
+    def test_trace_preserved(self):
+        rho = random_pure_density(3, 42)
+        reduced = partial_trace(rho, [0, 2], 3)
+        assert np.isclose(np.trace(reduced).real, 1.0)
+
+
+class TestPurityAndFidelity:
+    def test_pure_state_purity(self):
+        assert np.isclose(purity(random_pure_density(2, 3)), 1.0)
+
+    def test_maximally_mixed_purity(self):
+        assert np.isclose(purity(np.eye(4) / 4), 0.25)
+
+    def test_fidelity_identical_states(self):
+        rho = random_pure_density(2, 8)
+        assert np.isclose(state_fidelity(rho, rho), 1.0, atol=1e-6)
+
+    def test_fidelity_orthogonal_states(self):
+        zero = np.diag([1.0, 0.0]).astype(complex)
+        one = np.diag([0.0, 1.0]).astype(complex)
+        assert np.isclose(state_fidelity(zero, one), 0.0, atol=1e-9)
+
+    def test_fidelity_pure_vs_mixed(self):
+        zero = np.diag([1.0, 0.0]).astype(complex)
+        mixed = np.eye(2) / 2
+        assert np.isclose(state_fidelity(zero, mixed), 0.5, atol=1e-8)
+
+
+class TestKraus:
+    def test_apply_identity_channel(self):
+        rho = random_pure_density(1, 2)
+        assert np.allclose(apply_kraus(rho, [np.eye(2)]), rho)
+
+    def test_reset_channel(self):
+        k0 = np.array([[1, 0], [0, 0]], dtype=complex)
+        k1 = np.array([[0, 1], [0, 0]], dtype=complex)
+        rho = np.diag([0.3, 0.7]).astype(complex)
+        out = apply_kraus(rho, [k0, k1])
+        assert np.allclose(out, np.diag([1.0, 0.0]))
+
+    def test_completeness_check(self):
+        k0 = np.array([[1, 0], [0, 0]], dtype=complex)
+        k1 = np.array([[0, 1], [0, 0]], dtype=complex)
+        assert process_is_trace_preserving([k0, k1])
+        assert not process_is_trace_preserving([k0])
+
+
+class TestIsDensityMatrix:
+    def test_valid(self):
+        assert is_density_matrix(np.eye(2) / 2)
+
+    def test_rejects_trace_not_one(self):
+        assert not is_density_matrix(np.eye(2))
+
+    def test_rejects_non_hermitian(self):
+        assert not is_density_matrix(np.array([[0.5, 1.0], [0.0, 0.5]]))
+
+    def test_rejects_negative_eigenvalues(self):
+        assert not is_density_matrix(np.diag([1.5, -0.5]))
+
+    def test_rejects_non_square(self):
+        assert not is_density_matrix(np.ones((2, 3)))

@@ -1,0 +1,116 @@
+"""Tests for Pauli-string operators and observables."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import gates
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.pauli import PauliString, PauliSum, single_qubit_pauli
+from repro.quantum.statevector import Statevector
+
+
+class TestPauliString:
+    def test_label_validation(self):
+        assert PauliString("xiz").label == "XIZ"
+        with pytest.raises(ValueError):
+            PauliString("")
+        with pytest.raises(ValueError):
+            PauliString("XQ")
+
+    def test_matrix_of_single_qubit_labels(self):
+        assert np.allclose(PauliString("X").to_matrix(), gates.X)
+        assert np.allclose(PauliString("Z").to_matrix(), gates.Z)
+
+    def test_little_endian_ordering(self):
+        # "ZI": Z acts on qubit 1 (leftmost char is the most significant qubit).
+        matrix = PauliString("ZI").to_matrix()
+        assert np.allclose(matrix, np.kron(gates.Z, np.eye(2)))
+        assert PauliString("ZI").factor(0) == "I"
+        assert PauliString("ZI").factor(1) == "Z"
+
+    def test_weight(self):
+        assert PauliString("IXI").weight == 1
+        assert PauliString("XYZ").weight == 3
+        assert PauliString("III").weight == 0
+
+    def test_commutation(self):
+        assert PauliString("XX").commutes_with(PauliString("ZZ"))
+        assert not PauliString("XI").commutes_with(PauliString("ZI"))
+        with pytest.raises(ValueError):
+            PauliString("X").commutes_with(PauliString("XX"))
+
+    def test_composition(self):
+        phase, result = PauliString("X").compose(PauliString("Y"))
+        assert result.label == "Z"
+        assert phase == pytest.approx(1j)
+        phase, result = PauliString("Z").compose(PauliString("Z"))
+        assert result.label == "I"
+        assert phase == pytest.approx(1.0)
+
+    def test_composition_matches_matrices(self):
+        first = PauliString("XY")
+        second = PauliString("ZX")
+        phase, product = first.compose(second)
+        assert np.allclose(phase * product.to_matrix(),
+                           first.to_matrix() @ second.to_matrix())
+
+    def test_expectation_on_basis_states(self):
+        zero = Statevector.zero_state(1)
+        one = zero.evolve_gate(gates.X, [0])
+        assert PauliString("Z").expectation(zero) == pytest.approx(1.0)
+        assert PauliString("Z").expectation(one) == pytest.approx(-1.0)
+        plus = zero.evolve_gate(gates.H, [0])
+        assert PauliString("X").expectation(plus) == pytest.approx(1.0)
+
+    def test_expectation_on_density_matrix(self):
+        mixed = DensityMatrix(np.eye(2) / 2)
+        assert PauliString("Z").expectation(mixed) == pytest.approx(0.0)
+
+    def test_expectation_on_raw_vector(self):
+        assert PauliString("Z").expectation(np.array([0.0, 1.0])) == pytest.approx(-1.0)
+
+    def test_expectation_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            PauliString("ZZ").expectation(np.array([1.0, 0.0]))
+
+    def test_single_qubit_pauli_helper(self):
+        assert single_qubit_pauli("Z", 0, 3).label == "IIZ"
+        assert single_qubit_pauli("X", 2, 3).label == "XII"
+        with pytest.raises(ValueError):
+            single_qubit_pauli("I", 0, 3)
+        with pytest.raises(ValueError):
+            single_qubit_pauli("Z", 5, 3)
+
+
+class TestPauliSum:
+    def test_expectation_is_linear(self):
+        state = Statevector.zero_state(2)
+        observable = PauliSum([(0.5, "IZ"), (0.25, "ZI")])
+        assert observable.expectation(state) == pytest.approx(0.75)
+
+    def test_matrix_matches_term_sum(self):
+        observable = PauliSum([(1.0, "XX"), (-0.5, "ZZ")])
+        expected = PauliString("XX").to_matrix() - 0.5 * PauliString("ZZ").to_matrix()
+        assert np.allclose(observable.to_matrix(), expected)
+
+    def test_simplify_merges_duplicates(self):
+        observable = PauliSum([(1.0, "Z"), (2.0, "Z"), (1.0, "X"), (-1.0, "X")])
+        simplified = observable.simplified()
+        labels = {string.label: coeff for coeff, string in simplified.terms}
+        assert labels == {"Z": 3.0}
+
+    def test_simplify_of_zero_sum_keeps_identity(self):
+        observable = PauliSum([(1.0, "Z"), (-1.0, "Z")]).simplified()
+        assert len(observable) == 1
+        assert observable.terms[0][1].label == "I"
+
+    def test_mixed_sizes_raise(self):
+        with pytest.raises(ValueError):
+            PauliSum([(1.0, "Z"), (1.0, "ZZ")])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            PauliSum([])
+
+    def test_repr_shows_terms(self):
+        assert "Z" in repr(PauliSum([(1.0, "Z")]))

@@ -1,0 +1,202 @@
+"""Unit and property tests for the statevector representation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quantum import gates
+from repro.quantum.statevector import (
+    Statevector,
+    bitstring_from_index,
+    expand_gate,
+    index_from_bitstring,
+)
+
+
+def random_state(num_qubits, seed):
+    rng = np.random.default_rng(seed)
+    vec = rng.normal(size=2 ** num_qubits) + 1j * rng.normal(size=2 ** num_qubits)
+    return Statevector.from_amplitudes(vec)
+
+
+class TestConstruction:
+    def test_zero_state(self):
+        state = Statevector.zero_state(3)
+        assert state.num_qubits == 3
+        assert state.data[0] == 1.0
+        assert np.allclose(state.data[1:], 0.0)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            Statevector([1.0, 0.0, 0.0])
+
+    def test_rejects_inconsistent_num_qubits(self):
+        with pytest.raises(ValueError):
+            Statevector([1.0, 0.0], num_qubits=2)
+
+    def test_from_amplitudes_normalizes(self):
+        state = Statevector.from_amplitudes([3.0, 4.0])
+        assert state.is_normalized()
+        assert np.isclose(abs(state.data[0]), 0.6)
+
+    def test_from_amplitudes_rejects_zero_vector(self):
+        with pytest.raises(ValueError):
+            Statevector.from_amplitudes([0.0, 0.0])
+
+
+class TestBitstrings:
+    def test_round_trip(self):
+        for index in range(16):
+            assert index_from_bitstring(bitstring_from_index(index, 4)) == index
+
+    def test_width(self):
+        assert bitstring_from_index(1, 5) == "00001"
+
+
+class TestEvolution:
+    def test_x_on_qubit0(self):
+        state = Statevector.zero_state(2).evolve_gate(gates.X, [0])
+        assert np.isclose(abs(state.data[1]), 1.0)
+
+    def test_x_on_qubit1(self):
+        state = Statevector.zero_state(2).evolve_gate(gates.X, [1])
+        assert np.isclose(abs(state.data[2]), 1.0)
+
+    def test_bell_state(self):
+        state = Statevector.zero_state(2)
+        state = state.evolve_gate(gates.H, [0]).evolve_gate(gates.CX, [0, 1])
+        assert np.isclose(abs(state.data[0]) ** 2, 0.5)
+        assert np.isclose(abs(state.data[3]) ** 2, 0.5)
+        assert np.isclose(abs(state.data[1]), 0.0)
+
+    def test_cx_direction_matters(self):
+        # X on qubit 1, then CX with control qubit 1: target qubit 0 flips.
+        state = Statevector.zero_state(2).evolve_gate(gates.X, [1])
+        state = state.evolve_gate(gates.CX, [1, 0])
+        assert np.isclose(abs(state.data[3]), 1.0)
+
+    def test_three_qubit_gate_application(self):
+        state = Statevector.zero_state(3)
+        state = state.evolve_gate(gates.X, [0]).evolve_gate(gates.X, [1])
+        state = state.evolve_gate(gates.CCX, [0, 1, 2])
+        assert np.isclose(abs(state.data[7]), 1.0)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_unitary_evolution_preserves_norm(self, seed):
+        state = random_state(3, seed)
+        rng = np.random.default_rng(seed)
+        theta = rng.uniform(0, 2 * math.pi)
+        evolved = state.evolve_gate(gates.rx_matrix(theta), [1])
+        assert evolved.is_normalized()
+
+    def test_gate_on_listed_qubit_order(self):
+        # CX with qubits (1, 0): control is qubit 1.
+        state = Statevector.zero_state(2).evolve_gate(gates.X, [0])
+        evolved = state.evolve_gate(gates.CX, [1, 0])
+        # Control (qubit 1) is 0, so nothing changes.
+        assert np.isclose(abs(evolved.data[1]), 1.0)
+
+
+class TestProbabilities:
+    def test_full_distribution_sums_to_one(self):
+        state = random_state(3, 7)
+        assert np.isclose(state.probabilities().sum(), 1.0)
+
+    def test_marginal_single_qubit(self):
+        state = Statevector.zero_state(2).evolve_gate(gates.H, [0])
+        probs = state.probabilities([0])
+        assert np.allclose(probs, [0.5, 0.5])
+        probs = state.probabilities([1])
+        assert np.allclose(probs, [1.0, 0.0])
+
+    def test_marginal_ordering(self):
+        # Qubit 0 in |1>, qubit 1 in |0>.
+        state = Statevector.zero_state(2).evolve_gate(gates.X, [0])
+        probs = state.probabilities([0, 1])
+        # Little endian over (q0, q1): index 1 means q0=1, q1=0.
+        assert np.isclose(probs[1], 1.0)
+        probs_swapped = state.probabilities([1, 0])
+        # Now q1 is the least significant: index 2 means q0=1, q1=0.
+        assert np.isclose(probs_swapped[2], 1.0)
+
+    def test_probability_of_outcome(self):
+        state = Statevector.zero_state(1).evolve_gate(gates.H, [0])
+        assert np.isclose(state.probability_of_outcome(0, 0), 0.5)
+
+    def test_expectation_z(self):
+        state = Statevector.zero_state(1)
+        assert np.isclose(state.expectation_z(0), 1.0)
+        state = state.evolve_gate(gates.X, [0])
+        assert np.isclose(state.expectation_z(0), -1.0)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_marginals_sum_to_one(self, seed):
+        state = random_state(4, seed)
+        for qubit in range(4):
+            assert np.isclose(state.probabilities([qubit]).sum(), 1.0)
+
+
+class TestInnerProducts:
+    def test_inner_orthogonal(self):
+        zero = Statevector.zero_state(1)
+        one = zero.evolve_gate(gates.X, [0])
+        assert np.isclose(zero.inner(one), 0.0)
+
+    def test_fidelity_self_is_one(self):
+        state = random_state(3, 11)
+        assert np.isclose(state.fidelity(state), 1.0)
+
+    def test_fidelity_mismatched_sizes_raises(self):
+        with pytest.raises(ValueError):
+            Statevector.zero_state(1).inner(Statevector.zero_state(2))
+
+    def test_density_matrix_of_pure_state(self):
+        state = random_state(2, 5)
+        rho = state.to_density_matrix()
+        assert np.isclose(np.trace(rho).real, 1.0)
+        assert np.allclose(rho, rho.conj().T)
+        assert np.isclose(np.trace(rho @ rho).real, 1.0)
+
+
+class TestSampling:
+    def test_sample_counts_total(self):
+        state = random_state(3, 3)
+        counts = state.sample_counts(1000, np.random.default_rng(0))
+        assert sum(counts.values()) == 1000
+
+    def test_sample_deterministic_state(self):
+        state = Statevector.zero_state(2).evolve_gate(gates.X, [1])
+        counts = state.sample_counts(100, np.random.default_rng(0))
+        assert counts == {"10": 100}
+
+    def test_sample_subset_of_qubits(self):
+        state = Statevector.zero_state(2).evolve_gate(gates.X, [1])
+        counts = state.sample_counts(50, np.random.default_rng(0), qubits=[1])
+        assert counts == {"1": 50}
+
+
+class TestExpandGate:
+    def test_expand_x_on_one_qubit(self):
+        full = expand_gate(gates.X, [0], 2)
+        expected = np.kron(np.eye(2), gates.X)
+        assert np.allclose(full, expected)
+
+    def test_expand_x_on_high_qubit(self):
+        full = expand_gate(gates.X, [1], 2)
+        expected = np.kron(gates.X, np.eye(2))
+        assert np.allclose(full, expected)
+
+    def test_expand_matches_direct_evolution(self):
+        state = random_state(3, 9)
+        gate = gates.standard_gate_matrix("crx", [0.8])
+        direct = state.evolve_gate(gate, [2, 0])
+        full = expand_gate(gate, [2, 0], 3)
+        assert np.allclose(full @ state.data, direct.data)
+
+    def test_expanded_gate_is_unitary(self):
+        full = expand_gate(gates.CSWAP, [1, 0, 2], 4)
+        assert gates.is_unitary(full)

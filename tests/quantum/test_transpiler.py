@@ -1,0 +1,246 @@
+"""Tests for basis decomposition and optimization passes."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quantum.circuit import Instruction, QuantumCircuit
+from repro.quantum import gates
+from repro.quantum.transpiler import (
+    SUPPORTED_BASES,
+    cancel_adjacent_self_inverse,
+    decompose_instruction,
+    decompose_single_qubit,
+    drop_trivial_gates,
+    euler_zyz_angles,
+    merge_adjacent_rotations,
+    transpile,
+    unitaries_equivalent,
+)
+
+ANGLES = st.floats(min_value=-2 * math.pi, max_value=2 * math.pi,
+                   allow_nan=False, allow_infinity=False)
+
+
+def instructions_to_unitary(instructions, num_qubits):
+    circuit = QuantumCircuit(num_qubits)
+    for instruction in instructions:
+        circuit.append(instruction)
+    return circuit.to_unitary()
+
+
+def random_single_qubit_unitary(seed):
+    rng = np.random.default_rng(seed)
+    theta, phi, lam = rng.uniform(0, 2 * math.pi, size=3)
+    return gates.u_matrix(theta, phi, lam)
+
+
+class TestEulerDecomposition:
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_zyz_reconstruction(self, seed):
+        unitary = random_single_qubit_unitary(seed)
+        alpha, a, b, c = euler_zyz_angles(unitary)
+        rebuilt = (np.exp(1j * alpha) * gates.rz_matrix(a) @ gates.ry_matrix(b)
+                   @ gates.rz_matrix(c))
+        assert np.allclose(rebuilt, unitary, atol=1e-8)
+
+    def test_identity(self):
+        alpha, a, b, c = euler_zyz_angles(np.eye(2))
+        rebuilt = (np.exp(1j * alpha) * gates.rz_matrix(a) @ gates.ry_matrix(b)
+                   @ gates.rz_matrix(c))
+        assert np.allclose(rebuilt, np.eye(2))
+
+    def test_pure_x_rotation(self):
+        unitary = gates.rx_matrix(1.3)
+        alpha, a, b, c = euler_zyz_angles(unitary)
+        rebuilt = (np.exp(1j * alpha) * gates.rz_matrix(a) @ gates.ry_matrix(b)
+                   @ gates.rz_matrix(c))
+        assert np.allclose(rebuilt, unitary, atol=1e-8)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            euler_zyz_angles(np.eye(4))
+
+
+class TestSingleQubitDecomposition:
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_rx_rz_basis(self, seed):
+        unitary = random_single_qubit_unitary(seed)
+        instructions = decompose_single_qubit(unitary, 0, ("rz", "rx", "cx"))
+        rebuilt = instructions_to_unitary(instructions, 1)
+        assert unitaries_equivalent(rebuilt, unitary)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_sx_rz_basis(self, seed):
+        unitary = random_single_qubit_unitary(seed)
+        instructions = decompose_single_qubit(unitary, 0, ("rz", "sx", "x", "cx"))
+        rebuilt = instructions_to_unitary(instructions, 1)
+        assert unitaries_equivalent(rebuilt, unitary)
+
+    def test_hadamard_in_both_bases(self):
+        for basis in SUPPORTED_BASES:
+            instructions = decompose_single_qubit(gates.H, 0, basis)
+            rebuilt = instructions_to_unitary(instructions, 1)
+            assert unitaries_equivalent(rebuilt, gates.H)
+
+    def test_unsupported_basis_raises(self):
+        with pytest.raises(ValueError):
+            decompose_single_qubit(gates.H, 0, ("h", "cx"))
+
+
+class TestInstructionDecomposition:
+    @pytest.mark.parametrize("name,params,qubits", [
+        ("cz", (), (0, 1)),
+        ("cy", (), (0, 1)),
+        ("ch", (), (0, 1)),
+        ("swap", (), (0, 1)),
+        ("crx", (0.7,), (0, 1)),
+        ("cry", (1.1,), (1, 0)),
+        ("crz", (2.2,), (0, 1)),
+        ("cp", (0.9,), (0, 1)),
+        ("rzz", (0.6,), (0, 1)),
+        ("rxx", (1.4,), (0, 1)),
+    ])
+    def test_two_qubit_gates_decompose_exactly(self, name, params, qubits):
+        instruction = Instruction(name=name, qubits=qubits, params=params)
+        expected = instructions_to_unitary([instruction], 2)
+        for basis in SUPPORTED_BASES:
+            lowered = decompose_instruction(instruction, basis)
+            assert all(instr.name in basis for instr in lowered)
+            rebuilt = instructions_to_unitary(lowered, 2)
+            assert unitaries_equivalent(rebuilt, expected)
+
+    @pytest.mark.parametrize("name,qubits", [
+        ("ccx", (0, 1, 2)),
+        ("ccx", (2, 0, 1)),
+        ("cswap", (0, 1, 2)),
+        ("cswap", (1, 2, 0)),
+    ])
+    def test_three_qubit_gates_decompose_exactly(self, name, qubits):
+        instruction = Instruction(name=name, qubits=qubits)
+        expected = instructions_to_unitary([instruction], 3)
+        for basis in SUPPORTED_BASES:
+            lowered = decompose_instruction(instruction, basis)
+            assert all(instr.name in basis for instr in lowered)
+            rebuilt = instructions_to_unitary(lowered, 3)
+            assert unitaries_equivalent(rebuilt, expected)
+
+    def test_basis_gates_pass_through(self):
+        instruction = Instruction(name="cx", qubits=(0, 1))
+        assert decompose_instruction(instruction, ("rz", "rx", "cx")) == [instruction]
+
+    def test_non_unitary_pass_through(self):
+        instruction = Instruction(name="reset", qubits=(0,))
+        assert decompose_instruction(instruction, ("rz", "rx", "cx")) == [instruction]
+
+
+class TestOptimizationPasses:
+    def test_drop_trivial_gates(self):
+        instructions = [
+            Instruction(name="id", qubits=(0,)),
+            Instruction(name="rz", qubits=(0,), params=(0.0,)),
+            Instruction(name="rx", qubits=(0,), params=(2 * math.pi,)),
+            Instruction(name="h", qubits=(0,)),
+        ]
+        kept = drop_trivial_gates(instructions)
+        assert [instr.name for instr in kept] == ["h"]
+
+    def test_merge_adjacent_rotations(self):
+        instructions = [
+            Instruction(name="rz", qubits=(0,), params=(0.4,)),
+            Instruction(name="rz", qubits=(0,), params=(0.6,)),
+        ]
+        merged = merge_adjacent_rotations(instructions)
+        assert len(merged) == 1
+        assert np.isclose(merged[0].params[0], 1.0)
+
+    def test_merge_cancelling_rotations_removes_both(self):
+        instructions = [
+            Instruction(name="rx", qubits=(1,), params=(0.5,)),
+            Instruction(name="rx", qubits=(1,), params=(-0.5,)),
+        ]
+        assert merge_adjacent_rotations(instructions) == []
+
+    def test_merge_does_not_cross_qubits(self):
+        instructions = [
+            Instruction(name="rz", qubits=(0,), params=(0.4,)),
+            Instruction(name="rz", qubits=(1,), params=(0.6,)),
+        ]
+        assert len(merge_adjacent_rotations(instructions)) == 2
+
+    def test_cancel_adjacent_cx(self):
+        instructions = [
+            Instruction(name="cx", qubits=(0, 1)),
+            Instruction(name="cx", qubits=(0, 1)),
+        ]
+        assert cancel_adjacent_self_inverse(instructions) == []
+
+    def test_cancel_requires_same_qubits(self):
+        instructions = [
+            Instruction(name="cx", qubits=(0, 1)),
+            Instruction(name="cx", qubits=(1, 0)),
+        ]
+        assert len(cancel_adjacent_self_inverse(instructions)) == 2
+
+
+class TestTranspile:
+    def _ansatz_like_circuit(self):
+        circuit = QuantumCircuit(3)
+        rng = np.random.default_rng(7)
+        for qubit in range(3):
+            circuit.rx(rng.uniform(0, 2 * math.pi), qubit)
+            circuit.rz(rng.uniform(0, 2 * math.pi), qubit)
+        circuit.cx(0, 1).cx(1, 2)
+        circuit.h(0)
+        circuit.cswap(0, 1, 2)
+        return circuit
+
+    @pytest.mark.parametrize("basis", SUPPORTED_BASES)
+    def test_transpiled_circuit_equivalent(self, basis):
+        circuit = self._ansatz_like_circuit()
+        transpiled = transpile(circuit, basis=basis)
+        assert unitaries_equivalent(transpiled.to_unitary(), circuit.to_unitary())
+        allowed = set(basis) | {"barrier"}
+        assert all(instr.name in allowed for instr in transpiled.instructions)
+
+    def test_optimization_reduces_gate_count(self):
+        circuit = QuantumCircuit(2)
+        circuit.rz(0.3, 0).rz(-0.3, 0).cx(0, 1).cx(0, 1).h(1).h(1)
+        transpiled = transpile(circuit, basis=("rz", "rx", "cx"), optimization_level=1)
+        assert transpiled.size() < circuit.size()
+        assert unitaries_equivalent(transpiled.to_unitary(), np.eye(4))
+
+    def test_optimization_level_zero_keeps_structure(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.3, 0).rz(-0.3, 0)
+        transpiled = transpile(circuit, basis=("rz", "rx", "cx"), optimization_level=0)
+        assert transpiled.size() == 2
+
+    def test_unsupported_basis_raises(self):
+        with pytest.raises(ValueError):
+            transpile(QuantumCircuit(1), basis=("h", "t"))
+
+    def test_measure_and_reset_survive_transpilation(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).reset(1).measure(0, 0)
+        transpiled = transpile(circuit, basis=("rz", "rx", "cx"))
+        names = [instr.name for instr in transpiled.instructions]
+        assert "reset" in names
+        assert "measure" in names
+
+
+class TestUnitaryEquivalence:
+    def test_equal_up_to_phase(self):
+        unitary = random_single_qubit_unitary(3)
+        assert unitaries_equivalent(unitary, np.exp(0.7j) * unitary)
+
+    def test_detects_difference(self):
+        assert not unitaries_equivalent(gates.X, gates.Z)
+
+    def test_shape_mismatch(self):
+        assert not unitaries_equivalent(np.eye(2), np.eye(4))

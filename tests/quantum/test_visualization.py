@@ -1,0 +1,72 @@
+"""Tests for the text circuit drawer."""
+
+import numpy as np
+
+from repro.algorithms.ansatz import RandomAutoencoderAnsatz
+from repro.algorithms.autoencoder import build_autoencoder_circuit
+from repro.core.ensemble import batch_amplitudes
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.visualization import draw_circuit
+
+
+class TestDrawCircuit:
+    def test_empty_circuit(self):
+        text = draw_circuit(QuantumCircuit(2))
+        lines = text.splitlines()
+        assert lines[0].startswith("q0:")
+        assert lines[1].startswith("q1:")
+
+    def test_one_line_per_qubit(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).rx(0.5, 2)
+        text = draw_circuit(circuit)
+        lines = [line for line in text.splitlines() if line]
+        assert len(lines) == 3
+
+    def test_gate_labels_present(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).rx(1.5708, 1)
+        text = draw_circuit(circuit)
+        assert "[H]" in text
+        assert "RX(1.57)" in text
+
+    def test_cx_shows_control_and_target(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        text = draw_circuit(circuit)
+        lines = text.splitlines()
+        assert "●" in lines[0]
+        assert "X" in lines[1]
+
+    def test_measure_reset_and_barrier(self):
+        circuit = QuantumCircuit(2)
+        circuit.reset(0).barrier().measure(1, 0)
+        text = draw_circuit(circuit)
+        assert "[|0>]" in text
+        assert "░" in text
+        assert "[M->c0]" in text
+
+    def test_cswap_marks_three_qubits(self):
+        circuit = QuantumCircuit(3)
+        circuit.cswap(0, 1, 2)
+        lines = draw_circuit(circuit).splitlines()
+        assert "●" in lines[0]
+        assert "x" in lines[1]
+        assert "x" in lines[2]
+
+    def test_wrapping_into_blocks(self):
+        circuit = QuantumCircuit(1)
+        for _ in range(40):
+            circuit.h(0)
+        text = draw_circuit(circuit, max_width=50)
+        # Wrapped output has more than one "q0:" prefix.
+        assert text.count("q0:") > 1
+
+    def test_full_quorum_circuit_draws_without_error(self):
+        amplitudes = batch_amplitudes(
+            np.random.default_rng(0).uniform(0, 1 / np.sqrt(7), size=(1, 7)), 3)[0]
+        circuit = build_autoencoder_circuit(
+            amplitudes, RandomAutoencoderAnsatz(3, seed=1), 1)
+        text = draw_circuit(circuit)
+        assert text.count("q0:") >= 1
+        assert "[INIT]" in text

@@ -1,0 +1,81 @@
+"""Tests for the quorum-repro command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.dataset import Dataset
+from repro.data.io import save_dataset_csv
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_detect_requires_data_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect"])
+
+    def test_dataset_and_csv_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "--dataset", "letter",
+                                       "--csv", "x.csv"])
+
+    def test_experiment_artifact_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig42"])
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "Breast Cancer" in output
+        assert "power_plant" in output
+
+    def test_detect_on_builtin_dataset(self, capsys):
+        exit_code = main(["detect", "--dataset", "power_plant",
+                          "--ensembles", "4", "--shots", "0", "--top", "3",
+                          "--seed", "2"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Precision" in output
+        assert "score" in output
+
+    def test_detect_on_csv_without_labels(self, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        dataset = Dataset("toy", rng.normal(size=(40, 4)),
+                          np.zeros(40, dtype=int))
+        path = save_dataset_csv(dataset, tmp_path / "toy.csv")
+        exit_code = main(["detect", "--csv", str(path), "--ensembles", "3",
+                          "--shots", "0", "--top", "2"])
+        assert exit_code == 0
+        assert "Top 2 samples" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        exit_code = main(["compare", "--dataset", "power_plant",
+                          "--ensembles", "4", "--seed", "2"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Isolation Forest" in output
+        assert "Quorum (quantum)" in output
+
+    def test_compare_rejects_unlabeled_csv(self, tmp_path, capsys):
+        dataset = Dataset("toy", np.random.default_rng(1).normal(size=(20, 3)),
+                          np.zeros(20, dtype=int))
+        path = save_dataset_csv(dataset, tmp_path / "toy.csv")
+        exit_code = main(["compare", "--csv", str(path), "--ensembles", "3"])
+        assert exit_code == 2
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Pr[Anomaly in Bucket]" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        exit_code = main(["report", "--ensembles", "3", "--seed", "4",
+                          "--skip-noisy", "--output", str(output)])
+        assert exit_code == 0
+        assert output.exists()
+        assert "Table II" in output.read_text(encoding="utf-8")

@@ -1,0 +1,85 @@
+"""Tests for JSON serialization helpers."""
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import dataclass_to_dict, load_json, save_json, to_jsonable
+
+
+@dataclass(frozen=True)
+class _Inner:
+    values: tuple
+    weight: float
+
+
+@dataclass(frozen=True)
+class _Outer:
+    name: str
+    inner: _Inner
+    matrix: np.ndarray
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        assert to_jsonable(3) == 3
+        assert to_jsonable(2.5) == 2.5
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+
+    def test_numpy_scalars_converted(self):
+        assert to_jsonable(np.int64(4)) == 4
+        assert isinstance(to_jsonable(np.float32(0.5)), float)
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_numpy_arrays_become_lists(self):
+        assert to_jsonable(np.array([1, 2, 3])) == [1, 2, 3]
+        assert to_jsonable(np.array([[1.0, 2.0]])) == [[1.0, 2.0]]
+
+    def test_nested_dataclasses(self):
+        outer = _Outer(name="run", inner=_Inner(values=(1, 2), weight=0.5),
+                       matrix=np.eye(2))
+        converted = to_jsonable(outer)
+        assert converted["inner"]["values"] == [1, 2]
+        assert converted["matrix"] == [[1.0, 0.0], [0.0, 1.0]]
+
+    def test_dict_keys_become_strings(self):
+        assert to_jsonable({1: "a"}) == {"1": "a"}
+
+    def test_sets_become_lists(self):
+        assert sorted(to_jsonable({3, 1, 2})) == [1, 2, 3]
+
+    def test_paths_become_strings(self):
+        assert to_jsonable(Path("/tmp/x.json")) == "/tmp/x.json"
+
+    def test_unknown_objects_fall_back_to_repr(self):
+        class Strange:
+            def __repr__(self):
+                return "<strange>"
+
+        assert to_jsonable(Strange()) == "<strange>"
+
+
+class TestDataclassToDict:
+    def test_requires_dataclass_instance(self):
+        with pytest.raises(TypeError):
+            dataclass_to_dict({"not": "a dataclass"})
+        with pytest.raises(TypeError):
+            dataclass_to_dict(_Inner)
+
+    def test_round_trip(self):
+        inner = _Inner(values=(1,), weight=1.5)
+        assert dataclass_to_dict(inner) == {"values": [1], "weight": 1.5}
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        payload = {"scores": np.array([0.1, 0.9]), "config": _Inner((1, 2), 0.3)}
+        path = save_json(payload, tmp_path / "results" / "run.json")
+        assert path.exists()
+        loaded = load_json(path)
+        assert loaded["scores"] == [0.1, 0.9]
+        assert loaded["config"]["weight"] == 0.3

@@ -1,0 +1,68 @@
+"""Tests for the stopwatch and seed-derivation helpers."""
+
+import time
+
+import pytest
+
+from repro.utils.seeding import spawn_seeds, stable_hash_seed
+from repro.utils.timing import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        watch = Stopwatch()
+        with watch.measure("sleep"):
+            time.sleep(0.01)
+        assert watch.seconds("sleep") >= 0.009
+        assert watch.total_seconds() == pytest.approx(watch.seconds("sleep"))
+
+    def test_accumulates_repeated_labels(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            with watch.measure("step"):
+                time.sleep(0.002)
+        assert watch.seconds("step") >= 0.005
+
+    def test_unknown_label_is_zero(self):
+        assert Stopwatch().seconds("missing") == 0.0
+
+    def test_summary_rounds_values(self):
+        watch = Stopwatch()
+        with watch.measure("a"):
+            pass
+        assert set(watch.summary()) == {"a"}
+
+    def test_timed_context_prints(self):
+        messages = []
+        with timed("block", printer=messages.append):
+            time.sleep(0.001)
+        assert len(messages) == 1
+        assert messages[0].startswith("block:")
+
+
+class TestSeeding:
+    def test_spawn_is_deterministic(self):
+        assert spawn_seeds(7, 4) == spawn_seeds(7, 4)
+
+    def test_spawn_produces_distinct_values(self):
+        seeds = spawn_seeds(1, 64)
+        assert len(set(seeds)) == 64
+
+    def test_spawn_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, 0)
+
+    def test_stable_hash_seed_deterministic(self):
+        assert stable_hash_seed("fig8", "letter", 3) == stable_hash_seed("fig8",
+                                                                         "letter", 3)
+
+    def test_stable_hash_seed_sensitive_to_parts(self):
+        assert stable_hash_seed("fig8", "letter") != stable_hash_seed("fig8", "pen")
+
+    def test_stable_hash_seed_respects_bit_width(self):
+        for _ in range(5):
+            assert stable_hash_seed("x", bits=8) < 256
+
+    def test_stable_hash_seed_invalid_bits(self):
+        with pytest.raises(ValueError):
+            stable_hash_seed("x", bits=0)

@@ -7,7 +7,6 @@ Brisbane-like noisy simulation.
 """
 
 import numpy as np
-import pytest
 
 from repro.algorithms.ansatz import RandomAutoencoderAnsatz
 from repro.core.ensemble import batch_amplitudes

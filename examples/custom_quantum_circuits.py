@@ -38,10 +38,10 @@ def main() -> None:
     density = DensityMatrixSimulator(seed=1).run(circuit, shots=4096)
     trajectories = StatevectorSimulator(seed=1, max_trajectories=64).run(circuit,
                                                                          shots=4096)
-    print(f"\nSWAP-test P(ancilla = 1):")
+    print("\nSWAP-test P(ancilla = 1):")
     print(f"  density matrix (exact + shots): {density.probability('1'):.4f}")
     print(f"  statevector trajectories:       {trajectories.probability('1'):.4f}")
-    print(f"  analytic fast path:             "
+    print("  analytic fast path:             "
           f"{analytic_swap_test_p1(amplitudes, ansatz, 1):.4f}")
 
     # Compression level sweep: resetting more qubits discards more information,

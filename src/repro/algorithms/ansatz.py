@@ -43,6 +43,8 @@ class RandomAutoencoderAnsatz:
     entanglement: str = "linear"
     seed: Optional[int] = None
     angles_: Optional[np.ndarray] = field(default=None, repr=False)
+    _encoder_unitary: Optional[np.ndarray] = field(default=None, init=False,
+                                                   repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.num_qubits < 1:
@@ -58,11 +60,15 @@ class RandomAutoencoderAnsatz:
             rng = np.random.default_rng(self.seed)
             self.angles_ = rng.uniform(0.0, 2.0 * np.pi, size=self.num_parameters)
         else:
-            self.angles_ = np.asarray(self.angles_, dtype=float)
+            self.angles_ = np.array(self.angles_, dtype=float)
             if self.angles_.shape != (self.num_parameters,):
                 raise ValueError(
                     f"expected {self.num_parameters} angles, got {self.angles_.shape}"
                 )
+        # The cached encoder unitary assumes the angles never change; freeze
+        # them so a stale cache cannot be produced by in-place mutation (use
+        # with_new_angles for a fresh draw).
+        self.angles_.setflags(write=False)
 
     # ------------------------------------------------------------------ layout
     @property
@@ -119,8 +125,33 @@ class RandomAutoencoderAnsatz:
         return decoder
 
     def encoder_unitary(self) -> np.ndarray:
-        """Dense unitary of the encoder on its own ``num_qubits`` register."""
-        return self.encoder_circuit(list(range(self.num_qubits))).to_unitary()
+        """Dense unitary of the encoder on its own ``num_qubits`` register.
+
+        The matrix is built once per ansatz (i.e. once per ensemble member) and
+        cached: the angles are immutable after construction, so every engine and
+        every compression level can reuse the same ``E`` / ``E^dagger``.  The
+        returned array is marked read-only to protect the cache.
+
+        Construction always uses the numpy reference backend on purpose: the
+        result is a tiny ``2^n x 2^n`` ndarray of plain data that every
+        simulation backend consumes as input, so there is nothing to gain from
+        building it on an accelerator (and the cache stays backend-agnostic).
+        """
+        if self._encoder_unitary is None:
+            from repro.quantum.backend import get_simulation_backend
+
+            circuit = self.encoder_circuit(list(range(self.num_qubits)))
+            instructions = [
+                (instruction.matrix_or_standard(), instruction.qubits)
+                for instruction in circuit.instructions
+                if instruction.name != "barrier"
+            ]
+            unitary = get_simulation_backend("numpy").unitary_from_instructions(
+                instructions, self.num_qubits
+            )
+            unitary.setflags(write=False)
+            self._encoder_unitary = unitary
+        return self._encoder_unitary
 
     def with_new_angles(self, seed: Optional[int] = None) -> "RandomAutoencoderAnsatz":
         """A fresh ansatz with the same structure but newly drawn random angles."""

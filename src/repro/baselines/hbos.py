@@ -9,7 +9,7 @@ random *joint* projections.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -9,7 +9,7 @@ splits, so shorter average path lengths give higher anomaly scores.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.baselines import (
     HBOSDetector,
@@ -39,6 +39,7 @@ from repro.experiments.table1 import format_table1, run_table1
 from repro.experiments.table2 import format_table2, run_table2
 from repro.metrics.classification import evaluate_top_k
 from repro.metrics.detection import detection_rate_curve
+from repro.quantum.backend import available_simulation_backends
 
 __all__ = ["main", "build_parser"]
 
@@ -68,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="estimated anomaly fraction (default: 0.05)")
     detect.add_argument("--backend", choices=("analytic", "density_matrix",
                                               "statevector"), default="analytic")
+    detect.add_argument("--simulation-backend",
+                        choices=available_simulation_backends(), default="numpy",
+                        help="batched numerical kernel implementation the "
+                             "engines run on")
     detect.add_argument("--noisy", action="store_true",
                         help="apply the Brisbane-like noise model "
                              "(requires --backend density_matrix)")
@@ -143,6 +148,7 @@ def _command_detect(args: argparse.Namespace) -> int:
         bucket_probability=args.bucket_probability,
         anomaly_fraction_estimate=args.anomaly_fraction,
         backend=args.backend,
+        simulation_backend=args.simulation_backend,
         noisy=args.noisy,
         seed=args.seed,
     )

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
+
+from repro.quantum.backend import available_simulation_backends
 
 __all__ = ["QuorumConfig"]
 
@@ -54,6 +56,10 @@ class QuorumConfig:
         ``"analytic"`` (reduced-density-matrix fast path), ``"density_matrix"``
         (full 2n+1-qubit circuit, supports noise), or ``"statevector"``
         (trajectory sampling).
+    simulation_backend:
+        Which batched numerical kernel implementation the engines run on; one of
+        :func:`repro.quantum.backend.available_simulation_backends` (default
+        ``"numpy"``).
     noisy:
         Apply the Brisbane-like noise model (only meaningful for the
         ``density_matrix`` backend).
@@ -78,6 +84,7 @@ class QuorumConfig:
     default_anomaly_fraction: float = 0.05
     feature_scaling: str = "circuit_sqrt"
     backend: str = "analytic"
+    simulation_backend: str = "numpy"
     noisy: bool = False
     gate_level_encoding: bool = False
     seed: Optional[int] = 1234
@@ -105,6 +112,11 @@ class QuorumConfig:
             raise ValueError(f"feature_scaling must be one of {_FEATURE_SCALINGS}")
         if self.backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}")
+        if self.simulation_backend not in available_simulation_backends():
+            raise ValueError(
+                "simulation_backend must be one of "
+                f"{available_simulation_backends()}"
+            )
         if self.noisy and self.backend != "density_matrix":
             raise ValueError("noisy simulation requires the density_matrix backend")
         if self.n_jobs < 1:
@@ -172,6 +184,7 @@ class QuorumConfig:
             "compression_levels": list(self.effective_compression_levels),
             "bucket_probability": self.bucket_probability,
             "backend": self.backend,
+            "simulation_backend": self.simulation_backend,
             "noisy": self.noisy,
             "seed": self.seed,
         }

@@ -7,7 +7,6 @@ after which ``anomaly_scores`` / ``detect`` expose the results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 import numpy as np

@@ -128,6 +128,7 @@ def run_ensemble_member(normalized_data: np.ndarray, config: QuorumConfig,
             config.backend, config.shots, rng=rng, noisy=config.noisy,
             gate_level_encoding=config.gate_level_encoding,
             num_qubits=config.num_qubits,
+            simulation_backend=config.simulation_backend,
         )
 
     deviations = np.zeros(num_samples)

@@ -8,26 +8,40 @@ compression level?" -- with a different cost/fidelity trade-off:
   (vectorized over a whole batch of samples) and optionally adds binomial shot
   noise.  This is the default for noiseless sweeps and is cross-validated against
   the circuit-level engines in the test suite.
-* :class:`DensityMatrixEngine` builds and simulates the full ``2n+1``-qubit circuit
-  exactly; it is the only engine that supports gate/readout noise models.
-* :class:`StatevectorEngine` runs stochastic trajectories of the full circuit,
-  mimicking how a shot-based hardware run (or Qiskit Aer's statevector method with
-  mid-circuit resets) behaves.
+* :class:`DensityMatrixEngine` evolves register A's density matrix exactly.  The
+  noiseless path runs the whole sample batch through the batched kernels of a
+  :class:`~repro.quantum.backend.SimulationBackend`; noisy or gate-level runs
+  fall back to building and simulating the full ``2n+1``-qubit circuit per
+  sample (the only path that can model gate/readout noise).
+* :class:`StatevectorEngine` runs stochastic trajectories, mimicking how a
+  shot-based hardware run (or Qiskit Aer's statevector method with mid-circuit
+  resets) behaves.  All samples and all trajectories are evolved together as one
+  ``(samples * trajectories, 2**n)`` batch.
+
+Batched execution
+-----------------
+Every engine accepts ``simulation_backend=`` (a name from
+:func:`repro.quantum.backend.available_simulation_backends` or a
+:class:`~repro.quantum.backend.SimulationBackend` instance; default
+``"numpy"``) and routes its linear algebra through that backend's batched
+primitives: amplitudes enter as ``(samples, 2**n)`` float arrays, the leading
+batch axis is preserved end to end, and the ansatz unitary ``E`` is built once
+per ensemble member (cached on the ansatz) rather than once per sample.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.algorithms.ansatz import RandomAutoencoderAnsatz
 from repro.algorithms.autoencoder import build_autoencoder_circuit
-from repro.algorithms.swap_test import p1_from_counts
+from repro.quantum.backend import SimulationBackend, get_simulation_backend
 from repro.quantum.backends import FakeBrisbane
 from repro.quantum.noise import NoiseModel
-from repro.quantum.simulator import DensityMatrixSimulator, StatevectorSimulator
+from repro.quantum.simulator import DensityMatrixSimulator
 
 __all__ = [
     "SwapTestEngine",
@@ -42,11 +56,14 @@ class SwapTestEngine(ABC):
     """Interface shared by the three execution strategies."""
 
     def __init__(self, shots: Optional[int] = 4096,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 simulation_backend: Union[str, SimulationBackend, None] = None
+                 ) -> None:
         if shots is not None and shots < 1:
             raise ValueError("shots must be positive or None for exact probabilities")
         self.shots = shots
         self.rng = rng or np.random.default_rng()
+        self.backend = get_simulation_backend(simulation_backend)
 
     @abstractmethod
     def p1_batch(self, amplitudes: np.ndarray, ansatz: RandomAutoencoderAnsatz,
@@ -59,6 +76,24 @@ class SwapTestEngine(ABC):
         """Convenience wrapper for a single sample."""
         batch = np.asarray(amplitudes, dtype=float).reshape(1, -1)
         return float(self.p1_batch(batch, ansatz, compression_level)[0])
+
+    def _validated_batch(self, amplitudes: np.ndarray,
+                         ansatz: RandomAutoencoderAnsatz,
+                         compression_level: int) -> np.ndarray:
+        """Common input validation for ``p1_batch`` implementations."""
+        amplitudes = np.asarray(amplitudes, dtype=float)
+        if amplitudes.ndim != 2:
+            raise ValueError("amplitudes must be a 2-D batch (samples, 2**n)")
+        if amplitudes.shape[1] != 2 ** ansatz.num_qubits:
+            raise ValueError("amplitude width does not match the ansatz register")
+        if not 0 <= compression_level <= ansatz.num_qubits:
+            raise ValueError("compression level out of range")
+        norms = np.linalg.norm(amplitudes, axis=1)
+        if np.any(np.abs(norms - 1.0) > 1e-6):
+            # The circuit-level path would reject this in `initialize`; fail the
+            # batched paths just as loudly instead of returning garbage overlaps.
+            raise ValueError("amplitude rows must be normalized statevectors")
+        return amplitudes
 
     def _apply_shot_noise(self, exact_p1: np.ndarray) -> np.ndarray:
         """Replace exact probabilities with binomial shot estimates."""
@@ -82,18 +117,13 @@ class AnalyticEngine(SwapTestEngine):
 
     def p1_batch(self, amplitudes: np.ndarray, ansatz: RandomAutoencoderAnsatz,
                  compression_level: int) -> np.ndarray:
-        amplitudes = np.asarray(amplitudes, dtype=float)
-        if amplitudes.ndim != 2:
-            raise ValueError("amplitudes must be a 2-D batch (samples, 2**n)")
-        num_qubits = ansatz.num_qubits
-        dim = 2 ** num_qubits
-        if amplitudes.shape[1] != dim:
-            raise ValueError("amplitude width does not match the ansatz register")
-        if not 0 <= compression_level <= num_qubits:
-            raise ValueError("compression level out of range")
-        encoder = ansatz.encoder_unitary()
-        # |phi_i> = E |psi_i>  (batched as rows).
-        phi = amplitudes.astype(complex) @ encoder.T
+        amplitudes = self._validated_batch(amplitudes, ansatz, compression_level)
+        dim = amplitudes.shape[1]
+        # |phi_i> = E |psi_i>, the whole batch in one matmul (E is cached on the
+        # ansatz, so it is built once per ensemble member).
+        phi = self.backend.apply_unitary_batch(
+            self.backend.as_states(amplitudes), ansatz.encoder_unitary()
+        )
         if compression_level == 0:
             overlap = np.ones(amplitudes.shape[0])
         else:
@@ -110,22 +140,52 @@ class AnalyticEngine(SwapTestEngine):
 
 
 class DensityMatrixEngine(SwapTestEngine):
-    """Full-circuit exact simulation (optionally noisy)."""
+    """Exact density-matrix simulation (optionally noisy).
+
+    Noiseless runs evolve register A's ``2^n x 2^n`` density matrix for the
+    whole sample batch at once through the simulation backend's batched
+    kernels; this is mathematically identical to simulating the full
+    ``2n+1``-qubit circuit (the reference register stays pure and the SWAP test
+    reads ``P(1) = (1 - <psi| rho_A |psi>) / 2``).  Runs with a noise model or
+    gate-level encoding use :meth:`p1_batch_circuit_level`, which builds and
+    simulates the full circuit per sample -- noise acts on individual gates, so
+    there is no batched shortcut.
+    """
 
     def __init__(self, shots: Optional[int] = 4096,
                  rng: Optional[np.random.Generator] = None,
                  noise_model: Optional[NoiseModel] = None,
-                 gate_level_encoding: bool = False) -> None:
-        super().__init__(shots, rng)
+                 gate_level_encoding: bool = False,
+                 simulation_backend: Union[str, SimulationBackend, None] = None
+                 ) -> None:
+        super().__init__(shots, rng, simulation_backend=simulation_backend)
         self.noise_model = noise_model
         self.gate_level_encoding = gate_level_encoding
 
     def p1_batch(self, amplitudes: np.ndarray, ansatz: RandomAutoencoderAnsatz,
                  compression_level: int) -> np.ndarray:
-        amplitudes = np.asarray(amplitudes, dtype=float)
-        if amplitudes.ndim != 2:
-            raise ValueError("amplitudes must be a 2-D batch (samples, 2**n)")
-        simulator = DensityMatrixSimulator(noise_model=self.noise_model)
+        amplitudes = self._validated_batch(amplitudes, ansatz, compression_level)
+        if self.noise_model is not None or self.gate_level_encoding:
+            return self.p1_batch_circuit_level(amplitudes, ansatz,
+                                               compression_level)
+        backend = self.backend
+        psi = backend.as_states(amplitudes)
+        encoder = ansatz.encoder_unitary()
+        phi = backend.apply_unitary_batch(psi, encoder)
+        rhos = backend.density_from_states(phi)
+        rhos = backend.reset_low_qubits_density_batch(rhos, compression_level)
+        rhos = backend.evolve_density_batch(rhos, encoder.conj().T)
+        overlap = backend.expectation_batch(rhos, psi)
+        exact_p1 = np.clip((1.0 - overlap) / 2.0, 0.0, 1.0)
+        return self._apply_shot_noise(exact_p1)
+
+    def p1_batch_circuit_level(self, amplitudes: np.ndarray,
+                               ansatz: RandomAutoencoderAnsatz,
+                               compression_level: int) -> np.ndarray:
+        """Per-sample full-circuit simulation (the only path supporting noise)."""
+        amplitudes = self._validated_batch(amplitudes, ansatz, compression_level)
+        simulator = DensityMatrixSimulator(noise_model=self.noise_model,
+                                           backend=self.backend)
         results = np.empty(amplitudes.shape[0])
         for index, row in enumerate(amplitudes):
             circuit = build_autoencoder_circuit(
@@ -140,52 +200,122 @@ class DensityMatrixEngine(SwapTestEngine):
 
 
 class StatevectorEngine(SwapTestEngine):
-    """Trajectory-sampled full-circuit simulation (no noise model support)."""
+    """Trajectory-sampled simulation (no noise model support).
+
+    Every trajectory keeps register A pure: the partial reset becomes a
+    projective measurement (outcome drawn per trajectory) followed by a
+    conditional flip to |0>.  The engine therefore evolves a
+    ``(samples * trajectories, 2**n)`` batch of register-A states through the
+    backend kernels, computes each trajectory's exact ancilla probability
+    ``(1 - |<psi|phi_traj>|^2) / 2``, and distributes the shot budget over the
+    trajectories exactly like the per-circuit trajectory simulator does.
+    """
+
+    #: Upper bound on (samples x trajectories) rows evolved at once; chunks of
+    #: the sample axis keep peak memory bounded for large datasets while each
+    #: chunk still runs through one batched kernel call.
+    MAX_FLAT_BATCH = 1 << 15
 
     def __init__(self, shots: Optional[int] = 4096,
                  rng: Optional[np.random.Generator] = None,
-                 max_trajectories: Optional[int] = 64) -> None:
+                 max_trajectories: Optional[int] = 64,
+                 simulation_backend: Union[str, SimulationBackend, None] = None
+                 ) -> None:
         if shots is None:
             raise ValueError("the statevector engine is shot-based; provide shots")
-        super().__init__(shots, rng)
+        super().__init__(shots, rng, simulation_backend=simulation_backend)
         self.max_trajectories = max_trajectories
 
     def p1_batch(self, amplitudes: np.ndarray, ansatz: RandomAutoencoderAnsatz,
                  compression_level: int) -> np.ndarray:
-        amplitudes = np.asarray(amplitudes, dtype=float)
-        if amplitudes.ndim != 2:
-            raise ValueError("amplitudes must be a 2-D batch (samples, 2**n)")
-        seed = int(self.rng.integers(0, 2 ** 31 - 1))
-        simulator = StatevectorSimulator(seed=seed,
-                                         max_trajectories=self.max_trajectories)
-        results = np.empty(amplitudes.shape[0])
-        for index, row in enumerate(amplitudes):
-            circuit = build_autoencoder_circuit(row, ansatz, compression_level,
-                                                measure=True)
-            outcome = simulator.run(circuit, shots=self.shots)
-            results[index] = p1_from_counts(outcome.counts, clbit=0)
+        amplitudes = self._validated_batch(amplitudes, ansatz, compression_level)
+        num_samples = amplitudes.shape[0]
+
+        trajectories = self.shots
+        if compression_level == 0:
+            # No reset -> the circuit is deterministic; one trajectory suffices.
+            trajectories = 1
+        elif self.max_trajectories is not None:
+            trajectories = min(trajectories, self.max_trajectories)
+        trajectories = max(trajectories, 1)
+        shots_per_trajectory = np.asarray(self._split_shots(self.shots,
+                                                            trajectories))
+        trajectories = shots_per_trajectory.shape[0]
+
+        results = np.empty(num_samples)
+        chunk = max(1, self.MAX_FLAT_BATCH // trajectories)
+        for start in range(0, num_samples, chunk):
+            stop = min(start + chunk, num_samples)
+            results[start:stop] = self._p1_chunk(
+                amplitudes[start:stop], ansatz, compression_level,
+                trajectories, shots_per_trajectory,
+            )
         return results
+
+    def _p1_chunk(self, amplitudes: np.ndarray,
+                  ansatz: RandomAutoencoderAnsatz, compression_level: int,
+                  trajectories: int,
+                  shots_per_trajectory: np.ndarray) -> np.ndarray:
+        """Trajectory-sample one chunk of samples as a single flat batch."""
+        backend = self.backend
+        encoder = ansatz.encoder_unitary()
+        psi = backend.as_states(amplitudes)
+        phi = backend.apply_unitary_batch(psi, encoder)
+        # One flat batch over (sample, trajectory) pairs; sample-major so that
+        # reshaping back to (samples, trajectories) is a plain view.
+        states = np.repeat(phi, trajectories, axis=0)
+        for qubit in range(compression_level):
+            probability_one = backend.probability_one_batch(states, qubit)
+            outcomes = (self.rng.random(states.shape[0])
+                        < probability_one).astype(int)
+            states = backend.collapse_qubit_batch(states, qubit, outcomes,
+                                                  reset_to_zero=True)
+        decoded = backend.apply_unitary_batch(states, encoder.conj().T)
+        fidelity = backend.overlap_batch(np.repeat(psi, trajectories, axis=0),
+                                         decoded)
+        p1 = np.clip((1.0 - fidelity) / 2.0, 0.0, 1.0)
+        p1 = p1.reshape(amplitudes.shape[0], trajectories)
+        ones = self.rng.binomial(shots_per_trajectory[None, :], p1).sum(axis=1)
+        return ones / float(self.shots)
+
+    @staticmethod
+    def _split_shots(shots: int, trajectories: int) -> list:
+        base = shots // trajectories
+        remainder = shots % trajectories
+        split = [base + (1 if index < remainder else 0)
+                 for index in range(trajectories)]
+        return [s for s in split if s > 0] or [shots]
 
 
 def make_engine(backend: str, shots: Optional[int],
                 rng: Optional[np.random.Generator] = None,
                 noisy: bool = False,
                 gate_level_encoding: bool = False,
-                num_qubits: int = 3) -> SwapTestEngine:
-    """Factory used by the detector to build the configured engine."""
+                num_qubits: int = 3,
+                simulation_backend: Union[str, SimulationBackend, None] = None
+                ) -> SwapTestEngine:
+    """Factory used by the detector to build the configured engine.
+
+    ``backend`` selects the *engine strategy* (``analytic`` / ``density_matrix``
+    / ``statevector``); ``simulation_backend`` selects the *numerical kernel
+    implementation* those engines run on (see :mod:`repro.quantum.backend`).
+    """
     backend = backend.lower()
     if backend == "analytic":
         if noisy:
             raise ValueError("the analytic engine cannot model hardware noise")
-        return AnalyticEngine(shots=shots, rng=rng)
+        return AnalyticEngine(shots=shots, rng=rng,
+                              simulation_backend=simulation_backend)
     if backend == "density_matrix":
         noise_model = None
         if noisy:
             noise_model = FakeBrisbane(num_qubits=2 * num_qubits + 1).to_noise_model()
         return DensityMatrixEngine(shots=shots, rng=rng, noise_model=noise_model,
-                                   gate_level_encoding=gate_level_encoding or noisy)
+                                   gate_level_encoding=gate_level_encoding or noisy,
+                                   simulation_backend=simulation_backend)
     if backend == "statevector":
         if noisy:
             raise ValueError("the statevector engine cannot model hardware noise")
-        return StatevectorEngine(shots=shots or 1024, rng=rng)
+        return StatevectorEngine(shots=shots or 1024, rng=rng,
+                                 simulation_backend=simulation_backend)
     raise ValueError(f"unknown backend {backend!r}")

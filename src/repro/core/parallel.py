@@ -1,9 +1,12 @@
 """Parallel execution of ensemble members.
 
 Ensemble members share nothing (Section IV-F calls the design "embarrassingly
-parallel"), so they are dispatched to a process pool with plain pickling.  The
-serial path is used for ``n_jobs=1`` and as a fallback when a pool cannot be
-created (e.g. restricted environments).
+parallel"), so they are dispatched to a process pool.  The normalized dataset is
+shipped to each worker exactly once through the pool initializer instead of
+being pickled into every member's argument tuple -- with hundreds of members the
+old per-task pickling copied the whole dataset once per member.  The serial path
+is used for ``n_jobs=1`` and as a fallback when a pool cannot be created (e.g.
+restricted environments).
 """
 
 from __future__ import annotations
@@ -18,6 +21,10 @@ from repro.core.ensemble import EnsembleMemberResult, run_ensemble_member
 
 __all__ = ["run_ensemble_members", "derive_member_seeds"]
 
+#: Per-process normalized dataset, installed by :func:`_init_worker` (in pool
+#: workers) so member tasks only carry (config, index, seed, bucket_size).
+_WORKER_DATASET: Optional[np.ndarray] = None
+
 
 def derive_member_seeds(master_seed: Optional[int], count: int) -> List[int]:
     """Deterministically derive one child seed per ensemble member."""
@@ -27,10 +34,18 @@ def derive_member_seeds(master_seed: Optional[int], count: int) -> List[int]:
     return [int(child.generate_state(1)[0]) for child in seed_sequence.spawn(count)]
 
 
-def _run_member(args: Tuple[np.ndarray, QuorumConfig, int, int, Optional[int]]
+def _init_worker(normalized_data: np.ndarray) -> None:
+    """Pool initializer: stash the dataset once per worker process."""
+    global _WORKER_DATASET
+    _WORKER_DATASET = normalized_data
+
+
+def _run_member(args: Tuple[QuorumConfig, int, int, Optional[int]]
                 ) -> EnsembleMemberResult:
-    normalized_data, config, member_index, member_seed, bucket_size = args
-    return run_ensemble_member(normalized_data, config, member_index, member_seed,
+    config, member_index, member_seed, bucket_size = args
+    if _WORKER_DATASET is None:
+        raise RuntimeError("worker process was not initialized with the dataset")
+    return run_ensemble_member(_WORKER_DATASET, config, member_index, member_seed,
                                bucket_size=bucket_size)
 
 
@@ -39,16 +54,25 @@ def run_ensemble_members(normalized_data: np.ndarray, config: QuorumConfig,
                          bucket_size: Optional[int] = None
                          ) -> List[EnsembleMemberResult]:
     """Run every ensemble member, serially or across a process pool."""
-    tasks = [
-        (normalized_data, config, index, seed, bucket_size)
-        for index, seed in enumerate(seeds)
-    ]
+    normalized_data = np.asarray(normalized_data, dtype=float)
+    tasks = [(config, index, seed, bucket_size)
+             for index, seed in enumerate(seeds)]
+
+    def _run_serial() -> List[EnsembleMemberResult]:
+        return [
+            run_ensemble_member(normalized_data, config, index, seed,
+                                bucket_size=bucket_size)
+            for config, index, seed, bucket_size in tasks
+        ]
+
     if config.n_jobs <= 1 or len(tasks) <= 1:
-        return [_run_member(task) for task in tasks]
+        return _run_serial()
     try:
         context = multiprocessing.get_context()
-        with context.Pool(processes=min(config.n_jobs, len(tasks))) as pool:
+        with context.Pool(processes=min(config.n_jobs, len(tasks)),
+                          initializer=_init_worker,
+                          initargs=(normalized_data,)) as pool:
             return pool.map(_run_member, tasks)
     except (OSError, ValueError):
         # Restricted environments (no /dev/shm, sandboxed fork) fall back to serial.
-        return [_run_member(task) for task in tasks]
+        return _run_serial()

@@ -10,7 +10,7 @@ the "sum absolute std. deviation" score plotted in Fig. 10.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 

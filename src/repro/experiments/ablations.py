@@ -15,9 +15,8 @@ wrap them) covering:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from repro.baselines import (
     AutoencoderDetector,
@@ -28,7 +27,6 @@ from repro.baselines import (
     PCAReconstructionDetector,
 )
 from repro.core.detector import QuorumDetector
-from repro.data.dataset import Dataset
 from repro.data.registry import load_dataset
 from repro.experiments.common import ExperimentSettings, evaluate_quorum_scores, run_quorum
 from repro.metrics.classification import evaluate_top_k

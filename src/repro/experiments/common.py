@@ -8,8 +8,8 @@ that preserves the qualitative results while finishing in minutes on a laptop; t
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -17,7 +17,7 @@ from repro.baselines.qnn import QNNClassifier, QNNConfig
 from repro.core.config import QuorumConfig
 from repro.core.detector import QuorumDetector
 from repro.data.dataset import Dataset
-from repro.data.registry import DATASET_SPECS, load_dataset
+from repro.data.registry import DATASET_SPECS
 from repro.metrics.classification import ClassificationReport, evaluate_flags, evaluate_top_k
 
 __all__ = [

@@ -11,7 +11,7 @@ zero detections on the letter dataset.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.data.registry import DATASET_SPECS, load_dataset
 from repro.experiments.common import (
@@ -91,7 +91,7 @@ def format_fig8(result: Fig8Result) -> str:
                          f"{report.precision:.3f}", f"{report.f1:.3f}",
                          f"{report.accuracy:.3f}"))
     table = markdown_table(headers, rows)
-    summary = (f"\nAverage F1 advantage (Quorum - QNN): "
+    summary = ("\nAverage F1 advantage (Quorum - QNN): "
                f"{result.average_f1_advantage:.3f}; "
                f"Quorum wins everywhere: {result.quorum_wins_everywhere()}")
     return table + summary

@@ -14,7 +14,7 @@ noisy curves closely track the noiseless ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.data.registry import DATASET_SPECS, load_dataset
 from repro.experiments.common import (

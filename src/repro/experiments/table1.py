@@ -9,7 +9,7 @@ achieves -- the quantities the bucketing machinery is responsible for.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.bucketing import bucket_size_for_probability, probability_of_anomalous_bucket
 from repro.data.registry import DATASET_SPECS, load_dataset

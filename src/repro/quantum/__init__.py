@@ -12,12 +12,21 @@ functionality that the Quorum paper depends on:
 * :mod:`repro.quantum.simulator` -- shot-based execution engines on top of the two
   state representations.
 * :mod:`repro.quantum.noise` -- Kraus channels and the :class:`NoiseModel` container.
+* :mod:`repro.quantum.backend` -- pluggable batched simulation backends (the
+  einsum/tensordot kernels the simulators and SWAP-test engines run on).
 * :mod:`repro.quantum.backends` -- calibration-style descriptions of fake devices
   (notably a Brisbane-like backend built from the medians quoted in the paper).
 * :mod:`repro.quantum.transpiler` -- basis decomposition and peephole optimization.
 * :mod:`repro.quantum.operators` -- partial trace, fidelity, purity helpers.
 """
 
+from repro.quantum.backend import (
+    NumpyBackend,
+    SimulationBackend,
+    available_simulation_backends,
+    get_simulation_backend,
+    register_simulation_backend,
+)
 from repro.quantum.circuit import Instruction, QuantumCircuit
 from repro.quantum.gates import GATE_MATRICES, standard_gate_matrix
 from repro.quantum.simulator import (
@@ -31,6 +40,11 @@ from repro.quantum.statevector import Statevector
 from repro.quantum.density_matrix import DensityMatrix
 
 __all__ = [
+    "SimulationBackend",
+    "NumpyBackend",
+    "available_simulation_backends",
+    "get_simulation_backend",
+    "register_simulation_backend",
     "Instruction",
     "QuantumCircuit",
     "GATE_MATRICES",

@@ -13,7 +13,7 @@ Qiskit's `Pauli` labels).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Tuple, Union
 
 import numpy as np
 

@@ -10,19 +10,29 @@ Two engines are provided, both consuming the same :class:`QuantumCircuit` IR:
   channels are applied deterministically and measurement statistics are sampled
   from the final diagonal.  This is the reference engine for Quorum because the
   autoencoder's partial reset produces genuinely mixed states.
+
+Both simulators accept a ``backend=`` argument (a name such as ``"numpy"`` or a
+:class:`~repro.quantum.backend.SimulationBackend` instance) and route every gate
+application through that backend's batched einsum kernels -- a single circuit is
+simply a batch of size one.  The batched SWAP-test engines in
+:mod:`repro.core.execution` share the very same kernels, so a new backend
+implementation accelerates both the per-circuit and the batched paths.  See
+:mod:`repro.quantum.backend` for the batching contract (leading batch axis,
+``complex128`` dtype, little-endian indices).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.quantum.backend import SimulationBackend, get_simulation_backend
 from repro.quantum.circuit import Instruction, QuantumCircuit
 from repro.quantum.density_matrix import DensityMatrix
 from repro.quantum.noise import NoiseModel, ReadoutError
-from repro.quantum.statevector import Statevector, bitstring_from_index
+from repro.quantum.statevector import Statevector
 
 __all__ = ["ExecutionResult", "StatevectorSimulator", "DensityMatrixSimulator"]
 
@@ -82,9 +92,17 @@ class StatevectorSimulator:
     """Pure-state, trajectory-based circuit simulator."""
 
     def __init__(self, seed: Optional[int] = None,
-                 max_trajectories: Optional[int] = None) -> None:
+                 max_trajectories: Optional[int] = None,
+                 backend: Union[str, SimulationBackend, None] = None) -> None:
         self._rng = np.random.default_rng(seed)
         self.max_trajectories = max_trajectories
+        self.backend = get_simulation_backend(backend)
+
+    def _apply_gate(self, state: Statevector, gate: np.ndarray,
+                    qubits: Sequence[int]) -> Statevector:
+        """Apply one gate through the backend kernel (a batch of size one)."""
+        data = self.backend.apply_gate_batch(state.data[None, :], gate, qubits)
+        return Statevector(data[0])
 
     def run(self, circuit: QuantumCircuit, shots: int = 1024,
             seed: Optional[int] = None) -> ExecutionResult:
@@ -150,8 +168,8 @@ class StatevectorSimulator:
             if instruction.name == "initialize":
                 state = self._apply_initialize(state, instruction, circuit.num_qubits)
                 continue
-            state = state.evolve_gate(instruction.matrix_or_standard(),
-                                      instruction.qubits)
+            state = self._apply_gate(state, instruction.matrix_or_standard(),
+                                     instruction.qubits)
         return state
 
     def _evolve_trajectory(self, circuit: QuantumCircuit,
@@ -177,8 +195,8 @@ class StatevectorSimulator:
                 state, outcome = self._project_qubit(state, instruction.qubits[0], rng)
                 classical[instruction.clbits[0]] = outcome
                 continue
-            state = state.evolve_gate(instruction.matrix_or_standard(),
-                                      instruction.qubits)
+            state = self._apply_gate(state, instruction.matrix_or_standard(),
+                                     instruction.qubits)
         return state, classical
 
     @staticmethod
@@ -297,9 +315,18 @@ class DensityMatrixSimulator:
     """Exact mixed-state simulator with optional noise model."""
 
     def __init__(self, noise_model: Optional[NoiseModel] = None,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 backend: Union[str, SimulationBackend, None] = None) -> None:
         self.noise_model = noise_model
         self._rng = np.random.default_rng(seed)
+        self.backend = get_simulation_backend(backend)
+
+    def _apply_gate(self, state: DensityMatrix, gate: np.ndarray,
+                    qubits: Sequence[int]) -> DensityMatrix:
+        """Conjugate by one gate through the backend kernel (batch of size one)."""
+        data = self.backend.apply_gate_density_batch(state.data[None, :, :],
+                                                     gate, qubits)
+        return DensityMatrix(data[0])
 
     def run(self, circuit: QuantumCircuit, shots: int = 1024,
             seed: Optional[int] = None) -> ExecutionResult:
@@ -336,7 +363,8 @@ class DensityMatrixSimulator:
             return self._apply_initialize_density(state, instruction, num_qubits)
         if instruction.name == "reset":
             return state.reset_qubit(instruction.qubits[0])
-        state = state.evolve_gate(instruction.matrix_or_standard(), instruction.qubits)
+        state = self._apply_gate(state, instruction.matrix_or_standard(),
+                                 instruction.qubits)
         if self.noise_model is not None:
             error = self.noise_model.error_for_instruction(instruction)
             if error is not None:

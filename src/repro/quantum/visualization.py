@@ -126,7 +126,6 @@ def draw_circuit(circuit: QuantumCircuit, max_width: int = 120) -> str:
             cell = column[qubit]
             if not cell and span is not None and span[0] < qubit < span[1]:
                 cell = "│"
-            filler = "─" if cell != "│" else "│"
             rendered = cell.center(width, "─") if cell != "│" else "│".center(width, "─")
             if not cell:
                 rendered = "─" * width

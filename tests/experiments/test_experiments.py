@@ -1,6 +1,5 @@
 """Small-scale tests of the experiment runners (full scale lives in benchmarks/)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.common import (

@@ -1,0 +1,224 @@
+"""Tests for the batched simulation-backend layer (repro.quantum.backend)."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.backend import (
+    NumpyBackend,
+    SimulationBackend,
+    available_simulation_backends,
+    get_simulation_backend,
+    register_simulation_backend,
+)
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.statevector import Statevector, apply_unitary_to_tensor
+
+
+def random_states(rng, batch, num_qubits):
+    states = (rng.normal(size=(batch, 2 ** num_qubits))
+              + 1j * rng.normal(size=(batch, 2 ** num_qubits)))
+    return states / np.linalg.norm(states, axis=1, keepdims=True)
+
+
+def random_unitary(rng, num_qubits):
+    dim = 2 ** num_qubits
+    matrix = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    unitary, _ = np.linalg.qr(matrix)
+    return unitary
+
+
+class TestRegistry:
+    def test_numpy_backend_is_registered(self):
+        assert "numpy" in available_simulation_backends()
+
+    def test_get_by_name_and_default(self):
+        assert isinstance(get_simulation_backend("numpy"), NumpyBackend)
+        assert isinstance(get_simulation_backend(None), NumpyBackend)
+        assert isinstance(get_simulation_backend("NumPy"), NumpyBackend)
+
+    def test_instance_passthrough(self):
+        backend = NumpyBackend()
+        assert get_simulation_backend(backend) is backend
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            get_simulation_backend("cuda")
+
+    def test_custom_registration(self):
+        class EchoBackend(NumpyBackend):
+            name = "echo-test"
+
+        register_simulation_backend("echo-test", EchoBackend)
+        try:
+            assert isinstance(get_simulation_backend("echo-test"), EchoBackend)
+        finally:
+            # Keep the registry clean for other tests.
+            from repro.quantum import backend as backend_module
+
+            backend_module._REGISTRY.pop("echo-test")
+
+    def test_abstract_base_is_not_instantiable(self):
+        with pytest.raises(TypeError):
+            SimulationBackend()
+
+
+class TestStatevectorPrimitives:
+    backend = NumpyBackend()
+
+    def test_zero_states(self):
+        states = self.backend.zero_states(4, 3)
+        assert states.shape == (4, 8)
+        assert np.allclose(states[:, 0], 1.0)
+        assert np.allclose(states[:, 1:], 0.0)
+        with pytest.raises(ValueError):
+            self.backend.zero_states(0, 3)
+
+    def test_apply_gate_batch_property_vs_per_sample(self):
+        """Property test: the batched kernel agrees with apply_unitary_to_tensor
+        applied row by row, for random gates, targets, and register sizes."""
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            num_qubits = int(rng.integers(2, 5))
+            k = int(rng.integers(1, min(num_qubits, 3) + 1))
+            qubits = list(rng.choice(num_qubits, size=k, replace=False))
+            gate = random_unitary(rng, k)
+            states = random_states(rng, 6, num_qubits)
+            batched = self.backend.apply_gate_batch(states, gate, qubits)
+            assert batched.shape == states.shape
+            for row in range(states.shape[0]):
+                tensor = states[row].reshape((2,) * num_qubits)
+                expected = apply_unitary_to_tensor(tensor, gate, qubits,
+                                                   num_qubits).reshape(-1)
+                assert np.allclose(batched[row], expected, atol=1e-10)
+
+    def test_apply_gate_batch_validates_shapes(self):
+        states = self.backend.zero_states(2, 2)
+        with pytest.raises(ValueError):
+            self.backend.apply_gate_batch(states, np.eye(4), [0])
+        with pytest.raises(ValueError):
+            self.backend.apply_gate_batch(np.ones(4), np.eye(2), [0])
+        with pytest.raises(ValueError):
+            self.backend.apply_gate_batch(np.ones((2, 3)), np.eye(2), [0])
+
+    def test_apply_unitary_batch_matches_per_row(self):
+        rng = np.random.default_rng(1)
+        states = random_states(rng, 5, 3)
+        unitary = random_unitary(rng, 3)
+        batched = self.backend.apply_unitary_batch(states, unitary)
+        for row in range(5):
+            assert np.allclose(batched[row], unitary @ states[row], atol=1e-10)
+
+    def test_probability_one_batch_matches_statevector(self):
+        rng = np.random.default_rng(2)
+        states = random_states(rng, 5, 3)
+        for qubit in range(3):
+            probs = self.backend.probability_one_batch(states, qubit)
+            for row in range(5):
+                expected = Statevector(states[row]).probability_of_outcome(qubit, 1)
+                assert probs[row] == pytest.approx(expected, abs=1e-12)
+
+    def test_collapse_qubit_batch(self):
+        rng = np.random.default_rng(3)
+        states = random_states(rng, 4, 3)
+        outcomes = np.array([0, 1, 0, 1])
+        collapsed = self.backend.collapse_qubit_batch(states, 1, outcomes)
+        assert np.allclose(np.linalg.norm(collapsed, axis=1), 1.0)
+        post = self.backend.probability_one_batch(collapsed, 1)
+        assert np.allclose(post, outcomes, atol=1e-12)
+
+    def test_collapse_with_reset_moves_to_zero(self):
+        rng = np.random.default_rng(4)
+        states = random_states(rng, 4, 3)
+        outcomes = np.array([1, 1, 0, 1])
+        reset = self.backend.collapse_qubit_batch(states, 0, outcomes,
+                                                  reset_to_zero=True)
+        assert np.allclose(self.backend.probability_one_batch(reset, 0), 0.0,
+                           atol=1e-12)
+        assert np.allclose(np.linalg.norm(reset, axis=1), 1.0)
+
+    def test_collapse_impossible_outcome_raises(self):
+        states = self.backend.zero_states(2, 2)  # qubit 0 is definitely 0
+        with pytest.raises(RuntimeError):
+            self.backend.collapse_qubit_batch(states, 0, np.array([1, 1]))
+
+    def test_overlap_batch(self):
+        rng = np.random.default_rng(5)
+        states_a = random_states(rng, 6, 3)
+        states_b = random_states(rng, 6, 3)
+        overlaps = self.backend.overlap_batch(states_a, states_b)
+        for row in range(6):
+            expected = Statevector(states_a[row]).fidelity(
+                Statevector(states_b[row]))
+            assert overlaps[row] == pytest.approx(expected, abs=1e-12)
+        assert np.allclose(self.backend.overlap_batch(states_a, states_a), 1.0)
+
+
+class TestDensityPrimitives:
+    backend = NumpyBackend()
+
+    def test_density_from_states(self):
+        rng = np.random.default_rng(6)
+        states = random_states(rng, 3, 2)
+        rhos = self.backend.density_from_states(states)
+        for row in range(3):
+            assert np.allclose(rhos[row], np.outer(states[row],
+                                                   states[row].conj()))
+
+    def test_apply_gate_density_batch_matches_density_matrix(self):
+        rng = np.random.default_rng(7)
+        states = random_states(rng, 4, 3)
+        rhos = self.backend.density_from_states(states)
+        gate = random_unitary(rng, 2)
+        qubits = [2, 0]
+        batched = self.backend.apply_gate_density_batch(rhos, gate, qubits)
+        for row in range(4):
+            expected = DensityMatrix(rhos[row]).evolve_gate(gate, qubits)
+            assert np.allclose(batched[row], expected.data, atol=1e-10)
+
+    def test_evolve_density_batch(self):
+        rng = np.random.default_rng(8)
+        states = random_states(rng, 3, 2)
+        rhos = self.backend.density_from_states(states)
+        unitary = random_unitary(rng, 2)
+        evolved = self.backend.evolve_density_batch(rhos, unitary)
+        for row in range(3):
+            expected = unitary @ rhos[row] @ unitary.conj().T
+            assert np.allclose(evolved[row], expected, atol=1e-10)
+
+    def test_reset_low_qubits_matches_sequential_reset(self):
+        rng = np.random.default_rng(9)
+        states = random_states(rng, 3, 3)
+        rhos = self.backend.density_from_states(states)
+        for num_reset in (0, 1, 2, 3):
+            batched = self.backend.reset_low_qubits_density_batch(rhos, num_reset)
+            for row in range(3):
+                expected = DensityMatrix(rhos[row])
+                for qubit in range(num_reset):
+                    expected = expected.reset_qubit(qubit)
+                assert np.allclose(batched[row], expected.data, atol=1e-10)
+
+    def test_expectation_batch(self):
+        rng = np.random.default_rng(10)
+        states = random_states(rng, 4, 2)
+        probes = random_states(rng, 4, 2)
+        rhos = self.backend.density_from_states(states)
+        values = self.backend.expectation_batch(rhos, probes)
+        for row in range(4):
+            expected = np.real(probes[row].conj() @ rhos[row] @ probes[row])
+            assert values[row] == pytest.approx(expected, abs=1e-12)
+
+
+class TestUnitaryFromInstructions:
+    def test_matches_circuit_to_unitary(self):
+        from repro.quantum.circuit import QuantumCircuit
+
+        backend = NumpyBackend()
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.rz(0.37, 2)
+        circuit.cswap(0, 1, 2)
+        instructions = [(instr.matrix_or_standard(), instr.qubits)
+                        for instr in circuit.instructions]
+        unitary = backend.unitary_from_instructions(instructions, 3)
+        assert np.allclose(unitary, circuit.to_unitary(), atol=1e-10)

@@ -1,7 +1,6 @@
 """Tests for partial trace, fidelity, purity, and Kraus helpers."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.quantum import gates

@@ -6,7 +6,6 @@ qualitative claims (at a reduced, fast scale).
 """
 
 import numpy as np
-import pytest
 
 from repro import (
     QuorumConfig,

@@ -3,11 +3,36 @@
 The project is normally installed with ``pip install -e .`` (or
 ``python setup.py develop`` on machines without the ``wheel`` package); this hook
 only exists so that cloning the repository and running ``pytest`` immediately works.
+
+It also exposes ``--executor``/``--jobs`` options that select the ensemble
+executor strategy for the benchmark suite (exported through the
+``QUORUM_EXECUTOR``/``QUORUM_N_JOBS`` environment variables, which
+``ExperimentSettings`` reads), so CI can exercise e.g. the thread executor with
+``pytest benchmarks --executor threads --jobs 2``.
 """
 
+import os
 import sys
 from pathlib import Path
 
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("quorum")
+    group.addoption("--executor", action="store", default=None,
+                    help="ensemble executor strategy for benchmark runs "
+                         "(auto/serial/threads/processes)")
+    group.addoption("--jobs", action="store", default=None, type=int,
+                    help="ensemble workers for benchmark runs")
+
+
+def pytest_configure(config):
+    executor = config.getoption("--executor")
+    jobs = config.getoption("--jobs")
+    if executor is not None:
+        os.environ["QUORUM_EXECUTOR"] = executor
+    if jobs is not None:
+        os.environ["QUORUM_N_JOBS"] = str(jobs)

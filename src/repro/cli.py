@@ -16,6 +16,7 @@ into issues or EXPERIMENTS.md.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -37,6 +38,7 @@ from repro.experiments.fig10 import format_fig10, run_fig10
 from repro.experiments.report import render_report, run_full_evaluation, write_report
 from repro.experiments.table1 import format_table1, run_table1
 from repro.experiments.table2 import format_table2, run_table2
+from repro.core.parallel import available_executors
 from repro.metrics.classification import evaluate_top_k
 from repro.metrics.detection import detection_rate_curve
 from repro.quantum.backend import available_simulation_backends
@@ -79,12 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--seed", type=int, default=1234)
     detect.add_argument("--top", type=int, default=10,
                         help="how many top-scoring samples to list")
+    _add_executor_arguments(detect)
 
     compare = subparsers.add_parser("compare",
                                     help="compare Quorum against classical baselines")
     _add_data_arguments(compare)
     compare.add_argument("--ensembles", type=int, default=50)
     compare.add_argument("--seed", type=int, default=1234)
+    _add_executor_arguments(compare)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate paper tables/figures (table1, fig8, fig9, "
@@ -96,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=11)
     experiment.add_argument("--skip-noisy", action="store_true",
                             help="skip the expensive noisy runs in fig9")
+    _add_executor_arguments(experiment)
 
     report = subparsers.add_parser("report", help="run the full evaluation sweep")
     report.add_argument("--ensembles", type=int, default=60)
@@ -105,8 +110,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the markdown report to this path")
     report.add_argument("--json", type=str, default=None,
                         help="also dump machine-readable results to this path")
+    _add_executor_arguments(report)
 
     return parser
+
+
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--executor", choices=available_executors(),
+                        default="auto",
+                        help="ensemble executor strategy; results are "
+                             "bit-identical across strategies for a fixed seed")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="ensemble workers (default: 1, or the CPU count "
+                             "when --executor names a parallel strategy)")
+
+
+def _resolve_jobs(args: argparse.Namespace) -> int:
+    """One worker by default; naming a parallel executor implies a real pool."""
+    if args.jobs is not None:
+        return args.jobs
+    if args.executor in ("threads", "processes"):
+        return os.cpu_count() or 1
+    return 1
 
 
 def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
@@ -151,6 +176,8 @@ def _command_detect(args: argparse.Namespace) -> int:
         simulation_backend=args.simulation_backend,
         noisy=args.noisy,
         seed=args.seed,
+        executor=args.executor,
+        n_jobs=_resolve_jobs(args),
     )
     detector.fit(dataset)
     scores = detector.anomaly_scores()
@@ -183,7 +210,8 @@ def _command_compare(args: argparse.Namespace) -> int:
         return 2
     detector = QuorumDetector(ensemble_groups=args.ensembles, shots=4096,
                               seed=args.seed,
-                              anomaly_fraction_estimate=dataset.anomaly_fraction)
+                              anomaly_fraction_estimate=dataset.anomaly_fraction,
+                              executor=args.executor, n_jobs=_resolve_jobs(args))
     detector.fit(dataset)
     methods = {
         "Quorum (quantum)": detector.anomaly_scores(),
@@ -204,7 +232,8 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
-    settings = ExperimentSettings(ensemble_groups=args.ensembles, seed=args.seed)
+    settings = ExperimentSettings(ensemble_groups=args.ensembles, seed=args.seed,
+                                  executor=args.executor, n_jobs=_resolve_jobs(args))
     for artifact in args.artifacts:
         if artifact == "table1":
             print("\n## Table I\n")
@@ -226,7 +255,8 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 
 def _command_report(args: argparse.Namespace) -> int:
-    settings = ExperimentSettings(ensemble_groups=args.ensembles, seed=args.seed)
+    settings = ExperimentSettings(ensemble_groups=args.ensembles, seed=args.seed,
+                                  executor=args.executor, n_jobs=_resolve_jobs(args))
     report = run_full_evaluation(settings, include_noisy=not args.skip_noisy)
     if args.output:
         path = write_report(report, args.output, json_path=args.json)

@@ -16,7 +16,19 @@ from repro.core.execution import (
     make_engine,
 )
 from repro.core.scoring import AnomalyScores, bucket_deviations
-from repro.core.ensemble import EnsembleMemberResult, run_ensemble_member
+from repro.core.ensemble import (
+    EnsembleMemberResult,
+    MemberPlan,
+    execute_member,
+    plan_member,
+    run_ensemble_member,
+)
+from repro.core.parallel import (
+    ExecutorStrategy,
+    available_executors,
+    get_executor,
+    run_ensemble_members,
+)
 from repro.core.detector import QuorumDetector
 
 __all__ = [
@@ -34,6 +46,13 @@ __all__ = [
     "AnomalyScores",
     "bucket_deviations",
     "EnsembleMemberResult",
+    "MemberPlan",
+    "plan_member",
+    "execute_member",
     "run_ensemble_member",
+    "ExecutorStrategy",
+    "available_executors",
+    "get_executor",
+    "run_ensemble_members",
     "QuorumDetector",
 ]

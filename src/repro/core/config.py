@@ -12,6 +12,9 @@ __all__ = ["QuorumConfig"]
 _BACKENDS = ("analytic", "density_matrix", "statevector")
 _ENTANGLEMENTS = ("linear", "ring", "full")
 _FEATURE_SCALINGS = ("circuit_sqrt", "dataset_sqrt", "dataset_linear")
+# Mirrors repro.core.parallel.available_executors(); kept literal here because
+# the parallel module imports this one.
+_EXECUTORS = ("auto", "serial", "threads", "processes")
 
 
 @dataclass(frozen=True)
@@ -69,8 +72,13 @@ class QuorumConfig:
     seed:
         Master seed; every ensemble member derives its own child seed from it.
     n_jobs:
-        Worker processes for the embarrassingly parallel ensemble loop
-        (1 = serial).
+        Workers for the embarrassingly parallel ensemble loop (1 = serial).
+    executor:
+        Executor strategy running the ensemble members when ``n_jobs > 1``:
+        ``"serial"``, ``"threads"`` (zero-copy shared dataset, BLAS releases
+        the GIL), ``"processes"`` (dataset in shared memory), or ``"auto"``
+        (processes when ``n_jobs > 1``).  Results are bit-identical across
+        strategies for a fixed seed.
     """
 
     num_qubits: int = 3
@@ -89,6 +97,7 @@ class QuorumConfig:
     gate_level_encoding: bool = False
     seed: Optional[int] = 1234
     n_jobs: int = 1
+    executor: str = "auto"
 
     def __post_init__(self) -> None:
         if self.num_qubits < 2:
@@ -121,6 +130,8 @@ class QuorumConfig:
             raise ValueError("noisy simulation requires the density_matrix backend")
         if self.n_jobs < 1:
             raise ValueError("n_jobs must be at least 1")
+        if self.executor not in _EXECUTORS:
+            raise ValueError(f"executor must be one of {_EXECUTORS}")
         if self.compression_levels is not None:
             levels = tuple(int(level) for level in self.compression_levels)
             if not levels:
@@ -187,4 +198,6 @@ class QuorumConfig:
             "simulation_backend": self.simulation_backend,
             "noisy": self.noisy,
             "seed": self.seed,
+            "n_jobs": self.n_jobs,
+            "executor": self.executor,
         }

@@ -94,6 +94,8 @@ class QuorumDetector:
                 "compression_levels": list(self.config.effective_compression_levels),
                 "backend": self.config.backend,
                 "noisy": self.config.noisy,
+                "executor": self.config.executor,
+                "n_jobs": self.config.n_jobs,
             },
         )
         return self

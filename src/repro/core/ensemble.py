@@ -1,10 +1,30 @@
-"""A single ensemble member: one complete random "quantum projection" of the data.
+"""Ensemble members as plan/execute pairs.
 
-Each member draws its own feature subset, bucket assignment, and random ansatz
-angles, runs every sample through every compression level, and converts the
-SWAP-test outputs into per-bucket absolute z-scores.  Members are independent of
-one another -- the "embarrassingly parallel" property the paper highlights -- so
-the detector simply sums their deviation vectors.
+Each ensemble member is one complete random "quantum projection" of the data:
+it draws its own feature subset, bucket assignment, and random ansatz angles,
+runs every sample through every compression level, and converts the SWAP-test
+outputs into per-bucket absolute z-scores.  Members are independent of one
+another -- the "embarrassingly parallel" property the paper highlights -- so the
+detector simply sums their deviation vectors.
+
+The member lifecycle is split in two:
+
+* :func:`plan_member` performs the *cheap, data-independent* setup -- feature
+  subset, bucket assignment, ansatz construction -- and captures it in a small
+  picklable :class:`MemberPlan`.  Planning only needs the dataset's *shape*, so
+  executors can build every plan up front in the parent process and ship plans
+  (not datasets) to workers.
+* :func:`execute_member` performs the *heavy, data-dependent* work: amplitude
+  encoding, one fused ``(levels x samples)`` batched SWAP-test sweep through the
+  engine's ``p1_levels_batch``, and bucket scoring.  The executor strategies in
+  :mod:`repro.core.parallel` call this against shared (zero-copy or
+  shared-memory) dataset views.
+
+The plan carries the member RNG *after* its planning draws, so execution
+consumes shot-noise randomness in exactly the order the historical single-pass
+implementation did -- fixed-seed results are bit-identical no matter which
+executor runs the plan.  :func:`run_ensemble_member` remains as the one-call
+convenience wrapper (plan + execute).
 """
 
 from __future__ import annotations
@@ -21,7 +41,14 @@ from repro.core.execution import SwapTestEngine, make_engine
 from repro.core.feature_selection import select_feature_subset
 from repro.core.scoring import bucket_deviations
 
-__all__ = ["EnsembleMemberResult", "batch_amplitudes", "run_ensemble_member"]
+__all__ = [
+    "EnsembleMemberResult",
+    "MemberPlan",
+    "batch_amplitudes",
+    "plan_member",
+    "execute_member",
+    "run_ensemble_member",
+]
 
 
 def batch_amplitudes(values: np.ndarray, num_qubits: int) -> np.ndarray:
@@ -77,11 +104,131 @@ class EnsembleMemberResult:
     p1_statistics: Dict[int, Tuple[float, float]] = field(default_factory=dict)
 
 
+@dataclass
+class MemberPlan:
+    """Everything one ensemble member needs besides the dataset itself.
+
+    Plans are cheap (a few index arrays, the ansatz angles, and an RNG state)
+    and picklable, so a process executor ships plans to workers while the
+    dataset travels once through shared memory.  ``rng`` holds the member
+    generator *after* the planning draws; :func:`execute_member` hands it to the
+    engine so shot noise continues the member's deterministic stream.
+
+    Attributes
+    ----------
+    member_index:
+        Position of the member in the ensemble.
+    member_seed:
+        Seed the plan was derived from (diagnostics / re-planning).
+    selected_features:
+        Feature indices of this member's random projection.
+    bucket_size:
+        Bucket size used for the assignment.
+    buckets:
+        The member's random partition of sample indices.
+    ansatz:
+        The member's random encoder/decoder pair (angles drawn at planning time).
+    rng:
+        Member RNG positioned immediately after the planning draws.
+    """
+
+    member_index: int
+    member_seed: int
+    selected_features: np.ndarray
+    bucket_size: int
+    buckets: BucketAssignment
+    ansatz: RandomAutoencoderAnsatz
+    rng: np.random.Generator
+
+
+def plan_member(num_samples: int, num_features: int, config: QuorumConfig,
+                member_index: int, member_seed: int,
+                bucket_size: Optional[int] = None) -> MemberPlan:
+    """Draw one member's random configuration from the dataset's *shape* only.
+
+    The draw order (feature subset, buckets, ansatz seed) matches the seed
+    implementation exactly, so a plan executed by any strategy reproduces the
+    historical single-pass results bit for bit.
+    """
+    if num_samples < 1 or num_features < 1:
+        raise ValueError("the dataset needs at least one sample and one feature")
+    rng = np.random.default_rng(member_seed)
+
+    selected = select_feature_subset(num_features, config.features_per_circuit, rng)
+
+    if bucket_size is None:
+        bucket_size = bucket_size_for_probability(
+            num_samples, config.effective_anomaly_fraction, config.bucket_probability
+        )
+    bucket_size = min(bucket_size, num_samples)
+    buckets = assign_buckets(num_samples, bucket_size, rng)
+
+    ansatz = RandomAutoencoderAnsatz(
+        num_qubits=config.num_qubits,
+        num_layers=config.num_layers,
+        entanglement=config.entanglement,
+        seed=int(rng.integers(0, 2 ** 31 - 1)),
+    )
+    return MemberPlan(
+        member_index=member_index,
+        member_seed=member_seed,
+        selected_features=selected,
+        bucket_size=bucket_size,
+        buckets=buckets,
+        ansatz=ansatz,
+        rng=rng,
+    )
+
+
+def execute_member(normalized_data: np.ndarray, plan: MemberPlan,
+                   config: QuorumConfig,
+                   engine: Optional[SwapTestEngine] = None
+                   ) -> EnsembleMemberResult:
+    """Run one planned member over the (shared) normalized dataset.
+
+    All compression levels of the member run as ONE fused
+    ``(levels x samples)`` batch through the engine's ``p1_levels_batch``.  The
+    hot path is the engine's batched linear algebra (GIL-releasing BLAS), which
+    is what makes the thread executor in :mod:`repro.core.parallel` effective.
+    """
+    normalized_data = np.asarray(normalized_data, dtype=float)
+    if normalized_data.ndim != 2:
+        raise ValueError("normalized_data must be 2-D")
+    amplitudes = batch_amplitudes(normalized_data[:, plan.selected_features],
+                                  config.num_qubits)
+    if engine is None:
+        engine = make_engine(
+            config.backend, config.shots, rng=plan.rng, noisy=config.noisy,
+            gate_level_encoding=config.gate_level_encoding,
+            num_qubits=config.num_qubits,
+            simulation_backend=config.simulation_backend,
+        )
+    levels = config.effective_compression_levels
+    p1_values = engine.p1_levels_batch(amplitudes, plan.ansatz, levels)
+
+    deviations = np.zeros(normalized_data.shape[0])
+    statistics: Dict[int, Tuple[float, float]] = {}
+    for position, level in enumerate(levels):
+        level_p1 = p1_values[position]
+        statistics[level] = (float(np.mean(level_p1)), float(np.std(level_p1)))
+        deviations += bucket_deviations(level_p1, plan.buckets)
+
+    return EnsembleMemberResult(
+        member_index=plan.member_index,
+        deviations=deviations,
+        selected_features=plan.selected_features,
+        bucket_size=plan.bucket_size,
+        num_buckets=plan.buckets.num_buckets,
+        num_runs=len(levels),
+        p1_statistics=statistics,
+    )
+
+
 def run_ensemble_member(normalized_data: np.ndarray, config: QuorumConfig,
                         member_index: int, member_seed: int,
                         engine: Optional[SwapTestEngine] = None,
                         bucket_size: Optional[int] = None) -> EnsembleMemberResult:
-    """Run one complete ensemble member over the normalized dataset.
+    """Plan and execute one ensemble member in a single call.
 
     Parameters
     ----------
@@ -104,47 +251,7 @@ def run_ensemble_member(normalized_data: np.ndarray, config: QuorumConfig,
     normalized_data = np.asarray(normalized_data, dtype=float)
     if normalized_data.ndim != 2:
         raise ValueError("normalized_data must be 2-D")
-    num_samples, num_features = normalized_data.shape
-    rng = np.random.default_rng(member_seed)
-
-    selected = select_feature_subset(num_features, config.features_per_circuit, rng)
-    amplitudes = batch_amplitudes(normalized_data[:, selected], config.num_qubits)
-
-    if bucket_size is None:
-        bucket_size = bucket_size_for_probability(
-            num_samples, config.effective_anomaly_fraction, config.bucket_probability
-        )
-    bucket_size = min(bucket_size, num_samples)
-    buckets: BucketAssignment = assign_buckets(num_samples, bucket_size, rng)
-
-    ansatz = RandomAutoencoderAnsatz(
-        num_qubits=config.num_qubits,
-        num_layers=config.num_layers,
-        entanglement=config.entanglement,
-        seed=int(rng.integers(0, 2 ** 31 - 1)),
-    )
-    if engine is None:
-        engine = make_engine(
-            config.backend, config.shots, rng=rng, noisy=config.noisy,
-            gate_level_encoding=config.gate_level_encoding,
-            num_qubits=config.num_qubits,
-            simulation_backend=config.simulation_backend,
-        )
-
-    deviations = np.zeros(num_samples)
-    statistics: Dict[int, Tuple[float, float]] = {}
-    levels = config.effective_compression_levels
-    for level in levels:
-        p1_values = engine.p1_batch(amplitudes, ansatz, level)
-        statistics[level] = (float(np.mean(p1_values)), float(np.std(p1_values)))
-        deviations += bucket_deviations(p1_values, buckets)
-
-    return EnsembleMemberResult(
-        member_index=member_index,
-        deviations=deviations,
-        selected_features=selected,
-        bucket_size=bucket_size,
-        num_buckets=buckets.num_buckets,
-        num_runs=len(levels),
-        p1_statistics=statistics,
-    )
+    plan = plan_member(normalized_data.shape[0], normalized_data.shape[1],
+                       config, member_index, member_seed,
+                       bucket_size=bucket_size)
+    return execute_member(normalized_data, plan, config, engine=engine)

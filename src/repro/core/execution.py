@@ -11,8 +11,9 @@ compression level?" -- with a different cost/fidelity trade-off:
 * :class:`DensityMatrixEngine` evolves register A's density matrix exactly.  The
   noiseless path runs the whole sample batch through the batched kernels of a
   :class:`~repro.quantum.backend.SimulationBackend`; noisy or gate-level runs
-  fall back to building and simulating the full ``2n+1``-qubit circuit per
-  sample (the only path that can model gate/readout noise).
+  simulate the full ``2n+1``-qubit circuit, but as one *batched* circuit walk
+  over all samples (every sample shares the gate structure; only the amplitude
+  encoding differs).
 * :class:`StatevectorEngine` runs stochastic trajectories, mimicking how a
   shot-based hardware run (or Qiskit Aer's statevector method with mid-circuit
   resets) behaves.  All samples and all trajectories are evolved together as one
@@ -27,6 +28,11 @@ Every engine accepts ``simulation_backend=`` (a name from
 primitives: amplitudes enter as ``(samples, 2**n)`` float arrays, the leading
 batch axis is preserved end to end, and the ansatz unitary ``E`` is built once
 per ensemble member (cached on the ansatz) rather than once per sample.
+
+``p1_levels_batch`` fuses a member's whole compression sweep into one call:
+samples and levels form a single flattened batch wherever the math allows, and
+the shot-noise RNG is consumed in exactly the order the historical per-level
+loop used, so fixed-seed results are unchanged.
 """
 
 from __future__ import annotations
@@ -41,7 +47,10 @@ from repro.algorithms.autoencoder import build_autoencoder_circuit
 from repro.quantum.backend import SimulationBackend, get_simulation_backend
 from repro.quantum.backends import FakeBrisbane
 from repro.quantum.noise import NoiseModel
-from repro.quantum.simulator import DensityMatrixSimulator
+from repro.quantum.simulator import (
+    BatchedDensityMatrixSimulator,
+    DensityMatrixSimulator,
+)
 
 __all__ = [
     "SwapTestEngine",
@@ -70,12 +79,41 @@ class SwapTestEngine(ABC):
                  compression_level: int) -> np.ndarray:
         """SWAP-test P(1) for every row of ``amplitudes`` (shape: samples x 2^n)."""
 
+    def p1_levels_batch(self, amplitudes: np.ndarray,
+                        ansatz: RandomAutoencoderAnsatz,
+                        compression_levels: Sequence[int]) -> np.ndarray:
+        """SWAP-test P(1) for every (level, sample) pair; shape ``(levels, samples)``.
+
+        This is the fused entry point the ensemble executor uses: one call per
+        member covers the member's whole compression sweep.  The default
+        implementation runs the levels sequentially through :meth:`p1_batch`
+        (consuming the shot-noise RNG in exactly the order the historical
+        per-level loop did); engines whose levels share expensive intermediate
+        state override it with a genuinely fused computation.
+        """
+        levels = self._validated_levels(compression_levels, ansatz)
+        return np.stack([
+            self.p1_batch(amplitudes, ansatz, level)
+            for level in levels
+        ])
+
     def p1_single(self, amplitudes: Sequence[float],
                   ansatz: RandomAutoencoderAnsatz,
                   compression_level: int) -> float:
         """Convenience wrapper for a single sample."""
         batch = np.asarray(amplitudes, dtype=float).reshape(1, -1)
         return float(self.p1_batch(batch, ansatz, compression_level)[0])
+
+    def _validated_levels(self, compression_levels: Sequence[int],
+                          ansatz: RandomAutoencoderAnsatz) -> list:
+        """Validate a compression sweep for ``p1_levels_batch`` implementations."""
+        levels = [int(level) for level in compression_levels]
+        if not levels:
+            raise ValueError("at least one compression level is required")
+        for level in levels:
+            if not 0 <= level <= ansatz.num_qubits:
+                raise ValueError("compression level out of range")
+        return levels
 
     def _validated_batch(self, amplitudes: np.ndarray,
                          ansatz: RandomAutoencoderAnsatz,
@@ -117,25 +155,23 @@ class AnalyticEngine(SwapTestEngine):
 
     def p1_batch(self, amplitudes: np.ndarray, ansatz: RandomAutoencoderAnsatz,
                  compression_level: int) -> np.ndarray:
-        amplitudes = self._validated_batch(amplitudes, ansatz, compression_level)
-        dim = amplitudes.shape[1]
+        return self.p1_levels_batch(amplitudes, ansatz, (compression_level,))[0]
+
+    def p1_levels_batch(self, amplitudes: np.ndarray,
+                        ansatz: RandomAutoencoderAnsatz,
+                        compression_levels: Sequence[int]) -> np.ndarray:
+        levels = self._validated_levels(compression_levels, ansatz)
+        amplitudes = self._validated_batch(amplitudes, ansatz, levels[0])
         # |phi_i> = E |psi_i>, the whole batch in one matmul (E is cached on the
-        # ansatz, so it is built once per ensemble member).
+        # ansatz, so it is built once per ensemble member) -- and shared by every
+        # compression level of the sweep.
         phi = self.backend.apply_unitary_batch(
             self.backend.as_states(amplitudes), ansatz.encoder_unitary()
         )
-        if compression_level == 0:
-            overlap = np.ones(amplitudes.shape[0])
-        else:
-            reset_dim = 2 ** compression_level
-            kept_dim = dim // reset_dim
-            # Little-endian: the reset qubits are the low-order bits, i.e. the
-            # fastest-varying axis after reshaping.
-            phi_tensor = phi.reshape(-1, kept_dim, reset_dim)
-            reference = phi_tensor[:, :, 0]
-            inner = np.einsum("nk,nks->ns", reference.conj(), phi_tensor)
-            overlap = np.sum(np.abs(inner) ** 2, axis=1)
+        overlap = self.backend.compression_overlap_levels(phi, levels)
         exact_p1 = np.clip((1.0 - overlap) / 2.0, 0.0, 1.0)
+        # One elementwise binomial call over the (levels, samples) array draws
+        # bit-identically to the historical sequential per-level calls.
         return self._apply_shot_noise(exact_p1)
 
 
@@ -147,9 +183,10 @@ class DensityMatrixEngine(SwapTestEngine):
     kernels; this is mathematically identical to simulating the full
     ``2n+1``-qubit circuit (the reference register stays pure and the SWAP test
     reads ``P(1) = (1 - <psi| rho_A |psi>) / 2``).  Runs with a noise model or
-    gate-level encoding use :meth:`p1_batch_circuit_level`, which builds and
-    simulates the full circuit per sample -- noise acts on individual gates, so
-    there is no batched shortcut.
+    gate-level encoding use :meth:`p1_batch_circuit_level`, which walks the full
+    circuit for *all samples at once* -- the gate structure is shared across the
+    batch, so noise channels apply to whole density-matrix batches and only the
+    amplitude encoding is per-sample.
     """
 
     def __init__(self, shots: Optional[int] = 4096,
@@ -168,21 +205,67 @@ class DensityMatrixEngine(SwapTestEngine):
         if self.noise_model is not None or self.gate_level_encoding:
             return self.p1_batch_circuit_level(amplitudes, ansatz,
                                                compression_level)
+        return self.p1_levels_batch(amplitudes, ansatz, (compression_level,))[0]
+
+    def p1_levels_batch(self, amplitudes: np.ndarray,
+                        ansatz: RandomAutoencoderAnsatz,
+                        compression_levels: Sequence[int]) -> np.ndarray:
+        levels = self._validated_levels(compression_levels, ansatz)
+        amplitudes = self._validated_batch(amplitudes, ansatz, levels[0])
+        if self.noise_model is not None or self.gate_level_encoding:
+            # Noise keeps the walk per level (each level has a different reset
+            # block), but every level's walk is itself batched over the samples.
+            return np.stack([
+                self.p1_batch_circuit_level(amplitudes, ansatz, level)
+                for level in levels
+            ])
         backend = self.backend
         psi = backend.as_states(amplitudes)
         encoder = ansatz.encoder_unitary()
+        decoder = encoder.conj().T
+        # Encoding and the pure-state density build are level-independent and
+        # run once for the whole sweep; only the (cheap) reset/decode/overlap
+        # tail is per level, each level's batch staying cache-sized.
         phi = backend.apply_unitary_batch(psi, encoder)
         rhos = backend.density_from_states(phi)
-        rhos = backend.reset_low_qubits_density_batch(rhos, compression_level)
-        rhos = backend.evolve_density_batch(rhos, encoder.conj().T)
-        overlap = backend.expectation_batch(rhos, psi)
-        exact_p1 = np.clip((1.0 - overlap) / 2.0, 0.0, 1.0)
+        exact_p1 = np.empty((len(levels), amplitudes.shape[0]))
+        for position, level in enumerate(levels):
+            level_rhos = backend.reset_low_qubits_density_batch(rhos, level)
+            level_rhos = backend.evolve_density_batch(level_rhos, decoder)
+            overlap = backend.expectation_batch(level_rhos, psi)
+            exact_p1[position] = np.clip((1.0 - overlap) / 2.0, 0.0, 1.0)
         return self._apply_shot_noise(exact_p1)
 
     def p1_batch_circuit_level(self, amplitudes: np.ndarray,
                                ansatz: RandomAutoencoderAnsatz,
                                compression_level: int) -> np.ndarray:
-        """Per-sample full-circuit simulation (the only path supporting noise)."""
+        """Full-circuit simulation of the whole batch (the path supporting noise).
+
+        Every sample's circuit shares the same gate structure -- only the
+        amplitude encoding differs -- so all samples walk one batched circuit
+        through :class:`~repro.quantum.simulator.BatchedDensityMatrixSimulator`
+        instead of looping a per-sample simulator.
+        """
+        amplitudes = self._validated_batch(amplitudes, ansatz, compression_level)
+        circuits = [
+            build_autoencoder_circuit(
+                row, ansatz, compression_level,
+                gate_level_encoding=self.gate_level_encoding, measure=False,
+            )
+            for row in amplitudes
+        ]
+        walker = BatchedDensityMatrixSimulator(noise_model=self.noise_model,
+                                               backend=self.backend)
+        rhos = walker.evolve_batch(circuits)
+        ancilla = 2 * ansatz.num_qubits
+        exact_p1 = self.backend.probability_one_density_batch(rhos, ancilla)
+        return self._apply_shot_noise(exact_p1)
+
+    def p1_per_sample_circuit_level(self, amplitudes: np.ndarray,
+                                    ansatz: RandomAutoencoderAnsatz,
+                                    compression_level: int) -> np.ndarray:
+        """Reference per-sample circuit walk (regression baseline for the batched
+        walk; not used on any hot path)."""
         amplitudes = self._validated_batch(amplitudes, ansatz, compression_level)
         simulator = DensityMatrixSimulator(noise_model=self.noise_model,
                                            backend=self.backend)

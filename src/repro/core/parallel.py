@@ -1,29 +1,66 @@
-"""Parallel execution of ensemble members.
+"""Executor strategies for the embarrassingly parallel ensemble.
 
-Ensemble members share nothing (Section IV-F calls the design "embarrassingly
-parallel"), so they are dispatched to a process pool.  The normalized dataset is
-shipped to each worker exactly once through the pool initializer instead of
-being pickled into every member's argument tuple -- with hundreds of members the
-old per-task pickling copied the whole dataset once per member.  The serial path
-is used for ``n_jobs=1`` and as a fallback when a pool cannot be created (e.g.
-restricted environments).
+The detector's members share nothing (Section IV-F calls the design
+"embarrassingly parallel"), and PR 1's batched kernels moved their hot path
+into GIL-releasing BLAS.  This module exploits both properties through a
+plan/execute architecture: :func:`run_ensemble_members` builds one cheap,
+picklable :class:`~repro.core.ensemble.MemberPlan` per member up front, then
+hands the plans to a pluggable :class:`ExecutorStrategy`:
+
+* ``serial`` -- plain loop in the calling process (also the fallback).
+* ``threads`` -- a ``ThreadPoolExecutor`` sharing the dataset zero-copy;
+  effective because members spend their time inside batched BLAS kernels that
+  release the GIL.
+* ``processes`` -- a process pool whose workers map the dataset once from
+  ``multiprocessing.shared_memory`` instead of receiving one pickled copy
+  each; only the tiny plans and result arrays cross process boundaries.
+
+``QuorumConfig.executor`` selects a strategy (``"auto"`` picks ``processes``
+when ``n_jobs > 1``).  Pool creation failures -- ``OSError``/``ValueError``
+(restricted environments: no ``/dev/shm``, sandboxed fork),
+``PicklingError``/``RuntimeError`` (unpicklable state, missing start-method
+bootstrapping) -- fall back to the serial strategy, and the executor actually
+used is logged and recorded on the strategy result.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
-from typing import List, Optional, Sequence, Tuple
+import pickle
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import QuorumConfig
-from repro.core.ensemble import EnsembleMemberResult, run_ensemble_member
+from repro.core.ensemble import (
+    EnsembleMemberResult,
+    MemberPlan,
+    execute_member,
+    plan_member,
+)
 
-__all__ = ["run_ensemble_members", "derive_member_seeds"]
+__all__ = [
+    "ExecutorStrategy",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "available_executors",
+    "get_executor",
+    "run_ensemble_members",
+    "derive_member_seeds",
+]
 
-#: Per-process normalized dataset, installed by :func:`_init_worker` (in pool
-#: workers) so member tasks only carry (config, index, seed, bucket_size).
+logger = logging.getLogger(__name__)
+
+#: Per-worker dataset view and its shared-memory handle, installed by
+#: :func:`_init_shared_worker` (the handle must stay referenced for the view's
+#: buffer to remain mapped).
 _WORKER_DATASET: Optional[np.ndarray] = None
+_WORKER_SHM: Optional[shared_memory.SharedMemory] = None
 
 
 def derive_member_seeds(master_seed: Optional[int], count: int) -> List[int]:
@@ -34,45 +71,171 @@ def derive_member_seeds(master_seed: Optional[int], count: int) -> List[int]:
     return [int(child.generate_state(1)[0]) for child in seed_sequence.spawn(count)]
 
 
-def _init_worker(normalized_data: np.ndarray) -> None:
-    """Pool initializer: stash the dataset once per worker process."""
-    global _WORKER_DATASET
-    _WORKER_DATASET = normalized_data
+class ExecutorStrategy(ABC):
+    """How a list of member plans is executed against the shared dataset."""
+
+    #: Registry key of the strategy.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(self, normalized_data: np.ndarray, plans: Sequence[MemberPlan],
+            config: QuorumConfig) -> List[EnsembleMemberResult]:
+        """Execute every plan and return results in plan order."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
 
 
-def _run_member(args: Tuple[QuorumConfig, int, int, Optional[int]]
-                ) -> EnsembleMemberResult:
-    config, member_index, member_seed, bucket_size = args
+class SerialExecutor(ExecutorStrategy):
+    """Execute plans one after another in the calling process."""
+
+    name = "serial"
+
+    def run(self, normalized_data: np.ndarray, plans: Sequence[MemberPlan],
+            config: QuorumConfig) -> List[EnsembleMemberResult]:
+        return [execute_member(normalized_data, plan, config) for plan in plans]
+
+
+class ThreadExecutor(ExecutorStrategy):
+    """Execute plans on a thread pool over the zero-copy shared dataset.
+
+    Threads see the parent's dataset array directly (no copy, no pickling);
+    the batched kernels spend their time in BLAS with the GIL released, so
+    member execution overlaps despite running in one process.
+    """
+
+    name = "threads"
+
+    def run(self, normalized_data: np.ndarray, plans: Sequence[MemberPlan],
+            config: QuorumConfig) -> List[EnsembleMemberResult]:
+        workers = min(config.n_jobs, len(plans))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(
+                lambda plan: execute_member(normalized_data, plan, config),
+                plans,
+            ))
+
+
+def _init_shared_worker(shm_name: str, shape: Tuple[int, ...],
+                        dtype_str: str) -> None:
+    """Pool initializer: map the shared-memory dataset once per worker."""
+    global _WORKER_DATASET, _WORKER_SHM
+    _WORKER_SHM = shared_memory.SharedMemory(name=shm_name)
+    _WORKER_DATASET = np.ndarray(shape, dtype=np.dtype(dtype_str),
+                                 buffer=_WORKER_SHM.buf)
+
+
+def _run_planned_member(args: Tuple[MemberPlan, QuorumConfig]
+                        ) -> EnsembleMemberResult:
+    plan, config = args
     if _WORKER_DATASET is None:
         raise RuntimeError("worker process was not initialized with the dataset")
-    return run_ensemble_member(_WORKER_DATASET, config, member_index, member_seed,
-                               bucket_size=bucket_size)
+    return execute_member(_WORKER_DATASET, plan, config)
+
+
+class ProcessExecutor(ExecutorStrategy):
+    """Execute plans on a process pool fed from shared memory.
+
+    The dataset is written once into ``multiprocessing.shared_memory``; every
+    worker maps that one block instead of unpickling its own copy, so task
+    payloads shrink to (plan, config) tuples regardless of dataset size.
+    """
+
+    name = "processes"
+
+    def run(self, normalized_data: np.ndarray, plans: Sequence[MemberPlan],
+            config: QuorumConfig) -> List[EnsembleMemberResult]:
+        normalized_data = np.ascontiguousarray(normalized_data)
+        shm = shared_memory.SharedMemory(create=True,
+                                         size=normalized_data.nbytes)
+        try:
+            view = np.ndarray(normalized_data.shape, dtype=normalized_data.dtype,
+                              buffer=shm.buf)
+            view[:] = normalized_data
+            context = multiprocessing.get_context()
+            with context.Pool(
+                processes=min(config.n_jobs, len(plans)),
+                initializer=_init_shared_worker,
+                initargs=(shm.name, normalized_data.shape,
+                          normalized_data.dtype.str),
+            ) as pool:
+                return pool.map(_run_planned_member,
+                                [(plan, config) for plan in plans])
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+_EXECUTORS: Dict[str, Callable[[], ExecutorStrategy]] = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+
+def available_executors() -> Tuple[str, ...]:
+    """Names of all registered executor strategies (plus ``"auto"``)."""
+    return ("auto",) + tuple(sorted(_EXECUTORS))
+
+
+def get_executor(name: str) -> ExecutorStrategy:
+    """Resolve an executor strategy by name (``"auto"`` is resolved upstream)."""
+    key = str(name).lower()
+    if key not in _EXECUTORS:
+        raise ValueError(
+            f"unknown executor {name!r}; available: "
+            f"{', '.join(available_executors())}"
+        )
+    return _EXECUTORS[key]()
 
 
 def run_ensemble_members(normalized_data: np.ndarray, config: QuorumConfig,
                          seeds: Sequence[int],
                          bucket_size: Optional[int] = None
                          ) -> List[EnsembleMemberResult]:
-    """Run every ensemble member, serially or across a process pool."""
+    """Plan every ensemble member, then execute the plans on the configured
+    executor strategy (falling back to serial when a pool cannot be created)."""
     normalized_data = np.asarray(normalized_data, dtype=float)
-    tasks = [(config, index, seed, bucket_size)
-             for index, seed in enumerate(seeds)]
+    if normalized_data.ndim != 2:
+        raise ValueError("normalized_data must be 2-D")
+    num_samples, num_features = normalized_data.shape
 
-    def _run_serial() -> List[EnsembleMemberResult]:
+    def build_plans() -> List[MemberPlan]:
         return [
-            run_ensemble_member(normalized_data, config, index, seed,
-                                bucket_size=bucket_size)
-            for config, index, seed, bucket_size in tasks
+            plan_member(num_samples, num_features, config, index, seed,
+                        bucket_size=bucket_size)
+            for index, seed in enumerate(seeds)
         ]
 
-    if config.n_jobs <= 1 or len(tasks) <= 1:
-        return _run_serial()
+    plans = build_plans()
+    if config.n_jobs <= 1 or len(plans) <= 1:
+        name = SerialExecutor.name
+    elif config.executor == "auto":
+        name = ProcessExecutor.name
+    else:
+        name = config.executor
+    strategy = get_executor(name)
+
+    used = strategy.name
     try:
-        context = multiprocessing.get_context()
-        with context.Pool(processes=min(config.n_jobs, len(tasks)),
-                          initializer=_init_worker,
-                          initargs=(normalized_data,)) as pool:
-            return pool.map(_run_member, tasks)
-    except (OSError, ValueError):
-        # Restricted environments (no /dev/shm, sandboxed fork) fall back to serial.
-        return _run_serial()
+        results = strategy.run(normalized_data, plans, config)
+    except (OSError, ValueError, pickle.PicklingError, RuntimeError) as error:
+        if strategy.name == SerialExecutor.name:
+            raise
+        # Restricted environments (no /dev/shm, sandboxed fork, spawn without
+        # a picklable __main__) fall back to serial rather than failing the run.
+        logger.warning(
+            "%r executor unavailable (%s: %s); falling back to serial",
+            strategy.name, type(error).__name__, error,
+        )
+        used = SerialExecutor.name
+        # Re-plan before the serial pass: a strategy that executed some members
+        # before failing advanced those plans' RNGs, and reusing them would
+        # silently break the fixed-seed bit-identity guarantee.
+        results = SerialExecutor().run(normalized_data, build_plans(), config)
+    logger.info("ensemble of %d members executed with the %r executor",
+                len(plans), used)
+    return results

@@ -8,7 +8,8 @@ that preserves the qualitative results while finishing in minutes on a laptop; t
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
@@ -54,6 +55,13 @@ class ExperimentSettings:
         Training epochs of the QNN baseline.
     qnn_train_fraction:
         Fraction of the dataset (with labels) given to the supervised QNN.
+    executor:
+        Executor strategy for the ensemble members (``auto``/``serial``/
+        ``threads``/``processes``); defaults to the ``QUORUM_EXECUTOR``
+        environment variable so the benchmark harness can sweep strategies
+        without editing every experiment module.
+    n_jobs:
+        Ensemble workers (defaults to ``QUORUM_N_JOBS``; 1 = serial).
     """
 
     ensemble_groups: int = 60
@@ -63,6 +71,10 @@ class ExperimentSettings:
     noisy_subsample: Optional[int] = 140
     qnn_epochs: int = 60
     qnn_train_fraction: float = 0.6
+    executor: str = field(
+        default_factory=lambda: os.environ.get("QUORUM_EXECUTOR", "auto"))
+    n_jobs: int = field(
+        default_factory=lambda: int(os.environ.get("QUORUM_N_JOBS", "1")))
 
     def quorum_config(self, dataset_name: str, **overrides: object) -> QuorumConfig:
         """Base Quorum config for ``dataset_name`` (Table I bucket probability)."""
@@ -73,6 +85,8 @@ class ExperimentSettings:
             bucket_probability=spec.bucket_probability,
             anomaly_fraction_estimate=spec.anomalies / spec.samples,
             seed=self.seed,
+            executor=self.executor,
+            n_jobs=self.n_jobs,
         )
         return base.with_overrides(**overrides) if overrides else base
 

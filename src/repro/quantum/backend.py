@@ -38,6 +38,7 @@ from repro.quantum.statevector import apply_unitary_to_tensor
 __all__ = [
     "SimulationBackend",
     "NumpyBackend",
+    "NumpyFloat32Backend",
     "register_simulation_backend",
     "available_simulation_backends",
     "get_simulation_backend",
@@ -125,6 +126,93 @@ class SimulationBackend(ABC):
     def expectation_batch(self, rhos: np.ndarray,
                           states: np.ndarray) -> np.ndarray:
         """Row-wise ``<psi_i| rho_i |psi_i>`` (real part); shape ``(batch,)``."""
+
+    @abstractmethod
+    def apply_gates_density_batch(self, rhos: np.ndarray, gates: np.ndarray,
+                                  qubits: Sequence[int]) -> np.ndarray:
+        """Conjugate every density matrix by its *own* local gate.
+
+        ``gates`` has shape ``(batch, 2^k, 2^k)``: row ``i`` of the batch is
+        conjugated by ``gates[i]``.  This is the per-sample variant of
+        :meth:`apply_gate_density_batch`, needed when structurally identical
+        circuits carry sample-dependent parameters (e.g. gate-level amplitude
+        encoding, where the state-preparation angles differ per sample).
+        """
+
+    @abstractmethod
+    def apply_superoperator_density_batch(self, rhos: np.ndarray,
+                                          superoperator: np.ndarray,
+                                          qubits: Sequence[int]) -> np.ndarray:
+        """Apply one local channel (superoperator form) to every matrix.
+
+        ``superoperator`` is the ``d^2 x d^2`` matrix produced by
+        :func:`repro.quantum.density_matrix.kraus_to_superoperator`, acting on
+        the *row-major* flattening of the local density matrix (row index block
+        first).  The same channel is applied to every batch entry (noise models
+        depend on the gate, not on the sample).
+        """
+
+    @abstractmethod
+    def apply_superoperators_density_batch(self, rhos: np.ndarray,
+                                           superoperators: np.ndarray,
+                                           qubits: Sequence[int]) -> np.ndarray:
+        """Apply one local channel *per batch entry* (superoperator form).
+
+        ``superoperators`` has shape ``(batch, d^2, d^2)``: channel ``i`` acts on
+        density matrix ``i``.  Used by the batched circuit walker to fuse a
+        sample-dependent gate with its (shared) noise channel into a single
+        contraction over the batch.
+        """
+
+    @abstractmethod
+    def probability_one_density_batch(self, rhos: np.ndarray,
+                                      qubit: int) -> np.ndarray:
+        """P(measuring ``qubit`` = 1) from each density matrix; ``(batch,)``."""
+
+    def reset_qubit_density_batch(self, rhos: np.ndarray,
+                                  qubit: int) -> np.ndarray:
+        """Non-selectively reset one qubit of every density matrix to |0>.
+
+        Default implementation routes through
+        :meth:`apply_superoperator_density_batch` with the reset channel's
+        superoperator (Kraus operators ``|0><0|`` and ``|0><1|``); backends can
+        override with a direct partial-trace kernel.
+        """
+        zero_zero = np.array([[1.0, 0.0], [0.0, 0.0]], dtype=self.dtype)
+        zero_one = np.array([[0.0, 1.0], [0.0, 0.0]], dtype=self.dtype)
+        superop = (np.kron(zero_zero, zero_zero.conj())
+                   + np.kron(zero_one, zero_one.conj()))
+        return self.apply_superoperator_density_batch(rhos, superop, [qubit])
+
+    def compression_overlap_levels(self, states: np.ndarray,
+                                   levels: Sequence[int]) -> np.ndarray:
+        """Autoencoder survival overlaps for several compression levels at once.
+
+        For ``|phi_i>`` rows of ``states`` and each level ``k`` in ``levels``,
+        computes ``sum_s |<phi_i[:, 0], phi_i[:, s]>|^2`` over the ``2^k`` reset
+        patterns ``s`` (little-endian low qubits) -- the quantity the analytic
+        SWAP-test reduction needs.  Returns shape ``(len(levels), batch)``.
+        Level 0 yields 1 for normalized states.  ``|phi>`` is computed once by
+        the caller, so a whole level sweep shares one encoder application.
+        """
+        states = self.as_states(states)
+        batch, dim = states.shape
+        overlaps = np.empty((len(levels), batch))
+        for position, level in enumerate(levels):
+            if level == 0:
+                overlaps[position] = np.ones(batch)
+                continue
+            reset_dim = 2 ** int(level)
+            if reset_dim > dim:
+                raise ValueError(f"compression level {level} exceeds the register")
+            kept_dim = dim // reset_dim
+            # Little-endian: the reset qubits are the low-order bits, i.e. the
+            # fastest-varying axis after reshaping.
+            tensor = states.reshape(-1, kept_dim, reset_dim)
+            reference = tensor[:, :, 0]
+            inner = np.einsum("nk,nks->ns", reference.conj(), tensor)
+            overlaps[position] = np.sum(np.abs(inner) ** 2, axis=1)
+        return overlaps
 
     # ----------------------------------------------------------------- helpers
     def unitary_from_instructions(
@@ -312,6 +400,170 @@ class NumpyBackend(SimulationBackend):
         values = np.einsum("bi,bij,bj->b", states.conj(), rhos, states)
         return np.real(values)
 
+    def _validated_density_batch(self, rhos: np.ndarray) -> Tuple[np.ndarray, int]:
+        rhos = np.asarray(rhos, dtype=self.dtype)
+        if rhos.ndim != 3 or rhos.shape[1] != rhos.shape[2]:
+            raise ValueError("a density batch must be (batch, d, d)")
+        return rhos, self._num_qubits(rhos.shape[1])
+
+    def _apply_matrices_to_axes(self, tensor: np.ndarray, matrices: np.ndarray,
+                                target_axes: Sequence[int]) -> np.ndarray:
+        """Contract ``matrices[b]`` with the ``target_axes`` of batch entry ``b``.
+
+        ``target_axes`` are flattened most-significant-first into one index of
+        size ``matrices.shape[-1]``; the contraction runs as one batched GEMM
+        (``matmul``), which is substantially faster than ``einsum`` for the
+        many-rows-times-tiny-matrix shapes this produces.
+        """
+        k = len(target_axes)
+        ndim = tensor.ndim
+        moved = np.moveaxis(tensor, target_axes, range(ndim - k, ndim))
+        lead_shape = moved.shape[: ndim - k]
+        local_dim = matrices.shape[-1]
+        flat = moved.reshape(moved.shape[0], -1, local_dim)
+        # out[b, r, i] = sum_j matrices[b, i, j] * flat[b, r, j]
+        out = np.matmul(flat, np.swapaxes(matrices, -1, -2))
+        out = out.reshape(lead_shape + (2,) * k)
+        return np.moveaxis(out, range(ndim - k, ndim), target_axes)
+
+    def _apply_gates_to_axes(self, tensor: np.ndarray, gates: np.ndarray,
+                             qubits: Sequence[int], num_qubits: int,
+                             axis_offset: int) -> np.ndarray:
+        """Per-batch-entry gate application on one axes block of ``tensor``.
+
+        Same index conventions as
+        :func:`repro.quantum.statevector.apply_unitary_to_tensor` (the gate's
+        row/column index treats the first listed qubit as the least-significant
+        bit), but contracting ``gates[b]`` with batch entry ``b``.
+        """
+        state_axes = [axis_offset + num_qubits - 1 - q for q in reversed(qubits)]
+        return self._apply_matrices_to_axes(tensor, gates, state_axes)
+
+    def apply_gates_density_batch(self, rhos: np.ndarray, gates: np.ndarray,
+                                  qubits: Sequence[int]) -> np.ndarray:
+        rhos, num_qubits = self._validated_density_batch(rhos)
+        batch, dim = rhos.shape[0], rhos.shape[1]
+        qubits = list(qubits)
+        k = len(qubits)
+        gates = np.asarray(gates, dtype=self.dtype)
+        if gates.shape != (batch, 2 ** k, 2 ** k):
+            raise ValueError(
+                f"per-sample gates must have shape (batch, 2^k, 2^k); got "
+                f"{gates.shape} for {k} target qubits and batch {batch}"
+            )
+        tensor = rhos.reshape((batch,) + (2,) * (2 * num_qubits))
+        tensor = self._apply_gates_to_axes(tensor, gates, qubits, num_qubits,
+                                           axis_offset=1)
+        tensor = self._apply_gates_to_axes(tensor, np.conj(gates), qubits,
+                                           num_qubits,
+                                           axis_offset=1 + num_qubits)
+        return np.ascontiguousarray(tensor).reshape(batch, dim, dim)
+
+    def apply_superoperator_density_batch(self, rhos: np.ndarray,
+                                          superoperator: np.ndarray,
+                                          qubits: Sequence[int]) -> np.ndarray:
+        rhos, num_qubits = self._validated_density_batch(rhos)
+        batch, dim = rhos.shape[0], rhos.shape[1]
+        qubits = list(qubits)
+        k = len(qubits)
+        local_dim = 2 ** k
+        superoperator = np.asarray(superoperator, dtype=self.dtype)
+        if superoperator.shape != (local_dim ** 2, local_dim ** 2):
+            raise ValueError("superoperator shape does not match the qubit count")
+        tensor = rhos.reshape((batch,) + (2,) * (2 * num_qubits))
+        # Combined (row, column) axes of the targeted qubits, most significant
+        # first, offset by one for the leading batch axis -- the batched twin of
+        # DensityMatrix.apply_superoperator.
+        row_axes = [1 + num_qubits - 1 - q for q in reversed(qubits)]
+        col_axes = [1 + 2 * num_qubits - 1 - q for q in reversed(qubits)]
+        target_axes = row_axes + col_axes
+        superop_tensor = superoperator.reshape((2,) * (4 * k))
+        input_axes = list(range(2 * k, 4 * k))
+        moved = np.tensordot(superop_tensor, tensor, axes=(input_axes, target_axes))
+        # tensordot puts the channel's output axes first and the surviving axes
+        # (batch first) after them; moving the outputs back also restores the
+        # batch axis to the front.
+        moved = np.moveaxis(moved, range(2 * k), target_axes)
+        return np.ascontiguousarray(moved).reshape(batch, dim, dim)
+
+    def apply_superoperators_density_batch(self, rhos: np.ndarray,
+                                           superoperators: np.ndarray,
+                                           qubits: Sequence[int]) -> np.ndarray:
+        rhos, num_qubits = self._validated_density_batch(rhos)
+        batch, dim = rhos.shape[0], rhos.shape[1]
+        qubits = list(qubits)
+        k = len(qubits)
+        local_dim = 2 ** k
+        superoperators = np.asarray(superoperators, dtype=self.dtype)
+        if superoperators.shape != (batch, local_dim ** 2, local_dim ** 2):
+            raise ValueError(
+                "per-sample superoperators must have shape (batch, d^2, d^2)"
+            )
+        tensor = rhos.reshape((batch,) + (2,) * (2 * num_qubits))
+        row_axes = [1 + num_qubits - 1 - q for q in reversed(qubits)]
+        col_axes = [1 + 2 * num_qubits - 1 - q for q in reversed(qubits)]
+        # Row block first, most-significant qubit first inside each block --
+        # the same (row, column) flattening kraus_to_superoperator uses.
+        tensor = self._apply_matrices_to_axes(tensor, superoperators,
+                                              row_axes + col_axes)
+        return np.ascontiguousarray(tensor).reshape(batch, dim, dim)
+
+    def reset_qubit_density_batch(self, rhos: np.ndarray,
+                                  qubit: int) -> np.ndarray:
+        rhos, num_qubits = self._validated_density_batch(rhos)
+        if not 0 <= qubit < num_qubits:
+            raise ValueError(f"qubit {qubit} out of range")
+        batch, dim = rhos.shape[0], rhos.shape[1]
+        low = 2 ** qubit
+        high = dim // (2 * low)
+        blocks = rhos.reshape(batch, high, 2, low, high, 2, low)
+        result = np.zeros_like(blocks)
+        # Partial trace over the reset qubit, re-embedded in its |0> subspace.
+        result[:, :, 0, :, :, 0, :] = (blocks[:, :, 0, :, :, 0, :]
+                                       + blocks[:, :, 1, :, :, 1, :])
+        return result.reshape(batch, dim, dim)
+
+    def probability_one_density_batch(self, rhos: np.ndarray,
+                                      qubit: int) -> np.ndarray:
+        rhos, num_qubits = self._validated_density_batch(rhos)
+        if not 0 <= qubit < num_qubits:
+            raise ValueError(f"qubit {qubit} out of range")
+        batch, dim = rhos.shape[0], rhos.shape[1]
+        low = 2 ** qubit
+        diagonal = np.real(np.einsum("bii->bi", rhos))
+        blocks = diagonal.reshape(batch, dim // (2 * low), 2, low)
+        return np.sum(blocks[:, :, 1, :], axis=(1, 2))
+
+
+class NumpyFloat32Backend(NumpyBackend):
+    """Single-precision variant of the reference backend.
+
+    States and density matrices are held in ``complex64`` and every kernel runs
+    in single precision, validating the backend plug point beyond the reference
+    implementation (and halving memory traffic).  Probability-valued reductions
+    are cast back to ``float64`` so downstream scoring code sees the usual
+    result dtype; accuracy is limited to roughly ``1e-6`` on the small registers
+    Quorum uses, which the cross-validation tests assert explicitly.
+    """
+
+    name = "numpy-float32"
+    dtype: np.dtype = np.dtype(np.complex64)
+
+    def probability_one_batch(self, states: np.ndarray, qubit: int) -> np.ndarray:
+        return super().probability_one_batch(states, qubit).astype(np.float64)
+
+    def overlap_batch(self, states_a: np.ndarray,
+                      states_b: np.ndarray) -> np.ndarray:
+        return super().overlap_batch(states_a, states_b).astype(np.float64)
+
+    def expectation_batch(self, rhos: np.ndarray,
+                          states: np.ndarray) -> np.ndarray:
+        return super().expectation_batch(rhos, states).astype(np.float64)
+
+    def probability_one_density_batch(self, rhos: np.ndarray,
+                                      qubit: int) -> np.ndarray:
+        return super().probability_one_density_batch(rhos, qubit).astype(np.float64)
+
 
 _REGISTRY: Dict[str, Callable[[], SimulationBackend]] = {}
 
@@ -345,3 +597,4 @@ def get_simulation_backend(
 
 
 register_simulation_backend("numpy", NumpyBackend)
+register_simulation_backend("numpy-float32", NumpyFloat32Backend)

@@ -63,3 +63,101 @@ class TestRunMembers:
         config = QuorumConfig(ensemble_groups=3, shots=None, seed=1)
         results = run_ensemble_members(toy_data(), config, derive_member_seeds(1, 3))
         assert [result.member_index for result in results] == [0, 1, 2]
+
+
+class TestExecutorSelectionAndFallback:
+    def test_single_job_uses_serial(self, caplog):
+        import logging
+
+        config = QuorumConfig(ensemble_groups=2, shots=None, seed=1, n_jobs=1,
+                              executor="processes")
+        with caplog.at_level(logging.INFO, logger="repro.core.parallel"):
+            run_ensemble_members(toy_data(), config, derive_member_seeds(1, 2))
+        assert "'serial' executor" in caplog.text
+
+    def test_threads_executor_matches_serial(self):
+        data = toy_data()
+        seeds = derive_member_seeds(5, 3)
+        serial = run_ensemble_members(
+            data, QuorumConfig(ensemble_groups=3, shots=4096, seed=5, n_jobs=1),
+            seeds)
+        threaded = run_ensemble_members(
+            data, QuorumConfig(ensemble_groups=3, shots=4096, seed=5, n_jobs=2,
+                               executor="threads"),
+            seeds)
+        for serial_result, threaded_result in zip(serial, threaded):
+            assert np.array_equal(serial_result.deviations,
+                                  threaded_result.deviations)
+
+    def test_pool_creation_failure_falls_back_to_serial(self, caplog,
+                                                        monkeypatch):
+        import logging
+        import pickle
+
+        from repro.core import parallel
+
+        class ExplodingExecutor(parallel.ProcessExecutor):
+            def run(self, normalized_data, plans, config):
+                raise pickle.PicklingError("cannot pickle the plans")
+
+        monkeypatch.setitem(parallel._EXECUTORS, "processes", ExplodingExecutor)
+        config = QuorumConfig(ensemble_groups=3, shots=None, seed=2, n_jobs=2,
+                              executor="processes")
+        seeds = derive_member_seeds(2, 3)
+        with caplog.at_level(logging.INFO, logger="repro.core.parallel"):
+            results = run_ensemble_members(toy_data(), config, seeds)
+        assert len(results) == 3
+        assert "falling back to serial" in caplog.text
+        assert "'serial' executor" in caplog.text
+        reference = run_ensemble_members(
+            toy_data(), config.with_overrides(n_jobs=1), seeds)
+        for result, expected in zip(results, reference):
+            assert np.array_equal(result.deviations, expected.deviations)
+
+    def test_runtime_error_from_pool_falls_back(self, monkeypatch):
+        from repro.core import parallel
+
+        class BrokenPool(parallel.ThreadExecutor):
+            def run(self, normalized_data, plans, config):
+                raise RuntimeError("context has already been set")
+
+        monkeypatch.setitem(parallel._EXECUTORS, "threads", BrokenPool)
+        config = QuorumConfig(ensemble_groups=2, shots=None, seed=3, n_jobs=2,
+                              executor="threads")
+        results = run_ensemble_members(toy_data(), config,
+                                       derive_member_seeds(3, 2))
+        assert [result.member_index for result in results] == [0, 1]
+
+    def test_serial_strategy_errors_propagate(self, monkeypatch):
+        from repro.core import parallel
+
+        def broken_execute(normalized_data, plan, config, engine=None):
+            raise RuntimeError("member exploded")
+
+        monkeypatch.setattr(parallel, "execute_member", broken_execute)
+        config = QuorumConfig(ensemble_groups=2, shots=None, seed=4, n_jobs=1)
+        with pytest.raises(RuntimeError, match="member exploded"):
+            run_ensemble_members(toy_data(), config, derive_member_seeds(4, 2))
+
+    def test_fallback_after_partial_run_stays_bit_identical(self, monkeypatch):
+        """A strategy that executes some members before failing must not leak
+        their consumed RNG state into the serial fallback."""
+        from repro.core import parallel
+
+        class PartiallyFailingExecutor(parallel.ThreadExecutor):
+            def run(self, normalized_data, plans, config):
+                # Consume the first plan's RNG exactly like a real run would...
+                parallel.execute_member(normalized_data, plans[0], config)
+                # ...then die as if the pool broke mid-flight.
+                raise RuntimeError("pool collapsed mid-run")
+
+        monkeypatch.setitem(parallel._EXECUTORS, "threads",
+                            PartiallyFailingExecutor)
+        config = QuorumConfig(ensemble_groups=3, shots=4096, seed=6, n_jobs=2,
+                              executor="threads")
+        seeds = derive_member_seeds(6, 3)
+        results = run_ensemble_members(toy_data(), config, seeds)
+        reference = run_ensemble_members(
+            toy_data(), config.with_overrides(n_jobs=1), seeds)
+        for result, expected in zip(results, reference):
+            assert np.array_equal(result.deviations, expected.deviations)

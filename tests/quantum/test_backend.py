@@ -222,3 +222,190 @@ class TestUnitaryFromInstructions:
                         for instr in circuit.instructions]
         unitary = backend.unitary_from_instructions(instructions, 3)
         assert np.allclose(unitary, circuit.to_unitary(), atol=1e-10)
+
+
+class TestBatchedChannelPrimitives:
+    """The density primitives added for the batched circuit walker."""
+
+    def setup_method(self):
+        self.rng = np.random.default_rng(7)
+        self.backend = NumpyBackend()
+
+    def random_densities(self, batch, num_qubits):
+        states = random_states(self.rng, batch, num_qubits)
+        return self.backend.density_from_states(states)
+
+    def test_per_sample_gates_match_per_sample_conjugation(self):
+        rhos = self.random_densities(5, 3)
+        gates = np.stack([random_unitary(self.rng, 1) for _ in range(5)])
+        batched = self.backend.apply_gates_density_batch(rhos, gates, [1])
+        for index in range(5):
+            reference = DensityMatrix(rhos[index]).evolve_gate(gates[index], [1])
+            assert np.allclose(batched[index], reference.data, atol=1e-12)
+
+    def test_per_sample_two_qubit_gates(self):
+        rhos = self.random_densities(4, 3)
+        gates = np.stack([random_unitary(self.rng, 2) for _ in range(4)])
+        batched = self.backend.apply_gates_density_batch(rhos, gates, [0, 2])
+        for index in range(4):
+            reference = DensityMatrix(rhos[index]).evolve_gate(gates[index], [0, 2])
+            assert np.allclose(batched[index], reference.data, atol=1e-12)
+
+    def test_per_sample_gates_shape_mismatch_raises(self):
+        rhos = self.random_densities(3, 2)
+        gates = np.stack([random_unitary(self.rng, 1) for _ in range(2)])
+        with pytest.raises(ValueError, match="per-sample gates"):
+            self.backend.apply_gates_density_batch(rhos, gates, [0])
+
+    def test_shared_superoperator_matches_density_matrix(self):
+        from repro.quantum.noise import QuantumError, depolarizing_kraus
+
+        error = QuantumError.from_kraus(depolarizing_kraus(0.1, 2))
+        rhos = self.random_densities(4, 3)
+        batched = self.backend.apply_superoperator_density_batch(
+            rhos, error.superoperator, [0, 2])
+        for index in range(4):
+            reference = DensityMatrix(rhos[index]).apply_superoperator(
+                error.superoperator, [0, 2])
+            assert np.allclose(batched[index], reference.data, atol=1e-12)
+
+    def test_per_sample_superoperators_match_shared(self):
+        from repro.quantum.noise import QuantumError, depolarizing_kraus
+
+        error = QuantumError.from_kraus(depolarizing_kraus(0.2, 1))
+        rhos = self.random_densities(3, 3)
+        shared = self.backend.apply_superoperator_density_batch(
+            rhos, error.superoperator, [1])
+        tiled = np.broadcast_to(
+            error.superoperator, (3,) + error.superoperator.shape)
+        per_sample = self.backend.apply_superoperators_density_batch(
+            rhos, np.array(tiled), [1])
+        assert np.allclose(shared, per_sample, atol=1e-12)
+
+    def test_fused_gate_channel_superoperator(self):
+        """kron(U, conj(U)) through the superoperator kernel == conjugation."""
+        rhos = self.random_densities(4, 3)
+        unitary = random_unitary(self.rng, 1)
+        fused = self.backend.apply_superoperator_density_batch(
+            rhos, np.kron(unitary, unitary.conj()), [2])
+        direct = self.backend.apply_gate_density_batch(rhos, unitary, [2])
+        assert np.allclose(fused, direct, atol=1e-12)
+
+    def test_reset_qubit_matches_density_matrix(self):
+        rhos = self.random_densities(5, 3)
+        for qubit in range(3):
+            batched = self.backend.reset_qubit_density_batch(rhos, qubit)
+            for index in range(5):
+                reference = DensityMatrix(rhos[index]).reset_qubit(qubit)
+                assert np.allclose(batched[index], reference.data, atol=1e-12)
+
+    def test_default_reset_implementation_matches_override(self):
+        rhos = self.random_densities(3, 2)
+        default = SimulationBackend.reset_qubit_density_batch(
+            self.backend, rhos, 1)
+        assert np.allclose(default,
+                           self.backend.reset_qubit_density_batch(rhos, 1),
+                           atol=1e-12)
+
+    def test_probability_one_density_matches_density_matrix(self):
+        rhos = self.random_densities(6, 3)
+        for qubit in range(3):
+            batched = self.backend.probability_one_density_batch(rhos, qubit)
+            for index in range(6):
+                reference = DensityMatrix(rhos[index]).probability_of_outcome(
+                    qubit, 1)
+                assert batched[index] == pytest.approx(reference, abs=1e-12)
+
+    def test_compression_overlap_levels_matches_analytic_reduction(self):
+        states = random_states(self.rng, 6, 3)
+        levels = [0, 1, 2, 3]
+        overlaps = self.backend.compression_overlap_levels(states, levels)
+        assert overlaps.shape == (4, 6)
+        assert np.allclose(overlaps[0], 1.0, atol=1e-12)
+        for position, level in enumerate(levels[1:], start=1):
+            reset_dim = 2 ** level
+            tensor = states.reshape(-1, 8 // reset_dim, reset_dim)
+            inner = np.einsum("nk,nks->ns", tensor[:, :, 0].conj(), tensor)
+            assert np.allclose(overlaps[position],
+                               np.sum(np.abs(inner) ** 2, axis=1), atol=1e-12)
+
+    def test_compression_overlap_level_out_of_range_raises(self):
+        states = random_states(self.rng, 2, 2)
+        with pytest.raises(ValueError, match="compression level"):
+            self.backend.compression_overlap_levels(states, [5])
+
+
+class TestFloat32Backend:
+    """Cross-validation of the single-precision backend variant."""
+
+    def setup_method(self):
+        self.rng = np.random.default_rng(11)
+        self.reference = NumpyBackend()
+        self.float32 = get_simulation_backend("numpy-float32")
+
+    def test_registered_and_selectable(self):
+        assert "numpy-float32" in available_simulation_backends()
+        assert self.float32.dtype == np.dtype(np.complex64)
+
+    def test_states_are_single_precision_results_float64(self):
+        states = self.float32.as_states(random_states(self.rng, 4, 3))
+        assert states.dtype == np.complex64
+        probabilities = self.float32.probability_one_batch(states, 0)
+        assert probabilities.dtype == np.float64
+
+    def test_statevector_kernels_cross_validate(self):
+        states = random_states(self.rng, 8, 3)
+        unitary = random_unitary(self.rng, 3)
+        exact = self.reference.apply_unitary_batch(
+            self.reference.as_states(states), unitary)
+        single = self.float32.apply_unitary_batch(
+            self.float32.as_states(states), unitary)
+        assert np.allclose(single, exact, atol=1e-5)
+        assert np.allclose(
+            self.float32.overlap_batch(single, single),
+            self.reference.overlap_batch(exact, exact), atol=1e-5)
+
+    def test_density_kernels_cross_validate(self):
+        states = random_states(self.rng, 5, 3)
+        rhos64 = self.reference.density_from_states(
+            self.reference.as_states(states))
+        rhos32 = self.float32.density_from_states(
+            self.float32.as_states(states))
+        reset64 = self.reference.reset_low_qubits_density_batch(rhos64, 1)
+        reset32 = self.float32.reset_low_qubits_density_batch(rhos32, 1)
+        assert np.allclose(reset32, reset64, atol=1e-5)
+        expect64 = self.reference.expectation_batch(
+            reset64, self.reference.as_states(states))
+        expect32 = self.float32.expectation_batch(
+            reset32, self.float32.as_states(states))
+        assert expect32.dtype == np.float64
+        assert np.allclose(expect32, expect64, atol=1e-5)
+
+    def test_engines_cross_validate_against_reference(self):
+        from repro.algorithms.ansatz import RandomAutoencoderAnsatz
+        from repro.core.ensemble import batch_amplitudes
+        from repro.core.execution import AnalyticEngine, DensityMatrixEngine
+
+        ansatz = RandomAutoencoderAnsatz(3, seed=17)
+        values = self.rng.uniform(0.0, 1.0 / np.sqrt(7), size=(12, 7))
+        batch = batch_amplitudes(values, 3)
+        for engine_cls in (AnalyticEngine, DensityMatrixEngine):
+            exact = engine_cls(
+                shots=None, simulation_backend="numpy"
+            ).p1_levels_batch(batch, ansatz, [1, 2])
+            single = engine_cls(
+                shots=None, simulation_backend="numpy-float32"
+            ).p1_levels_batch(batch, ansatz, [1, 2])
+            assert single.dtype == np.float64
+            assert np.allclose(single, exact, atol=1e-4)
+
+    def test_detector_runs_on_float32_backend(self):
+        from repro.core.detector import QuorumDetector
+
+        data = self.rng.uniform(0.0, 1.0, size=(30, 6))
+        exact = QuorumDetector(ensemble_groups=2, shots=None, seed=5,
+                               simulation_backend="numpy").fit(data)
+        single = QuorumDetector(ensemble_groups=2, shots=None, seed=5,
+                                simulation_backend="numpy-float32").fit(data)
+        assert np.allclose(single.anomaly_scores(), exact.anomaly_scores(),
+                           atol=1e-3)

@@ -2,14 +2,22 @@
 
 Quorum sweeps every compression level (number of qubits reset) inside each
 ensemble group (Fig. 6).  This ablation compares the sweep against using only the
-shallowest or only the deepest bottleneck.
+shallowest or only the deepest bottleneck, and benchmarks the prefix-checkpointed
+noisy multi-level walk against the historical per-level walk.
 """
 
+import time
+
+import numpy as np
 from _harness import run_once
 
+from repro.algorithms.ansatz import RandomAutoencoderAnsatz
+from repro.core.ensemble import batch_amplitudes
+from repro.core.execution import DensityMatrixEngine
 from repro.data.registry import load_dataset
 from repro.experiments.common import ExperimentSettings, markdown_table, run_quorum
 from repro.metrics.classification import evaluate_top_k
+from repro.quantum.backends import FakeBrisbane
 
 SETTINGS = ExperimentSettings(ensemble_groups=40, seed=11)
 VARIANTS = {
@@ -47,3 +55,71 @@ def test_ablation_compression_levels(benchmark):
         best_single = max(per_variant["level 1 only"], per_variant["level 2 only"])
         # The multi-level sweep is competitive with the best single level.
         assert per_variant["sweep (1, 2)"] >= best_single - 0.15
+
+
+def _noisy_sweep_timings():
+    """Checkpointed vs per-level noisy multi-level sweep on one 7-qubit member.
+
+    32 samples x 4 compression levels under the Brisbane-like noise model with
+    gate-level state preparation -- the exact shape of one noisy ensemble
+    member's compression sweep.  The checkpointed walk evolves the shared
+    encoding+encoder prefix once; the per-level walk re-simulates it per level.
+    """
+    ansatz = RandomAutoencoderAnsatz(3, seed=5)
+    rng = np.random.default_rng(0)
+    amplitudes = batch_amplitudes(
+        rng.uniform(0.0, 1.0 / np.sqrt(7), size=(32, 7)), 3
+    )
+    levels = (0, 1, 2, 3)
+    noise = FakeBrisbane(7).to_noise_model()
+    engine = DensityMatrixEngine(shots=None, noise_model=noise,
+                                 gate_level_encoding=True)
+
+    checkpointed_seconds = per_level_seconds = float("inf")
+    for _ in range(2):  # best-of-two damps scheduler jitter on shared CI hosts
+        start = time.perf_counter()
+        checkpointed = engine.p1_levels_batch(amplitudes, ansatz, levels)
+        checkpointed_seconds = min(checkpointed_seconds,
+                                   time.perf_counter() - start)
+        start = time.perf_counter()
+        per_level = np.stack([
+            engine.p1_batch_circuit_level(amplitudes, ansatz, level)
+            for level in levels
+        ])
+        per_level_seconds = min(per_level_seconds, time.perf_counter() - start)
+
+    reference = np.stack([
+        engine.p1_per_sample_circuit_level(amplitudes, ansatz, level)
+        for level in levels
+    ])
+    return {
+        "checkpointed_seconds": checkpointed_seconds,
+        "per_level_seconds": per_level_seconds,
+        "per_level_error": float(np.max(np.abs(checkpointed - per_level))),
+        "reference_error": float(np.max(np.abs(checkpointed - reference))),
+    }
+
+
+def test_noisy_checkpointed_sweep_beats_per_level_walk(benchmark, request):
+    results = run_once(benchmark, _noisy_sweep_timings)
+    speedup = results["per_level_seconds"] / results["checkpointed_seconds"]
+    print("\n[Ablation] Prefix-checkpointed noisy level sweep "
+          "(32 samples x 4 levels, Brisbane noise)\n")
+    print(markdown_table(
+        ["Walk", "Seconds", "Max error vs per-sample reference"],
+        [("per-level", f"{results['per_level_seconds']:.3f}", "--"),
+         ("checkpointed", f"{results['checkpointed_seconds']:.3f}",
+          f"{results['reference_error']:.2e}")]))
+    print(f"\nspeedup: {speedup:.2f}x")
+
+    # Correctness gates every run: the checkpointed sweep must match both
+    # references.
+    assert results["per_level_error"] <= 1e-10
+    assert results["reference_error"] <= 1e-10
+    # The point of the checkpoint -- the prefix is walked once, not once per
+    # level (observed ~1.9x locally; 1.5x leaves headroom for CI noise) -- is
+    # only asserted where timings are the job's purpose: the tier-1 suite runs
+    # these files with --benchmark-disable (and coverage tracing), where a
+    # wall-clock assert would just add flake to unrelated changes.
+    if not request.config.getoption("--benchmark-disable"):
+        assert speedup >= 1.5

@@ -19,7 +19,7 @@ noiseless sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -32,9 +32,97 @@ from repro.quantum.statevector import Statevector
 
 __all__ = [
     "build_autoencoder_circuit",
+    "build_autoencoder_prefix",
+    "build_autoencoder_suffix",
     "analytic_swap_test_p1",
     "QuorumCircuitFactory",
 ]
+
+
+def build_autoencoder_prefix(amplitudes: Sequence[float],
+                             ansatz: RandomAutoencoderAnsatz,
+                             gate_level_encoding: bool = False) -> QuantumCircuit:
+    """The level-independent head of the Quorum circuit for one sample.
+
+    Covers the amplitude encoding of both registers and the encoder ansatz on
+    register A -- everything *before* the compression-level-dependent reset
+    block.  A whole compression sweep shares this prefix, which is what lets
+    the checkpointed density-matrix walk in
+    :class:`repro.quantum.simulator.BatchedDensityMatrixSimulator` evolve it
+    exactly once and replay only :func:`build_autoencoder_suffix` per level.
+
+    Parameters
+    ----------
+    amplitudes:
+        Length ``2**n`` non-negative amplitude vector (from the amplitude encoder).
+    ansatz:
+        The random encoder/decoder pair acting on register A.
+    gate_level_encoding:
+        Synthesize RY/CX state preparation instead of ``initialize`` instructions
+        (needed for noisy simulation, where state preparation should also be noisy).
+    """
+    amplitudes = np.asarray(amplitudes, dtype=float).ravel()
+    num_qubits = ansatz.num_qubits
+    if amplitudes.shape[0] != 2 ** num_qubits:
+        raise ValueError(
+            f"amplitude vector of length {amplitudes.shape[0]} does not match the "
+            f"{num_qubits}-qubit ansatz"
+        )
+    total_qubits = 2 * num_qubits + 1
+    circuit = QuantumCircuit(total_qubits, 1, name="quorum_autoencoder_prefix")
+    register_a = list(range(num_qubits))
+    register_b = list(range(num_qubits, 2 * num_qubits))
+
+    if gate_level_encoding:
+        preparation = state_preparation_circuit(amplitudes, num_qubits)
+        circuit.compose(preparation, qubits=register_a,
+                        clbits=[0] * preparation.num_clbits)
+        circuit.compose(preparation, qubits=register_b,
+                        clbits=[0] * preparation.num_clbits)
+    else:
+        circuit.initialize(amplitudes, register_a)
+        circuit.initialize(amplitudes, register_b)
+    circuit.barrier()
+
+    encoder = ansatz.encoder_circuit(register_a, num_circuit_qubits=total_qubits)
+    circuit.compose(encoder, clbits=[0] * encoder.num_clbits)
+    return circuit
+
+
+def build_autoencoder_suffix(ansatz: RandomAutoencoderAnsatz,
+                             compression_level: int,
+                             measure: bool = True) -> QuantumCircuit:
+    """The per-level tail of the Quorum circuit: reset block onward.
+
+    Covers the information bottleneck (``compression_level`` resets), the
+    decoder, and the SWAP test with optional ancilla readout.  The suffix
+    carries *no sample data* -- it is identical for every sample of a batch --
+    so a checkpointed walker can replay one suffix circuit against a whole
+    post-prefix density batch.  Composing
+    :func:`build_autoencoder_prefix` + this suffix reproduces
+    :func:`build_autoencoder_circuit` instruction for instruction.
+    """
+    num_qubits = ansatz.num_qubits
+    if not 0 <= compression_level <= num_qubits:
+        raise ValueError(
+            f"compression level must be in [0, {num_qubits}], got {compression_level}"
+        )
+    total_qubits = 2 * num_qubits + 1
+    circuit = QuantumCircuit(total_qubits, 1,
+                             name=f"quorum_autoencoder_suffix_l{compression_level}")
+    register_a = list(range(num_qubits))
+    register_b = list(range(num_qubits, 2 * num_qubits))
+    ancilla = 2 * num_qubits
+
+    for qubit in range(compression_level):
+        circuit.reset(qubit)
+    decoder = ansatz.decoder_circuit(register_a, num_circuit_qubits=total_qubits)
+    circuit.compose(decoder, clbits=[0] * decoder.num_clbits)
+    circuit.barrier()
+
+    append_swap_test(circuit, ancilla, register_a, register_b, clbit=0,
+                     measure=measure)
+    return circuit
 
 
 def build_autoencoder_circuit(amplitudes: Sequence[float],
@@ -43,6 +131,12 @@ def build_autoencoder_circuit(amplitudes: Sequence[float],
                               gate_level_encoding: bool = False,
                               measure: bool = True) -> QuantumCircuit:
     """Build the full ``2n + 1``-qubit Quorum circuit for one sample.
+
+    The circuit is assembled as :func:`build_autoencoder_prefix` (encoding +
+    encoder ansatz, level-independent) followed by
+    :func:`build_autoencoder_suffix` (reset block + decoder + SWAP test, shared
+    by every sample), so the split builders and this one-call builder cannot
+    drift apart.
 
     Parameters
     ----------
@@ -59,44 +153,16 @@ def build_autoencoder_circuit(amplitudes: Sequence[float],
     measure:
         Measure the ancilla into classical bit 0.
     """
-    amplitudes = np.asarray(amplitudes, dtype=float).ravel()
-    num_qubits = ansatz.num_qubits
-    if amplitudes.shape[0] != 2 ** num_qubits:
+    if not 0 <= compression_level <= ansatz.num_qubits:
         raise ValueError(
-            f"amplitude vector of length {amplitudes.shape[0]} does not match the "
-            f"{num_qubits}-qubit ansatz"
+            f"compression level must be in [0, {ansatz.num_qubits}], got "
+            f"{compression_level}"
         )
-    if not 0 <= compression_level <= num_qubits:
-        raise ValueError(
-            f"compression level must be in [0, {num_qubits}], got {compression_level}"
-        )
-    total_qubits = 2 * num_qubits + 1
-    circuit = QuantumCircuit(total_qubits, 1, name="quorum_autoencoder")
-    register_a = list(range(num_qubits))
-    register_b = list(range(num_qubits, 2 * num_qubits))
-    ancilla = 2 * num_qubits
-
-    if gate_level_encoding:
-        preparation = state_preparation_circuit(amplitudes, num_qubits)
-        circuit.compose(preparation, qubits=register_a,
-                        clbits=[0] * preparation.num_clbits)
-        circuit.compose(preparation, qubits=register_b,
-                        clbits=[0] * preparation.num_clbits)
-    else:
-        circuit.initialize(amplitudes, register_a)
-        circuit.initialize(amplitudes, register_b)
-    circuit.barrier()
-
-    encoder = ansatz.encoder_circuit(register_a, num_circuit_qubits=total_qubits)
-    circuit.compose(encoder, clbits=[0] * encoder.num_clbits)
-    for qubit in range(compression_level):
-        circuit.reset(qubit)
-    decoder = ansatz.decoder_circuit(register_a, num_circuit_qubits=total_qubits)
-    circuit.compose(decoder, clbits=[0] * decoder.num_clbits)
-    circuit.barrier()
-
-    append_swap_test(circuit, ancilla, register_a, register_b, clbit=0,
-                     measure=measure)
+    circuit = build_autoencoder_prefix(amplitudes, ansatz,
+                                       gate_level_encoding=gate_level_encoding)
+    circuit.name = "quorum_autoencoder"
+    suffix = build_autoencoder_suffix(ansatz, compression_level, measure=measure)
+    circuit.compose(suffix)
     return circuit
 
 
@@ -150,6 +216,18 @@ class QuorumCircuitFactory:
         return build_autoencoder_circuit(amplitudes, self.ansatz, compression_level,
                                          gate_level_encoding=gate_level_encoding,
                                          measure=measure)
+
+    def prefix(self, amplitudes: Sequence[float],
+               gate_level_encoding: bool = False) -> QuantumCircuit:
+        """Level-independent head (encoding + encoder) shared by a level sweep."""
+        return build_autoencoder_prefix(amplitudes, self.ansatz,
+                                        gate_level_encoding=gate_level_encoding)
+
+    def suffix(self, compression_level: int,
+               measure: bool = True) -> QuantumCircuit:
+        """Per-level, sample-independent tail (reset + decoder + SWAP test)."""
+        return build_autoencoder_suffix(self.ansatz, compression_level,
+                                        measure=measure)
 
     def analytic_p1(self, amplitudes: Sequence[float],
                     compression_level: int) -> float:

@@ -16,7 +16,10 @@ The member lifecycle is split in two:
   (not datasets) to workers.
 * :func:`execute_member` performs the *heavy, data-dependent* work: amplitude
   encoding, one fused ``(levels x samples)`` batched SWAP-test sweep through the
-  engine's ``p1_levels_batch``, and bucket scoring.  The executor strategies in
+  engine's ``p1_levels_batch``, and bucket scoring.  For noisy members this
+  sweep is checkpointed: the engine walks the shared circuit prefix (encoding +
+  encoder) exactly once and replays only the per-level suffix from the
+  post-prefix density batch.  The executor strategies in
   :mod:`repro.core.parallel` call this against shared (zero-copy or
   shared-memory) dataset views.
 

@@ -13,7 +13,10 @@ compression level?" -- with a different cost/fidelity trade-off:
   :class:`~repro.quantum.backend.SimulationBackend`; noisy or gate-level runs
   simulate the full ``2n+1``-qubit circuit, but as one *batched* circuit walk
   over all samples (every sample shares the gate structure; only the amplitude
-  encoding differs).
+  encoding differs).  A noisy compression sweep additionally checkpoints the
+  post-encoding density batch -- every level shares the circuit prefix, so the
+  prefix is walked once per sweep and only the per-level suffix (reset +
+  decoder + SWAP test) is replayed from the checkpoint.
 * :class:`StatevectorEngine` runs stochastic trajectories, mimicking how a
   shot-based hardware run (or Qiskit Aer's statevector method with mid-circuit
   resets) behaves.  All samples and all trajectories are evolved together as one
@@ -43,7 +46,11 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.algorithms.ansatz import RandomAutoencoderAnsatz
-from repro.algorithms.autoencoder import build_autoencoder_circuit
+from repro.algorithms.autoencoder import (
+    build_autoencoder_circuit,
+    build_autoencoder_prefix,
+    build_autoencoder_suffix,
+)
 from repro.quantum.backend import SimulationBackend, get_simulation_backend
 from repro.quantum.backends import FakeBrisbane
 from repro.quantum.noise import NoiseModel
@@ -115,23 +122,33 @@ class SwapTestEngine(ABC):
                 raise ValueError("compression level out of range")
         return levels
 
-    def _validated_batch(self, amplitudes: np.ndarray,
-                         ansatz: RandomAutoencoderAnsatz,
-                         compression_level: int) -> np.ndarray:
-        """Common input validation for ``p1_batch`` implementations."""
+    def _validated_amplitudes(self, amplitudes: np.ndarray,
+                              ansatz: RandomAutoencoderAnsatz) -> np.ndarray:
+        """Level-independent amplitude validation, shared by every entry point.
+
+        Level sweeps validate amplitudes exactly once (and validate *every*
+        level of the sweep via :meth:`_validated_levels`), rather than checking
+        the batch against the first level only.
+        """
         amplitudes = np.asarray(amplitudes, dtype=float)
         if amplitudes.ndim != 2:
             raise ValueError("amplitudes must be a 2-D batch (samples, 2**n)")
         if amplitudes.shape[1] != 2 ** ansatz.num_qubits:
             raise ValueError("amplitude width does not match the ansatz register")
-        if not 0 <= compression_level <= ansatz.num_qubits:
-            raise ValueError("compression level out of range")
         norms = np.linalg.norm(amplitudes, axis=1)
         if np.any(np.abs(norms - 1.0) > 1e-6):
             # The circuit-level path would reject this in `initialize`; fail the
             # batched paths just as loudly instead of returning garbage overlaps.
             raise ValueError("amplitude rows must be normalized statevectors")
         return amplitudes
+
+    def _validated_batch(self, amplitudes: np.ndarray,
+                         ansatz: RandomAutoencoderAnsatz,
+                         compression_level: int) -> np.ndarray:
+        """Common input validation for ``p1_batch`` implementations."""
+        if not 0 <= compression_level <= ansatz.num_qubits:
+            raise ValueError("compression level out of range")
+        return self._validated_amplitudes(amplitudes, ansatz)
 
     def _apply_shot_noise(self, exact_p1: np.ndarray) -> np.ndarray:
         """Replace exact probabilities with binomial shot estimates."""
@@ -161,7 +178,7 @@ class AnalyticEngine(SwapTestEngine):
                         ansatz: RandomAutoencoderAnsatz,
                         compression_levels: Sequence[int]) -> np.ndarray:
         levels = self._validated_levels(compression_levels, ansatz)
-        amplitudes = self._validated_batch(amplitudes, ansatz, levels[0])
+        amplitudes = self._validated_amplitudes(amplitudes, ansatz)
         # |phi_i> = E |psi_i>, the whole batch in one matmul (E is cached on the
         # ansatz, so it is built once per ensemble member) -- and shared by every
         # compression level of the sweep.
@@ -186,7 +203,10 @@ class DensityMatrixEngine(SwapTestEngine):
     gate-level encoding use :meth:`p1_batch_circuit_level`, which walks the full
     circuit for *all samples at once* -- the gate structure is shared across the
     batch, so noise channels apply to whole density-matrix batches and only the
-    amplitude encoding is per-sample.
+    amplitude encoding is per-sample.  Noisy compression sweeps go further:
+    :meth:`p1_levels_batch_circuit_level` walks the level-independent circuit
+    prefix exactly once for the whole ``(levels x samples)`` sweep, checkpoints
+    the post-prefix density batch, and replays only the per-level suffix.
     """
 
     def __init__(self, shots: Optional[int] = 4096,
@@ -211,14 +231,9 @@ class DensityMatrixEngine(SwapTestEngine):
                         ansatz: RandomAutoencoderAnsatz,
                         compression_levels: Sequence[int]) -> np.ndarray:
         levels = self._validated_levels(compression_levels, ansatz)
-        amplitudes = self._validated_batch(amplitudes, ansatz, levels[0])
+        amplitudes = self._validated_amplitudes(amplitudes, ansatz)
         if self.noise_model is not None or self.gate_level_encoding:
-            # Noise keeps the walk per level (each level has a different reset
-            # block), but every level's walk is itself batched over the samples.
-            return np.stack([
-                self.p1_batch_circuit_level(amplitudes, ansatz, level)
-                for level in levels
-            ])
+            return self.p1_levels_batch_circuit_level(amplitudes, ansatz, levels)
         backend = self.backend
         psi = backend.as_states(amplitudes)
         encoder = ansatz.encoder_unitary()
@@ -236,15 +251,60 @@ class DensityMatrixEngine(SwapTestEngine):
             exact_p1[position] = np.clip((1.0 - overlap) / 2.0, 0.0, 1.0)
         return self._apply_shot_noise(exact_p1)
 
+    def p1_levels_batch_circuit_level(self, amplitudes: np.ndarray,
+                                      ansatz: RandomAutoencoderAnsatz,
+                                      compression_levels: Sequence[int]
+                                      ) -> np.ndarray:
+        """Checkpointed full-circuit sweep (the noisy multi-level hot path).
+
+        Every compression level of the sweep shares the same circuit prefix
+        (amplitude encoding of both registers + the encoder ansatz); only the
+        suffix (reset block + decoder + SWAP test) depends on the level.  The
+        walker therefore evolves the batched prefix **exactly once**, keeps the
+        post-prefix density batch as a checkpoint, and replays the (shared,
+        sample-independent) suffix circuit from a snapshot of that checkpoint
+        once per level -- noise channels staying fused gate-by-gate into single
+        superoperator passes on both sides of the split.  Results are
+        bit-compatible with looping :meth:`p1_batch_circuit_level` per level
+        (the kernels are row-independent, so the split does not change any
+        sample's arithmetic), and the shot-noise RNG is consumed in the exact
+        level-major order the historical per-level loop used.
+        """
+        levels = self._validated_levels(compression_levels, ansatz)
+        amplitudes = self._validated_amplitudes(amplitudes, ansatz)
+        prefixes = [
+            build_autoencoder_prefix(
+                row, ansatz, gate_level_encoding=self.gate_level_encoding,
+            )
+            for row in amplitudes
+        ]
+        walker = BatchedDensityMatrixSimulator(noise_model=self.noise_model,
+                                               backend=self.backend)
+        checkpoint = walker.evolve_batch(prefixes)
+        ancilla = 2 * ansatz.num_qubits
+        exact_p1 = np.empty((len(levels), amplitudes.shape[0]))
+        for position, level in enumerate(levels):
+            suffix = build_autoencoder_suffix(ansatz, level, measure=False)
+            rhos = walker.replay_suffix_batch(checkpoint, suffix)
+            exact_p1[position] = self.backend.probability_one_density_batch(
+                rhos, ancilla
+            )
+        # One elementwise binomial call over the (levels, samples) array draws
+        # bit-identically to the historical sequential per-level calls.
+        return self._apply_shot_noise(exact_p1)
+
     def p1_batch_circuit_level(self, amplitudes: np.ndarray,
                                ansatz: RandomAutoencoderAnsatz,
                                compression_level: int) -> np.ndarray:
-        """Full-circuit simulation of the whole batch (the path supporting noise).
+        """Full-circuit simulation of the whole batch at ONE compression level.
 
         Every sample's circuit shares the same gate structure -- only the
         amplitude encoding differs -- so all samples walk one batched circuit
         through :class:`~repro.quantum.simulator.BatchedDensityMatrixSimulator`
-        instead of looping a per-sample simulator.
+        instead of looping a per-sample simulator.  Level sweeps do not loop
+        this method: :meth:`p1_levels_batch_circuit_level` checkpoints the
+        shared prefix and replays only the per-level suffix (this per-level
+        walk remains the pre-checkpoint regression reference).
         """
         amplitudes = self._validated_batch(amplitudes, ansatz, compression_level)
         circuits = [

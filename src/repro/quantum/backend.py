@@ -169,6 +169,20 @@ class SimulationBackend(ABC):
                                       qubit: int) -> np.ndarray:
         """P(measuring ``qubit`` = 1) from each density matrix; ``(batch,)``."""
 
+    def copy_density_batch(self, rhos: np.ndarray) -> np.ndarray:
+        """Snapshot a density batch into fresh backend-owned storage.
+
+        Checkpoint support for the level-sweep walker: the post-prefix density
+        batch is snapshotted once and every compression level replays from its
+        own copy, so no replay can alias (or mutate) the checkpoint.  The
+        default is a dtype-normalizing host copy; array-library backends whose
+        buffers live off-host should override this with a device-side copy.
+        """
+        rhos = np.asarray(rhos, dtype=self.dtype)
+        if rhos.ndim != 3 or rhos.shape[1] != rhos.shape[2]:
+            raise ValueError("a density batch must be (batch, d, d)")
+        return rhos.copy()
+
     def reset_qubit_density_batch(self, rhos: np.ndarray,
                                   qubit: int) -> np.ndarray:
         """Non-selectively reset one qubit of every density matrix to |0>.

@@ -469,6 +469,19 @@ class BatchedDensityMatrixSimulator:
     This removes the last per-sample Python loop from the noisy density-matrix
     path while remaining exactly equivalent to running
     :class:`DensityMatrixSimulator` once per circuit.
+
+    Checkpoint/replay
+    -----------------
+    A compression-level sweep runs the *same* prefix (encoding + encoder) before
+    a per-level suffix (reset block + decoder + SWAP test).  Rather than
+    re-walking the shared prefix once per level, evolve the prefix circuits once
+    with :meth:`evolve_batch` and keep the returned ``(batch, d, d)`` density
+    batch as a checkpoint; :meth:`replay_suffix_batch` then resumes from a
+    snapshot of that checkpoint once per level, walking only the (shared,
+    sample-independent) suffix circuit.  ``evolve_batch`` also *accepts* a
+    density batch via ``initial_rhos``, so arbitrary per-sample continuations
+    can resume from a checkpoint as well.  Noise channels stay fused
+    gate-by-gate into single superoperator passes on both sides of the split.
     """
 
     #: Upper bound on density-matrix elements (``batch * 4**num_qubits``) walked
@@ -483,12 +496,18 @@ class BatchedDensityMatrixSimulator:
         self.noise_model = noise_model
         self.backend = get_simulation_backend(backend)
 
-    def evolve_batch(self, circuits: Sequence[QuantumCircuit]) -> np.ndarray:
+    def evolve_batch(self, circuits: Sequence[QuantumCircuit],
+                     initial_rhos: Optional[np.ndarray] = None) -> np.ndarray:
         """Final density matrices of every circuit; shape ``(batch, d, d)``.
 
         Circuits may differ structurally (e.g. a near-zero state-preparation
         angle elides one rotation); each structural group is walked separately
         and the results are scattered back into input order.
+
+        ``initial_rhos`` resumes the walk from one density matrix per circuit
+        (a checkpoint produced by an earlier ``evolve_batch`` call) instead of
+        |0...0><0...0|.  The checkpoint is never mutated: every group walks a
+        backend-owned snapshot of its rows.
         """
         if not circuits:
             raise ValueError("evolve_batch needs at least one circuit")
@@ -496,6 +515,14 @@ class BatchedDensityMatrixSimulator:
         if any(circuit.num_qubits != num_qubits for circuit in circuits):
             raise ValueError("all circuits in a batch must have the same width")
         dim = 2 ** num_qubits
+        if initial_rhos is not None:
+            initial_rhos = np.asarray(initial_rhos)
+            if initial_rhos.shape != (len(circuits), dim, dim):
+                raise ValueError(
+                    "initial_rhos must hold one (d, d) density matrix per "
+                    f"circuit; expected {(len(circuits), dim, dim)}, got "
+                    f"{initial_rhos.shape}"
+                )
         groups: Dict[Tuple, List[int]] = {}
         for index, circuit in enumerate(circuits):
             signature = tuple(
@@ -508,19 +535,48 @@ class BatchedDensityMatrixSimulator:
         for indices in groups.values():
             for start in range(0, len(indices), chunk):
                 selected = indices[start:start + chunk]
+                initial = (initial_rhos[selected]
+                           if initial_rhos is not None else None)
                 results[selected] = self._evolve_group(
-                    [circuits[i] for i in selected]
+                    [circuits[i] for i in selected], initial
                 )
         return results
 
+    def replay_suffix_batch(self, checkpoint_rhos: np.ndarray,
+                            circuit: QuantumCircuit) -> np.ndarray:
+        """Resume a whole density batch through one shared suffix circuit.
+
+        ``checkpoint_rhos`` is the ``(batch, d, d)`` result of an earlier
+        :meth:`evolve_batch` over the level-independent prefix circuits;
+        ``circuit`` is the per-level suffix (reset block + decoder + SWAP test)
+        shared by every sample.  Each call replays from a snapshot, so one
+        checkpoint serves the whole compression sweep.  Noise channels are
+        fused with their gates exactly as in :meth:`evolve_batch`.
+        """
+        checkpoint_rhos = np.asarray(checkpoint_rhos)
+        if checkpoint_rhos.ndim != 3:
+            raise ValueError("a checkpoint must be a (batch, d, d) density batch")
+        if any(instruction.name == "initialize"
+               for instruction in circuit.instructions):
+            raise ValueError(
+                "a suffix circuit cannot re-initialize qubits; encoding belongs "
+                "to the prefix"
+            )
+        return self.evolve_batch([circuit] * checkpoint_rhos.shape[0],
+                                 initial_rhos=checkpoint_rhos)
+
     # ------------------------------------------------------------------ helpers
-    def _evolve_group(self, circuits: List[QuantumCircuit]) -> np.ndarray:
+    def _evolve_group(self, circuits: List[QuantumCircuit],
+                      initial: Optional[np.ndarray] = None) -> np.ndarray:
         """Walk one group of structurally identical circuits as a batch."""
         backend = self.backend
         num_qubits = circuits[0].num_qubits
-        rhos = backend.density_from_states(
-            backend.zero_states(len(circuits), num_qubits)
-        )
+        if initial is not None:
+            rhos = backend.copy_density_batch(initial)
+        else:
+            rhos = backend.density_from_states(
+                backend.zero_states(len(circuits), num_qubits)
+            )
         for position, instruction in enumerate(circuits[0].instructions):
             name = instruction.name
             if name in {"barrier", "measure"}:

@@ -9,6 +9,8 @@ from repro.algorithms.autoencoder import (
     QuorumCircuitFactory,
     analytic_swap_test_p1,
     build_autoencoder_circuit,
+    build_autoencoder_prefix,
+    build_autoencoder_suffix,
 )
 from repro.algorithms.swap_test import p1_from_counts
 from repro.encoding.amplitude import amplitudes_from_features
@@ -58,7 +60,46 @@ class TestCircuitAssembly:
         factory = QuorumCircuitFactory(RandomAutoencoderAnsatz(3, seed=2))
         assert factory.num_qubits == 3
         assert factory.total_qubits == 7
-        assert factory.circuit(sample_amplitudes(), 1).num_qubits == 7
+
+
+class TestPrefixSuffixSplit:
+    """The prefix/suffix builders must compose into exactly the full circuit."""
+
+    @pytest.mark.parametrize("gate_level", [False, True])
+    @pytest.mark.parametrize("level", [0, 1, 3])
+    def test_prefix_plus_suffix_equals_full_circuit(self, gate_level, level):
+        ansatz = RandomAutoencoderAnsatz(3, seed=4)
+        amplitudes = sample_amplitudes(7)
+        full = build_autoencoder_circuit(amplitudes, ansatz, level,
+                                         gate_level_encoding=gate_level)
+        prefix = build_autoencoder_prefix(amplitudes, ansatz,
+                                          gate_level_encoding=gate_level)
+        suffix = build_autoencoder_suffix(ansatz, level)
+        assert full.instructions == prefix.instructions + suffix.instructions
+
+    def test_prefix_is_level_independent_and_suffix_is_sample_independent(self):
+        ansatz = RandomAutoencoderAnsatz(3, seed=4)
+        prefix = build_autoencoder_prefix(sample_amplitudes(7), ansatz)
+        # The prefix carries the sample data but no reset/decoder/SWAP block ...
+        ops = prefix.count_ops()
+        assert "reset" not in ops and "cswap" not in ops and "measure" not in ops
+        # ... while the suffix carries the level but no sample data.
+        suffix = build_autoencoder_suffix(ansatz, 2, measure=False)
+        assert suffix.count_ops()["reset"] == 2
+        assert suffix.count_ops()["cswap"] == 3
+        assert all(instruction.state is None
+                   for instruction in suffix.instructions)
+
+    def test_suffix_rejects_out_of_range_level(self):
+        ansatz = RandomAutoencoderAnsatz(3, seed=4)
+        with pytest.raises(ValueError, match="compression level"):
+            build_autoencoder_suffix(ansatz, 4)
+
+    def test_factory_exposes_the_split(self):
+        factory = QuorumCircuitFactory(RandomAutoencoderAnsatz(2, seed=2))
+        amplitudes = sample_amplitudes(3, 2)
+        combined = factory.prefix(amplitudes).compose(factory.suffix(1))
+        assert combined.instructions == factory.circuit(amplitudes, 1).instructions
 
 
 class TestAnalyticFastPath:

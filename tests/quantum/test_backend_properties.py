@@ -1,0 +1,234 @@
+"""Hypothesis property tests for the batched density-matrix primitives.
+
+Every batched kernel in :mod:`repro.quantum.backend` must (a) preserve the
+defining properties of a density matrix -- unit trace, Hermiticity, positivity
+up to numerical tolerance -- and (b) agree row by row with the single-sample
+reference implementations (:class:`repro.quantum.density_matrix.DensityMatrix`
+and :class:`repro.quantum.simulator.DensityMatrixSimulator`).  Random mixed
+states, random gates, random target-qubit subsets, and random CPTP channels are
+drawn per Hypothesis example (seed-driven, mirroring the style of
+``tests/quantum/test_density_matrix.py``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quantum.backend import get_simulation_backend
+from repro.quantum.circuit_library import random_circuit
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.noise import (
+    QuantumError,
+    amplitude_damping_kraus,
+    depolarizing_kraus,
+    thermal_relaxation_kraus,
+)
+from repro.quantum.simulator import (
+    BatchedDensityMatrixSimulator,
+    DensityMatrixSimulator,
+)
+
+#: (backend name, numerical tolerance) -- the float32 variant computes in
+#: complex64, so its kernels are only accurate to single precision.
+BACKENDS = [("numpy", 1e-10), ("numpy-float32", 2e-4)]
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def random_density_batch(rng, batch, num_qubits):
+    """Random full-rank mixed states: ``A A^dagger`` normalized to unit trace."""
+    dim = 2 ** num_qubits
+    factors = (rng.normal(size=(batch, dim, dim))
+               + 1j * rng.normal(size=(batch, dim, dim)))
+    rhos = np.matmul(factors, factors.conj().transpose(0, 2, 1))
+    traces = np.einsum("bii->b", rhos).real
+    return rhos / traces[:, None, None]
+
+
+def random_unitaries(rng, batch, num_target_qubits):
+    dim = 2 ** num_target_qubits
+    matrices = (rng.normal(size=(batch, dim, dim))
+                + 1j * rng.normal(size=(batch, dim, dim)))
+    return np.stack([np.linalg.qr(matrix)[0] for matrix in matrices])
+
+
+def random_qubit_subset(rng, num_qubits, size):
+    return [int(q) for q in rng.permutation(num_qubits)[:size]]
+
+
+def random_channel(rng, num_qubits):
+    """A random CPTP channel from the noise library (superoperator form)."""
+    choice = int(rng.integers(3)) if num_qubits == 1 else 2
+    if choice == 0:
+        kraus = amplitude_damping_kraus(float(rng.uniform(0.0, 1.0)))
+    elif choice == 1:
+        t1 = float(rng.uniform(50.0, 300.0))
+        kraus = thermal_relaxation_kraus(t1, float(rng.uniform(10.0, 2 * t1)),
+                                         float(rng.uniform(0.0, 50.0)))
+    else:
+        kraus = depolarizing_kraus(float(rng.uniform(0.0, 1.0)), num_qubits)
+    return QuantumError.from_kraus(kraus)
+
+
+def assert_density_properties(rhos, tolerance):
+    traces = np.einsum("bii->b", rhos)
+    assert np.allclose(traces, 1.0, atol=tolerance), "trace must be preserved"
+    assert np.allclose(rhos, rhos.conj().transpose(0, 2, 1),
+                       atol=tolerance), "result must stay Hermitian"
+    eigenvalues = np.linalg.eigvalsh(rhos)
+    assert eigenvalues.min() >= -tolerance, "result must stay positive"
+
+
+@pytest.mark.parametrize("backend_name,tolerance", BACKENDS)
+class TestApplyGatesDensityBatch:
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_per_sample_gates_preserve_density_properties_and_match_reference(
+            self, backend_name, tolerance, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(2, 4))
+        num_targets = int(rng.integers(1, num_qubits + 1))
+        batch = int(rng.integers(1, 6))
+        qubits = random_qubit_subset(rng, num_qubits, num_targets)
+        rhos = random_density_batch(rng, batch, num_qubits)
+        gates = random_unitaries(rng, batch, num_targets)
+
+        backend = get_simulation_backend(backend_name)
+        evolved = backend.apply_gates_density_batch(rhos, gates, qubits)
+
+        assert_density_properties(evolved, tolerance)
+        for index in range(batch):
+            reference = DensityMatrix(rhos[index]).evolve_gate(gates[index],
+                                                               qubits)
+            assert np.allclose(evolved[index], reference.data, atol=tolerance)
+
+
+@pytest.mark.parametrize("backend_name,tolerance", BACKENDS)
+class TestApplySuperoperatorDensityBatch:
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_shared_channel_preserves_density_properties_and_matches_kraus(
+            self, backend_name, tolerance, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(2, 4))
+        num_targets = int(rng.integers(1, 3))
+        batch = int(rng.integers(1, 6))
+        qubits = random_qubit_subset(rng, num_qubits, num_targets)
+        rhos = random_density_batch(rng, batch, num_qubits)
+        error = random_channel(rng, num_targets)
+
+        backend = get_simulation_backend(backend_name)
+        evolved = backend.apply_superoperator_density_batch(
+            rhos, error.superoperator, qubits
+        )
+
+        assert_density_properties(evolved, tolerance)
+        for index in range(batch):
+            reference = DensityMatrix(rhos[index]).apply_kraus(
+                list(error.kraus_operators), qubits
+            )
+            assert np.allclose(evolved[index], reference.data, atol=tolerance)
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_per_sample_channels_match_per_row_kraus(self, backend_name,
+                                                     tolerance, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(2, 4))
+        num_targets = int(rng.integers(1, 3))
+        batch = int(rng.integers(1, 6))
+        qubits = random_qubit_subset(rng, num_qubits, num_targets)
+        rhos = random_density_batch(rng, batch, num_qubits)
+        errors = [random_channel(rng, num_targets) for _ in range(batch)]
+        superoperators = np.stack([error.superoperator for error in errors])
+
+        backend = get_simulation_backend(backend_name)
+        evolved = backend.apply_superoperators_density_batch(
+            rhos, superoperators, qubits
+        )
+
+        assert_density_properties(evolved, tolerance)
+        for index in range(batch):
+            reference = DensityMatrix(rhos[index]).apply_kraus(
+                list(errors[index].kraus_operators), qubits
+            )
+            assert np.allclose(evolved[index], reference.data, atol=tolerance)
+
+
+@pytest.mark.parametrize("backend_name,tolerance", BACKENDS)
+class TestResetQubitDensityBatch:
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_reset_preserves_density_properties_and_matches_reference(
+            self, backend_name, tolerance, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(2, 4))
+        qubit = int(rng.integers(num_qubits))
+        batch = int(rng.integers(1, 6))
+        rhos = random_density_batch(rng, batch, num_qubits)
+
+        backend = get_simulation_backend(backend_name)
+        reset = backend.reset_qubit_density_batch(rhos, qubit)
+
+        assert_density_properties(reset, tolerance)
+        # The reset qubit is in |0> with certainty afterwards.
+        assert np.allclose(
+            backend.probability_one_density_batch(reset, qubit), 0.0,
+            atol=tolerance,
+        )
+        for index in range(batch):
+            reference = DensityMatrix(rhos[index]).reset_qubit(qubit)
+            assert np.allclose(reset[index], reference.data, atol=tolerance)
+
+
+@pytest.mark.parametrize("backend_name,tolerance", BACKENDS)
+class TestProbabilityOneDensityBatch:
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_probabilities_are_valid_and_match_reference(self, backend_name,
+                                                         tolerance, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(2, 4))
+        qubit = int(rng.integers(num_qubits))
+        batch = int(rng.integers(1, 6))
+        rhos = random_density_batch(rng, batch, num_qubits)
+
+        backend = get_simulation_backend(backend_name)
+        probabilities = backend.probability_one_density_batch(rhos, qubit)
+
+        assert probabilities.shape == (batch,)
+        assert np.all(probabilities >= -tolerance)
+        assert np.all(probabilities <= 1.0 + tolerance)
+        for index in range(batch):
+            reference = DensityMatrix(rhos[index]).probability_of_outcome(qubit, 1)
+            assert np.isclose(probabilities[index], reference, atol=tolerance)
+
+
+class TestBatchedWalkOnRandomCircuits:
+    """The batched circuit walker agrees with the per-sample simulator on
+    arbitrary random circuits (not just the Quorum autoencoder family)."""
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_random_circuit_batch_matches_per_sample_simulator(self, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(2, 4))
+        depth = int(rng.integers(1, 4))
+        circuits = [
+            random_circuit(num_qubits, depth, seed=int(rng.integers(1_000_000)))
+            for _ in range(int(rng.integers(1, 5)))
+        ]
+        noise = None
+        if rng.random() < 0.5:
+            from repro.quantum.backends import FakeBrisbane
+
+            noise = FakeBrisbane(num_qubits).to_noise_model()
+
+        walker = BatchedDensityMatrixSimulator(noise_model=noise)
+        batched = walker.evolve_batch(circuits)
+
+        assert_density_properties(batched, 1e-10)
+        reference = DensityMatrixSimulator(noise_model=noise)
+        for index, circuit in enumerate(circuits):
+            assert np.allclose(batched[index], reference.evolve(circuit).data,
+                               atol=1e-10)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core.detector import QuorumDetector
 from repro.data.dataset import Dataset
 from repro.data.io import save_dataset_csv
 
@@ -79,3 +80,75 @@ class TestCommands:
         assert exit_code == 0
         assert output.exists()
         assert "Table II" in output.read_text(encoding="utf-8")
+
+
+class TestFlagPlumbing:
+    """`--simulation-backend` / `--executor` / `--jobs` must reach QuorumConfig
+    unchanged, and a fixed seed must score identically whichever combination
+    executes the run."""
+
+    def capture_config(self, monkeypatch):
+        captured = {}
+        original_init = QuorumDetector.__init__
+
+        def spy(self, *args, **kwargs):
+            original_init(self, *args, **kwargs)
+            captured["config"] = self.config
+
+        monkeypatch.setattr(QuorumDetector, "__init__", spy)
+        return captured
+
+    def test_detect_flags_reach_quorum_config(self, monkeypatch, capsys):
+        captured = self.capture_config(monkeypatch)
+        assert main(["detect", "--dataset", "power_plant", "--ensembles", "2",
+                     "--shots", "0", "--seed", "2",
+                     "--simulation-backend", "numpy-float32",
+                     "--executor", "threads", "--jobs", "3"]) == 0
+        config = captured["config"]
+        assert config.simulation_backend == "numpy-float32"
+        assert config.executor == "threads"
+        assert config.n_jobs == 3
+
+    def test_default_jobs_depend_on_executor_choice(self, monkeypatch, capsys):
+        import os
+
+        captured = self.capture_config(monkeypatch)
+        assert main(["detect", "--dataset", "power_plant", "--ensembles", "2",
+                     "--shots", "0", "--seed", "2"]) == 0
+        assert captured["config"].n_jobs == 1
+        assert captured["config"].executor == "auto"
+        assert main(["detect", "--dataset", "power_plant", "--ensembles", "2",
+                     "--shots", "0", "--seed", "2",
+                     "--executor", "processes"]) == 0
+        assert captured["config"].n_jobs == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("command", ["detect", "compare"])
+    def test_executor_combinations_score_identically(self, command, capsys):
+        outputs = {}
+        for flags in (["--executor", "serial"],
+                      ["--executor", "threads", "--jobs", "2"],
+                      ["--executor", "processes", "--jobs", "2"]):
+            argv = [command, "--dataset", "power_plant", "--ensembles", "3",
+                    "--seed", "7"] + flags
+            if command == "detect":
+                argv += ["--shots", "0", "--top", "5"]
+            assert main(argv) == 0
+            outputs[tuple(flags)] = capsys.readouterr().out
+        results = set(outputs.values())
+        assert len(results) == 1, "scores must not depend on the executor"
+
+    def test_simulation_backend_flag_runs_end_to_end(self, capsys):
+        assert main(["detect", "--dataset", "power_plant", "--ensembles", "2",
+                     "--shots", "0", "--seed", "2", "--top", "3",
+                     "--simulation-backend", "numpy-float32"]) == 0
+        assert "Top 3 samples" in capsys.readouterr().out
+
+    def test_unknown_simulation_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "--dataset", "letter",
+                                       "--simulation-backend", "cuda"])
+
+    def test_unknown_executor_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "--dataset", "letter",
+                                       "--executor", "distributed"])

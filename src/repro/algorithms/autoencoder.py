@@ -18,16 +18,23 @@ noiseless sweeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.algorithms.ansatz import RandomAutoencoderAnsatz
 from repro.algorithms.swap_test import append_swap_test
 from repro.encoding.amplitude import state_preparation_circuit
+from repro.quantum.backend import SimulationBackend
 from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.compiler import (
+    CircuitCompiler,
+    CompiledProgram,
+    default_compiler,
+)
 from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.noise import NoiseModel
 from repro.quantum.statevector import Statevector
 
 __all__ = [
@@ -195,9 +202,17 @@ def analytic_swap_test_p1(amplitudes: Sequence[float],
 
 @dataclass(frozen=True)
 class QuorumCircuitFactory:
-    """Convenience wrapper binding an ansatz to the circuit/fast-path builders."""
+    """Convenience wrapper binding an ansatz to the circuit/fast-path builders.
+
+    The factory also carries the :class:`~repro.quantum.compiler
+    .CircuitCompiler` whose LRU cache holds this ansatz's compiled artifacts
+    (fused encoder unitary, per-level suffix channels and Heisenberg-picture
+    observables).  By default that is the process-wide shared compiler, so
+    engines, simulators, and factories all reuse one cache.
+    """
 
     ansatz: RandomAutoencoderAnsatz
+    compiler: CircuitCompiler = field(default_factory=default_compiler)
 
     @property
     def num_qubits(self) -> int:
@@ -233,3 +248,44 @@ class QuorumCircuitFactory:
                     compression_level: int) -> float:
         """Exact SWAP-test P(1) via the reduced-density-matrix fast path."""
         return analytic_swap_test_p1(amplitudes, self.ansatz, compression_level)
+
+    # ------------------------------------------------------ compiled artifacts
+    def encoder_unitary(self,
+                        backend: Union[str, SimulationBackend, None] = None
+                        ) -> np.ndarray:
+        """The encoder as ONE fused ``2^n x 2^n`` unitary (compiler-cached)."""
+        return self.compiler.fused_unitary(
+            self.ansatz.encoder_circuit(list(range(self.num_qubits))), backend
+        )
+
+    def compiled_suffix_channel(self, compression_level: int,
+                                noise_model: Optional[NoiseModel] = None,
+                                backend: Union[str, SimulationBackend,
+                                               None] = None
+                                ) -> CompiledProgram:
+        """The per-level suffix as a compiled channel program.
+
+        Gates are fused with their ``noise_model`` channels and the reset
+        block into dense support-block superoperators; a GPU
+        :class:`~repro.quantum.backend.SimulationBackend` consumes the same
+        program unchanged through ``apply_compiled_superoperator_batch``.
+        """
+        return self.compiler.channel_program(
+            self.suffix(compression_level, measure=False), noise_model, backend
+        )
+
+    def suffix_observable(self, compression_level: int,
+                          noise_model: Optional[NoiseModel] = None,
+                          backend: Union[str, SimulationBackend, None] = None
+                          ) -> np.ndarray:
+        """Heisenberg-picture observable of the suffix + ancilla readout.
+
+        ``W = C^dagger(|1><1|_ancilla)`` for the level's suffix channel ``C``:
+        the SWAP-test P(1) of a post-prefix density batch is
+        ``backend.observable_expectation_density_batch(checkpoint, W)`` -- one
+        batched matmul per compression level.
+        """
+        return self.compiler.dual_observable(
+            self.suffix(compression_level, measure=False), noise_model,
+            2 * self.num_qubits, backend,
+        )

@@ -123,6 +123,10 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=None,
                         help="ensemble workers (default: 1, or the CPU count "
                              "when --executor names a parallel strategy)")
+    parser.add_argument("--no-compile", action="store_true",
+                        help="interpret circuits gate by gate instead of "
+                             "executing cached compiled operator programs "
+                             "(reference path; slower)")
 
 
 def _resolve_jobs(args: argparse.Namespace) -> int:
@@ -174,6 +178,7 @@ def _command_detect(args: argparse.Namespace) -> int:
         anomaly_fraction_estimate=args.anomaly_fraction,
         backend=args.backend,
         simulation_backend=args.simulation_backend,
+        compile_circuits=not args.no_compile,
         noisy=args.noisy,
         seed=args.seed,
         executor=args.executor,
@@ -211,6 +216,7 @@ def _command_compare(args: argparse.Namespace) -> int:
     detector = QuorumDetector(ensemble_groups=args.ensembles, shots=4096,
                               seed=args.seed,
                               anomaly_fraction_estimate=dataset.anomaly_fraction,
+                              compile_circuits=not args.no_compile,
                               executor=args.executor, n_jobs=_resolve_jobs(args))
     detector.fit(dataset)
     methods = {
@@ -233,6 +239,7 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 def _command_experiment(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(ensemble_groups=args.ensembles, seed=args.seed,
+                                  compile_circuits=not args.no_compile,
                                   executor=args.executor, n_jobs=_resolve_jobs(args))
     for artifact in args.artifacts:
         if artifact == "table1":
@@ -256,6 +263,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 def _command_report(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(ensemble_groups=args.ensembles, seed=args.seed,
+                                  compile_circuits=not args.no_compile,
                                   executor=args.executor, n_jobs=_resolve_jobs(args))
     report = run_full_evaluation(settings, include_noisy=not args.skip_noisy)
     if args.output:

@@ -63,6 +63,11 @@ class QuorumConfig:
         Which batched numerical kernel implementation the engines run on; one of
         :func:`repro.quantum.backend.available_simulation_backends` (default
         ``"numpy"``).
+    compile_circuits:
+        Lower circuits ahead of time into cached fused dense operators (the
+        :mod:`repro.quantum.compiler` subsystem) instead of interpreting them
+        gate by gate (default ``True``; the interpreted paths remain available
+        as the reference implementation).
     noisy:
         Apply the Brisbane-like noise model (only meaningful for the
         ``density_matrix`` backend).
@@ -93,6 +98,7 @@ class QuorumConfig:
     feature_scaling: str = "circuit_sqrt"
     backend: str = "analytic"
     simulation_backend: str = "numpy"
+    compile_circuits: bool = True
     noisy: bool = False
     gate_level_encoding: bool = False
     seed: Optional[int] = 1234
@@ -196,6 +202,7 @@ class QuorumConfig:
             "bucket_probability": self.bucket_probability,
             "backend": self.backend,
             "simulation_backend": self.simulation_backend,
+            "compile_circuits": self.compile_circuits,
             "noisy": self.noisy,
             "seed": self.seed,
             "n_jobs": self.n_jobs,

@@ -19,7 +19,12 @@ The member lifecycle is split in two:
   engine's ``p1_levels_batch``, and bucket scoring.  For noisy members this
   sweep is checkpointed: the engine walks the shared circuit prefix (encoding +
   encoder) exactly once and replays only the per-level suffix from the
-  post-prefix density batch.  The executor strategies in
+  post-prefix density batch.  With ``config.compile_circuits`` (the default)
+  the member's fixed circuit structure is additionally lowered ahead of time
+  through the shared :mod:`repro.quantum.compiler` cache -- the encoder
+  becomes one fused unitary, the noisy suffix one cached Heisenberg-picture
+  observable per level -- so the sweep executes as a handful of batched
+  matmuls.  The executor strategies in
   :mod:`repro.core.parallel` call this against shared (zero-copy or
   shared-memory) dataset views.
 
@@ -205,6 +210,7 @@ def execute_member(normalized_data: np.ndarray, plan: MemberPlan,
             gate_level_encoding=config.gate_level_encoding,
             num_qubits=config.num_qubits,
             simulation_backend=config.simulation_backend,
+            compile_circuits=config.compile_circuits,
         )
     levels = config.effective_compression_levels
     p1_values = engine.p1_levels_batch(amplitudes, plan.ansatz, levels)

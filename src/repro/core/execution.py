@@ -53,6 +53,7 @@ from repro.algorithms.autoencoder import (
 )
 from repro.quantum.backend import SimulationBackend, get_simulation_backend
 from repro.quantum.backends import FakeBrisbane
+from repro.quantum.compiler import CircuitCompiler, default_compiler
 from repro.quantum.noise import NoiseModel
 from repro.quantum.simulator import (
     BatchedDensityMatrixSimulator,
@@ -69,17 +70,30 @@ __all__ = [
 
 
 class SwapTestEngine(ABC):
-    """Interface shared by the three execution strategies."""
+    """Interface shared by the three execution strategies.
+
+    Every engine executes *compiled programs* by default: circuits are lowered
+    once through a :class:`~repro.quantum.compiler.CircuitCompiler` (shared
+    LRU cache keyed by circuit signature, noise fingerprint, and backend
+    dtype) into fused dense operators, and the per-sweep work reduces to a few
+    batched matmuls.  ``compile_circuits=False`` selects the gate-by-gate
+    interpreted paths, retained as the reference implementation for the parity
+    test suite.
+    """
 
     def __init__(self, shots: Optional[int] = 4096,
                  rng: Optional[np.random.Generator] = None,
-                 simulation_backend: Union[str, SimulationBackend, None] = None
+                 simulation_backend: Union[str, SimulationBackend, None] = None,
+                 compiler: Optional[CircuitCompiler] = None,
+                 compile_circuits: bool = True
                  ) -> None:
         if shots is not None and shots < 1:
             raise ValueError("shots must be positive or None for exact probabilities")
         self.shots = shots
         self.rng = rng or np.random.default_rng()
         self.backend = get_simulation_backend(simulation_backend)
+        self.compiler = compiler if compiler is not None else default_compiler()
+        self.compile_circuits = bool(compile_circuits)
 
     @abstractmethod
     def p1_batch(self, amplitudes: np.ndarray, ansatz: RandomAutoencoderAnsatz,
@@ -158,6 +172,23 @@ class SwapTestEngine(ABC):
         sampled = self.rng.binomial(self.shots, clipped) / float(self.shots)
         return sampled
 
+    def _encoder_unitary(self, ansatz: RandomAutoencoderAnsatz) -> np.ndarray:
+        """The member's dense encoder ``E`` -- the compiled pure-state program.
+
+        With compilation on, the encoder circuit is fused through the shared
+        compiler cache (one ``2^n x 2^n`` unitary per member, reused across
+        engines, levels, and repeated sweeps); the lowering matches
+        :meth:`~repro.algorithms.ansatz.RandomAutoencoderAnsatz.encoder_unitary`
+        operation for operation, so results are bitwise unchanged.  With
+        compilation off, the ansatz's own per-instance cache is used.
+        """
+        if self.compile_circuits:
+            return self.compiler.fused_unitary(
+                ansatz.encoder_circuit(list(range(ansatz.num_qubits))),
+                self.backend,
+            )
+        return ansatz.encoder_unitary()
+
 
 class AnalyticEngine(SwapTestEngine):
     """Exact reduced-density-matrix evaluation, vectorized over samples.
@@ -183,7 +214,7 @@ class AnalyticEngine(SwapTestEngine):
         # ansatz, so it is built once per ensemble member) -- and shared by every
         # compression level of the sweep.
         phi = self.backend.apply_unitary_batch(
-            self.backend.as_states(amplitudes), ansatz.encoder_unitary()
+            self.backend.as_states(amplitudes), self._encoder_unitary(ansatz)
         )
         overlap = self.backend.compression_overlap_levels(phi, levels)
         exact_p1 = np.clip((1.0 - overlap) / 2.0, 0.0, 1.0)
@@ -213,9 +244,12 @@ class DensityMatrixEngine(SwapTestEngine):
                  rng: Optional[np.random.Generator] = None,
                  noise_model: Optional[NoiseModel] = None,
                  gate_level_encoding: bool = False,
-                 simulation_backend: Union[str, SimulationBackend, None] = None
+                 simulation_backend: Union[str, SimulationBackend, None] = None,
+                 compiler: Optional[CircuitCompiler] = None,
+                 compile_circuits: bool = True
                  ) -> None:
-        super().__init__(shots, rng, simulation_backend=simulation_backend)
+        super().__init__(shots, rng, simulation_backend=simulation_backend,
+                         compiler=compiler, compile_circuits=compile_circuits)
         self.noise_model = noise_model
         self.gate_level_encoding = gate_level_encoding
 
@@ -236,7 +270,7 @@ class DensityMatrixEngine(SwapTestEngine):
             return self.p1_levels_batch_circuit_level(amplitudes, ansatz, levels)
         backend = self.backend
         psi = backend.as_states(amplitudes)
-        encoder = ansatz.encoder_unitary()
+        encoder = self._encoder_unitary(ansatz)
         decoder = encoder.conj().T
         # Encoding and the pure-state density build are level-independent and
         # run once for the whole sweep; only the (cheap) reset/decode/overlap
@@ -260,38 +294,68 @@ class DensityMatrixEngine(SwapTestEngine):
         Every compression level of the sweep shares the same circuit prefix
         (amplitude encoding of both registers + the encoder ansatz); only the
         suffix (reset block + decoder + SWAP test) depends on the level.  The
-        walker therefore evolves the batched prefix **exactly once**, keeps the
-        post-prefix density batch as a checkpoint, and replays the (shared,
-        sample-independent) suffix circuit from a snapshot of that checkpoint
-        once per level -- noise channels staying fused gate-by-gate into single
-        superoperator passes on both sides of the split.  Results are
-        bit-compatible with looping :meth:`p1_batch_circuit_level` per level
-        (the kernels are row-independent, so the split does not change any
-        sample's arithmetic), and the shot-noise RNG is consumed in the exact
-        level-major order the historical per-level loop used.
+        walker therefore evolves the batched prefix **exactly once** (with its
+        shared gate runs executing as compiled fused operators) and keeps the
+        post-prefix density batch as a checkpoint.  With compilation on (the
+        default), each level's sample-independent suffix is then lowered once
+        into a cached Heisenberg-picture observable and evaluated as a single
+        batched matmul against the checkpoint; with ``compile_circuits=False``
+        the suffix is replayed forward from a snapshot, gate by gate, exactly
+        as in the pre-compilation implementation.  Either way results agree
+        with looping :meth:`p1_batch_circuit_level` per level, and the
+        shot-noise RNG is consumed in the exact level-major order the
+        historical per-level loop used.
         """
         levels = self._validated_levels(compression_levels, ansatz)
         amplitudes = self._validated_amplitudes(amplitudes, ansatz)
+        # One elementwise binomial call over the (levels, samples) array draws
+        # bit-identically to the historical sequential per-level calls.
+        return self._apply_shot_noise(
+            self._circuit_level_sweep(amplitudes, ansatz, levels)
+        )
+
+    def _circuit_level_sweep(self, amplitudes: np.ndarray,
+                             ansatz: RandomAutoencoderAnsatz,
+                             levels: Sequence[int]) -> np.ndarray:
+        """Exact ``(levels, samples)`` probabilities of the checkpointed sweep.
+
+        Shared by the fused multi-level entry point and the single-level
+        ``p1_batch_circuit_level``, so a per-level loop over the latter is
+        arithmetically identical to one fused sweep.  With compilation on, the
+        per-level suffix never runs forward at all: the compiler's cached
+        Heisenberg-picture observable ``W = C^dagger(|1><1|_ancilla)`` turns
+        each level into ONE batched matmul against the checkpoint.
+        """
         prefixes = [
             build_autoencoder_prefix(
                 row, ansatz, gate_level_encoding=self.gate_level_encoding,
             )
             for row in amplitudes
         ]
-        walker = BatchedDensityMatrixSimulator(noise_model=self.noise_model,
-                                               backend=self.backend)
+        walker = BatchedDensityMatrixSimulator(
+            noise_model=self.noise_model, backend=self.backend,
+            compiler=self.compiler, compile_programs=self.compile_circuits,
+        )
         checkpoint = walker.evolve_batch(prefixes)
         ancilla = 2 * ansatz.num_qubits
         exact_p1 = np.empty((len(levels), amplitudes.shape[0]))
         for position, level in enumerate(levels):
             suffix = build_autoencoder_suffix(ansatz, level, measure=False)
+            if self.compile_circuits:
+                observable = self.compiler.dual_observable(
+                    suffix, self.noise_model, ancilla, self.backend
+                )
+                exact_p1[position] = (
+                    self.backend.observable_expectation_density_batch(
+                        checkpoint, observable
+                    )
+                )
+                continue
             rhos = walker.replay_suffix_batch(checkpoint, suffix)
             exact_p1[position] = self.backend.probability_one_density_batch(
                 rhos, ancilla
             )
-        # One elementwise binomial call over the (levels, samples) array draws
-        # bit-identically to the historical sequential per-level calls.
-        return self._apply_shot_noise(exact_p1)
+        return exact_p1
 
     def p1_batch_circuit_level(self, amplitudes: np.ndarray,
                                ansatz: RandomAutoencoderAnsatz,
@@ -307,6 +371,13 @@ class DensityMatrixEngine(SwapTestEngine):
         walk remains the pre-checkpoint regression reference).
         """
         amplitudes = self._validated_batch(amplitudes, ansatz, compression_level)
+        if self.compile_circuits:
+            # Same checkpoint + compiled-observable arithmetic as the fused
+            # sweep, so a per-level loop over this method stays bitwise
+            # identical to one `p1_levels_batch` call.
+            exact_p1 = self._circuit_level_sweep(amplitudes, ansatz,
+                                                 [compression_level])[0]
+            return self._apply_shot_noise(exact_p1)
         circuits = [
             build_autoencoder_circuit(
                 row, ansatz, compression_level,
@@ -315,7 +386,9 @@ class DensityMatrixEngine(SwapTestEngine):
             for row in amplitudes
         ]
         walker = BatchedDensityMatrixSimulator(noise_model=self.noise_model,
-                                               backend=self.backend)
+                                               backend=self.backend,
+                                               compiler=self.compiler,
+                                               compile_programs=False)
         rhos = walker.evolve_batch(circuits)
         ancilla = 2 * ansatz.num_qubits
         exact_p1 = self.backend.probability_one_density_batch(rhos, ancilla)
@@ -362,11 +435,14 @@ class StatevectorEngine(SwapTestEngine):
     def __init__(self, shots: Optional[int] = 4096,
                  rng: Optional[np.random.Generator] = None,
                  max_trajectories: Optional[int] = 64,
-                 simulation_backend: Union[str, SimulationBackend, None] = None
+                 simulation_backend: Union[str, SimulationBackend, None] = None,
+                 compiler: Optional[CircuitCompiler] = None,
+                 compile_circuits: bool = True
                  ) -> None:
         if shots is None:
             raise ValueError("the statevector engine is shot-based; provide shots")
-        super().__init__(shots, rng, simulation_backend=simulation_backend)
+        super().__init__(shots, rng, simulation_backend=simulation_backend,
+                         compiler=compiler, compile_circuits=compile_circuits)
         self.max_trajectories = max_trajectories
 
     def p1_batch(self, amplitudes: np.ndarray, ansatz: RandomAutoencoderAnsatz,
@@ -401,7 +477,7 @@ class StatevectorEngine(SwapTestEngine):
                   shots_per_trajectory: np.ndarray) -> np.ndarray:
         """Trajectory-sample one chunk of samples as a single flat batch."""
         backend = self.backend
-        encoder = ansatz.encoder_unitary()
+        encoder = self._encoder_unitary(ansatz)
         psi = backend.as_states(amplitudes)
         phi = backend.apply_unitary_batch(psi, encoder)
         # One flat batch over (sample, trajectory) pairs; sample-major so that
@@ -435,30 +511,36 @@ def make_engine(backend: str, shots: Optional[int],
                 noisy: bool = False,
                 gate_level_encoding: bool = False,
                 num_qubits: int = 3,
-                simulation_backend: Union[str, SimulationBackend, None] = None
+                simulation_backend: Union[str, SimulationBackend, None] = None,
+                compile_circuits: bool = True
                 ) -> SwapTestEngine:
     """Factory used by the detector to build the configured engine.
 
     ``backend`` selects the *engine strategy* (``analytic`` / ``density_matrix``
     / ``statevector``); ``simulation_backend`` selects the *numerical kernel
-    implementation* those engines run on (see :mod:`repro.quantum.backend`).
+    implementation* those engines run on (see :mod:`repro.quantum.backend`);
+    ``compile_circuits`` selects between compiled-program execution (default)
+    and the gate-by-gate interpreted reference paths.
     """
     backend = backend.lower()
     if backend == "analytic":
         if noisy:
             raise ValueError("the analytic engine cannot model hardware noise")
         return AnalyticEngine(shots=shots, rng=rng,
-                              simulation_backend=simulation_backend)
+                              simulation_backend=simulation_backend,
+                              compile_circuits=compile_circuits)
     if backend == "density_matrix":
         noise_model = None
         if noisy:
             noise_model = FakeBrisbane(num_qubits=2 * num_qubits + 1).to_noise_model()
         return DensityMatrixEngine(shots=shots, rng=rng, noise_model=noise_model,
                                    gate_level_encoding=gate_level_encoding or noisy,
-                                   simulation_backend=simulation_backend)
+                                   simulation_backend=simulation_backend,
+                                   compile_circuits=compile_circuits)
     if backend == "statevector":
         if noisy:
             raise ValueError("the statevector engine cannot model hardware noise")
         return StatevectorEngine(shots=shots or 1024, rng=rng,
-                                 simulation_backend=simulation_backend)
+                                 simulation_backend=simulation_backend,
+                                 compile_circuits=compile_circuits)
     raise ValueError(f"unknown backend {backend!r}")

@@ -62,6 +62,10 @@ class ExperimentSettings:
         without editing every experiment module.
     n_jobs:
         Ensemble workers (defaults to ``QUORUM_N_JOBS``; 1 = serial).
+    compile_circuits:
+        Execute compiled operator programs (default) or the gate-by-gate
+        interpreted reference paths; defaults to the ``QUORUM_COMPILE``
+        environment variable (set it to ``0`` to interpret).
     """
 
     ensemble_groups: int = 60
@@ -75,6 +79,8 @@ class ExperimentSettings:
         default_factory=lambda: os.environ.get("QUORUM_EXECUTOR", "auto"))
     n_jobs: int = field(
         default_factory=lambda: int(os.environ.get("QUORUM_N_JOBS", "1")))
+    compile_circuits: bool = field(
+        default_factory=lambda: os.environ.get("QUORUM_COMPILE", "1") != "0")
 
     def quorum_config(self, dataset_name: str, **overrides: object) -> QuorumConfig:
         """Base Quorum config for ``dataset_name`` (Table I bucket probability)."""
@@ -87,6 +93,7 @@ class ExperimentSettings:
             seed=self.seed,
             executor=self.executor,
             n_jobs=self.n_jobs,
+            compile_circuits=self.compile_circuits,
         )
         return base.with_overrides(**overrides) if overrides else base
 

@@ -17,6 +17,8 @@ functionality that the Quorum paper depends on:
 * :mod:`repro.quantum.backends` -- calibration-style descriptions of fake devices
   (notably a Brisbane-like backend built from the medians quoted in the paper).
 * :mod:`repro.quantum.transpiler` -- basis decomposition and peephole optimization.
+* :mod:`repro.quantum.compiler` -- ahead-of-time lowering of circuits (plus noise
+  models) into cached programs of fused dense operators.
 * :mod:`repro.quantum.operators` -- partial trace, fidelity, purity helpers.
 """
 
@@ -28,6 +30,12 @@ from repro.quantum.backend import (
     register_simulation_backend,
 )
 from repro.quantum.circuit import Instruction, QuantumCircuit
+from repro.quantum.compiler import (
+    CircuitCompiler,
+    CompiledProgram,
+    FusedOperator,
+    default_compiler,
+)
 from repro.quantum.gates import GATE_MATRICES, standard_gate_matrix
 from repro.quantum.simulator import (
     DensityMatrixSimulator,
@@ -47,6 +55,10 @@ __all__ = [
     "register_simulation_backend",
     "Instruction",
     "QuantumCircuit",
+    "CircuitCompiler",
+    "CompiledProgram",
+    "FusedOperator",
+    "default_compiler",
     "GATE_MATRICES",
     "standard_gate_matrix",
     "StatevectorSimulator",

@@ -183,6 +183,69 @@ class SimulationBackend(ABC):
             raise ValueError("a density batch must be (batch, d, d)")
         return rhos.copy()
 
+    # ------------------------------------------------------ compiled programs
+    def apply_compiled_unitary_batch(self, states: np.ndarray,
+                                     operators) -> np.ndarray:
+        """Run a compiled pure-state program over a state batch.
+
+        ``operators`` is a :class:`repro.quantum.compiler.CompiledProgram` (or
+        any iterable of its fused operators): each entry carries a dense
+        ``2^k x 2^k`` unitary and its ascending support qubits.  The default
+        chains :meth:`apply_gate_batch` per fused block, so every backend
+        inherits compiled execution; array-library backends can override to
+        run the whole chain on-device.
+        """
+        for operator in getattr(operators, "operators", operators):
+            if operator.kind != "unitary":
+                raise ValueError(
+                    "a compiled unitary program cannot contain "
+                    f"'{operator.kind}' operators"
+                )
+            states = self.apply_gate_batch(states, operator.matrix,
+                                           operator.qubits)
+        return states
+
+    def apply_compiled_superoperator_batch(self, rhos: np.ndarray,
+                                           operators) -> np.ndarray:
+        """Run a compiled channel program over a density batch.
+
+        ``operators`` is a :class:`repro.quantum.compiler.CompiledProgram` (or
+        any iterable of its fused operators).  ``"unitary"`` blocks are applied
+        by conjugation (:meth:`apply_gate_density_batch`, a factor ``2^k``
+        cheaper than a superoperator pass), ``"superoperator"`` blocks through
+        :meth:`apply_superoperator_density_batch`.  Like the unitary twin this
+        is a default chaining implementation meant to be inherited (and
+        overridable as one fused on-device kernel).
+        """
+        for operator in getattr(operators, "operators", operators):
+            if operator.kind == "unitary":
+                rhos = self.apply_gate_density_batch(rhos, operator.matrix,
+                                                     operator.qubits)
+            else:
+                rhos = self.apply_superoperator_density_batch(
+                    rhos, operator.matrix, operator.qubits)
+        return rhos
+
+    def observable_expectation_density_batch(self, rhos: np.ndarray,
+                                             observable: np.ndarray
+                                             ) -> np.ndarray:
+        """Row-wise Hilbert-Schmidt expectation ``Re <O, rho_b>``; ``(batch,)``.
+
+        ``<O, rho> = Tr(O^dagger rho) = vec(O)^dagger vec(rho)``: one batched
+        matmul of the flattened density batch against a dense observable --
+        the execution form of the compiler's Heisenberg-picture suffix replay
+        (the observable being ``C^dagger(M)`` for a compiled channel ``C`` and
+        projector ``M``).
+        """
+        rhos = np.asarray(rhos, dtype=self.dtype)
+        observable = np.asarray(observable, dtype=self.dtype)
+        if rhos.ndim != 3 or rhos.shape[1] != rhos.shape[2]:
+            raise ValueError("a density batch must be (batch, d, d)")
+        if observable.shape != rhos.shape[1:]:
+            raise ValueError("observable shape does not match the density batch")
+        flat = rhos.reshape(rhos.shape[0], -1)
+        return np.real(flat @ observable.conj().reshape(-1))
+
     def reset_qubit_density_batch(self, rhos: np.ndarray,
                                   qubit: int) -> np.ndarray:
         """Non-selectively reset one qubit of every density matrix to |0>.
@@ -577,6 +640,12 @@ class NumpyFloat32Backend(NumpyBackend):
     def probability_one_density_batch(self, rhos: np.ndarray,
                                       qubit: int) -> np.ndarray:
         return super().probability_one_density_batch(rhos, qubit).astype(np.float64)
+
+    def observable_expectation_density_batch(self, rhos: np.ndarray,
+                                             observable: np.ndarray
+                                             ) -> np.ndarray:
+        return super().observable_expectation_density_batch(
+            rhos, observable).astype(np.float64)
 
 
 _REGISTRY: Dict[str, Callable[[], SimulationBackend]] = {}

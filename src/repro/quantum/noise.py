@@ -212,11 +212,22 @@ class NoiseModel:
     def __init__(self) -> None:
         self._gate_errors: Dict[str, QuantumError] = {}
         self._readout_error: Optional[ReadoutError] = None
+        # (gate name, qubit count) -> resolved QuantumError (or None): the
+        # hot simulator loops resolve the same handful of keys millions of
+        # times, so the fallback chain below runs once per key, not per gate
+        # application.  Invalidated by every builder method.
+        self._resolution_cache: Dict[Tuple[str, int], Optional[QuantumError]] = {}
+        self._fingerprint: Optional[Tuple] = None
+
+    def _invalidate_caches(self) -> None:
+        self._resolution_cache.clear()
+        self._fingerprint = None
 
     # ----------------------------------------------------------------- building
     def add_gate_error(self, gate_name: str, error: QuantumError) -> "NoiseModel":
         """Register a Kraus error to be applied after every ``gate_name`` gate."""
         self._gate_errors[gate_name.lower()] = error
+        self._invalidate_caches()
         return self
 
     def add_all_single_qubit_error(self, error: QuantumError) -> "NoiseModel":
@@ -224,6 +235,7 @@ class NoiseModel:
         if error.num_qubits != 1:
             raise ValueError("expected a single-qubit error")
         self._gate_errors["all_1q"] = error
+        self._invalidate_caches()
         return self
 
     def add_all_two_qubit_error(self, error: QuantumError) -> "NoiseModel":
@@ -231,11 +243,13 @@ class NoiseModel:
         if error.num_qubits != 2:
             raise ValueError("expected a two-qubit error")
         self._gate_errors["all_2q"] = error
+        self._invalidate_caches()
         return self
 
     def set_readout_error(self, error: ReadoutError) -> "NoiseModel":
         """Set the measurement confusion probabilities (applied to every qubit)."""
         self._readout_error = error
+        self._invalidate_caches()
         return self
 
     # ------------------------------------------------------------------ queries
@@ -250,18 +264,64 @@ class NoiseModel:
         return not self._gate_errors and self._readout_error is None
 
     def error_for_instruction(self, instruction: Instruction) -> Optional[QuantumError]:
-        """Return the Kraus error to apply after ``instruction`` (or None)."""
+        """Return the Kraus error to apply after ``instruction`` (or None).
+
+        Resolution (and thereby the channel's precomputed superoperator) is
+        cached per (gate name, qubit count); the simulators and the circuit
+        compiler hit this on every gate, so the lookup must not re-walk the
+        fallback chain per application.
+        """
         if not instruction.is_unitary:
             return None
-        name = instruction.name.lower()
+        return self._resolve_cached(instruction.name, len(instruction.qubits))
+
+    def superoperator_for(self, gate_name: str,
+                          num_qubits: int) -> Optional[np.ndarray]:
+        """Cached channel superoperator for a (gate name, qubit count) key.
+
+        Convenience twin of :meth:`error_for_instruction` for callers that
+        work with superoperators directly (e.g. ahead-of-time compilation).
+        """
+        error = self._resolve_cached(gate_name, num_qubits)
+        return None if error is None else error.superoperator
+
+    def _resolve_cached(self, gate_name: str,
+                        arity: int) -> Optional[QuantumError]:
+        key = (gate_name.lower(), int(arity))
+        try:
+            return self._resolution_cache[key]
+        except KeyError:
+            pass
+        error = self._resolve(*key)
+        self._resolution_cache[key] = error
+        return error
+
+    def _resolve(self, name: str, arity: int) -> Optional[QuantumError]:
         if name in self._gate_errors:
             return self._gate_errors[name]
-        arity = len(instruction.qubits)
         if arity == 1 and "all_1q" in self._gate_errors:
             return self._gate_errors["all_1q"]
         if arity == 2 and "all_2q" in self._gate_errors:
             return self._gate_errors["all_2q"]
         return None
+
+    def fingerprint(self) -> Tuple:
+        """Content-based hashable fingerprint (compiled-program cache key part).
+
+        Two independently constructed but identical models (same gate errors,
+        same readout confusion) share the fingerprint, so per-member noise
+        models built from the same calibration data share compiled programs.
+        """
+        if self._fingerprint is None:
+            gates = tuple(sorted(
+                (name, error.num_qubits, error.superoperator.tobytes())
+                for name, error in self._gate_errors.items()
+            ))
+            readout = (None if self._readout_error is None else
+                       (self._readout_error.prob_1_given_0,
+                        self._readout_error.prob_0_given_1))
+            self._fingerprint = (gates, readout)
+        return self._fingerprint
 
     def registered_gate_names(self) -> List[str]:
         """Names with explicit error entries (useful for reporting/tests)."""

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.quantum.backend import SimulationBackend, get_simulation_backend
 from repro.quantum.circuit import Instruction, QuantumCircuit
+from repro.quantum.compiler import CircuitCompiler, default_compiler
 from repro.quantum.density_matrix import DensityMatrix
 from repro.quantum.noise import NoiseModel, ReadoutError
 from repro.quantum.statevector import Statevector
@@ -482,6 +483,21 @@ class BatchedDensityMatrixSimulator:
     density batch via ``initial_rhos``, so arbitrary per-sample continuations
     can resume from a checkpoint as well.  Noise channels stay fused
     gate-by-gate into single superoperator passes on both sides of the split.
+
+    Compiled execution
+    ------------------
+    By default (``compile_programs=True``) the walker does not interpret the
+    shared portions of a circuit gate by gate: contiguous runs of
+    sample-independent instructions (shared gates, their noise channels,
+    resets) are lowered once through a :class:`~repro.quantum.compiler
+    .CircuitCompiler` into a handful of fused dense operators and applied via
+    :meth:`SimulationBackend.apply_compiled_superoperator_batch`.  Only the
+    genuinely per-sample columns (``initialize`` payloads, state-preparation
+    rotations with per-sample angles) still walk individually.  Compiled runs
+    live in the compiler's LRU cache keyed by (circuit signature, noise
+    fingerprint, backend dtype), so repeated sweeps never re-lower.
+    ``compile_programs=False`` selects the original gate-by-gate interpreter,
+    retained as the reference path for the parity test suite.
     """
 
     #: Upper bound on density-matrix elements (``batch * 4**num_qubits``) walked
@@ -492,9 +508,13 @@ class BatchedDensityMatrixSimulator:
     MAX_FLAT_ELEMENTS = 1 << 19
 
     def __init__(self, noise_model: Optional[NoiseModel] = None,
-                 backend: Union[str, SimulationBackend, None] = None) -> None:
+                 backend: Union[str, SimulationBackend, None] = None,
+                 compiler: Optional[CircuitCompiler] = None,
+                 compile_programs: bool = True) -> None:
         self.noise_model = noise_model
         self.backend = get_simulation_backend(backend)
+        self.compiler = compiler if compiler is not None else default_compiler()
+        self.compile_programs = bool(compile_programs)
 
     def evolve_batch(self, circuits: Sequence[QuantumCircuit],
                      initial_rhos: Optional[np.ndarray] = None) -> np.ndarray:
@@ -552,6 +572,13 @@ class BatchedDensityMatrixSimulator:
         shared by every sample.  Each call replays from a snapshot, so one
         checkpoint serves the whole compression sweep.  Noise channels are
         fused with their gates exactly as in :meth:`evolve_batch`.
+
+        With compilation on (the default) the suffix is lowered once into a
+        compiled channel program -- every gate fused with its noise channel,
+        contiguous runs fused into dense support-block superoperators (ONE
+        ``4^n x 4^n`` superoperator when the register fits the compiler's
+        support cap) -- and the whole replay is a few batched matmuls against
+        the snapshot instead of a Python gate walk.
         """
         checkpoint_rhos = np.asarray(checkpoint_rhos)
         if checkpoint_rhos.ndim != 3:
@@ -562,6 +589,26 @@ class BatchedDensityMatrixSimulator:
                 "a suffix circuit cannot re-initialize qubits; encoding belongs "
                 "to the prefix"
             )
+        if self.compile_programs:
+            dim = checkpoint_rhos.shape[1]
+            if dim != 2 ** circuit.num_qubits:
+                raise ValueError(
+                    "checkpoint dimension does not match the suffix circuit"
+                )
+            program = self.compiler.channel_program(circuit, self.noise_model,
+                                                    self.backend)
+            snapshot = self.backend.copy_density_batch(checkpoint_rhos)
+            chunk = max(1, self.MAX_FLAT_ELEMENTS // (dim * dim))
+            if snapshot.shape[0] <= chunk:
+                return self.backend.apply_compiled_superoperator_batch(snapshot,
+                                                                       program)
+            results = np.empty_like(snapshot)
+            for start in range(0, snapshot.shape[0], chunk):
+                results[start:start + chunk] = (
+                    self.backend.apply_compiled_superoperator_batch(
+                        snapshot[start:start + chunk], program)
+                )
+            return results
         return self.evolve_batch([circuit] * checkpoint_rhos.shape[0],
                                  initial_rhos=checkpoint_rhos)
 
@@ -569,6 +616,113 @@ class BatchedDensityMatrixSimulator:
     def _evolve_group(self, circuits: List[QuantumCircuit],
                       initial: Optional[np.ndarray] = None) -> np.ndarray:
         """Walk one group of structurally identical circuits as a batch."""
+        if self.compile_programs:
+            return self._evolve_group_compiled(circuits, initial)
+        return self._evolve_group_interpreted(circuits, initial)
+
+    def _evolve_group_compiled(self, circuits: List[QuantumCircuit],
+                               initial: Optional[np.ndarray] = None
+                               ) -> np.ndarray:
+        """Compiled walk: shared instruction runs execute as fused operators.
+
+        Contiguous runs of sample-independent instructions (gates whose
+        matrices agree across the batch, and resets) are collected into a
+        sub-circuit, lowered once through the compiler's LRU-cached
+        ``channel_program`` (gates fused with their noise channels, runs fused
+        into dense support-block operators), and applied with
+        ``apply_compiled_superoperator_batch``.  Per-sample columns
+        (``initialize`` payloads, state-preparation gates with per-sample
+        angles) are executed exactly like the interpreted reference walk.
+        """
+        backend = self.backend
+        num_qubits = circuits[0].num_qubits
+        if initial is not None:
+            rhos = backend.copy_density_batch(initial)
+        else:
+            rhos = backend.density_from_states(
+                backend.zero_states(len(circuits), num_qubits)
+            )
+        pending: List[Instruction] = []
+
+        def flush(rhos: np.ndarray) -> np.ndarray:
+            if not pending:
+                return rhos
+            shared = QuantumCircuit(num_qubits, 1, name="compiled_run")
+            shared.instructions = pending.copy()
+            pending.clear()
+            program = self.compiler.channel_program(shared, self.noise_model,
+                                                    backend)
+            return backend.apply_compiled_superoperator_batch(rhos, program)
+
+        for position, instruction in enumerate(circuits[0].instructions):
+            name = instruction.name
+            if name in {"barrier", "measure"}:
+                continue
+            if name == "reset":
+                pending.append(instruction)
+                continue
+            if name == "initialize":
+                rhos = flush(rhos)
+                states = [circuit.instructions[position].state
+                          for circuit in circuits]
+                if any(state is None for state in states):
+                    raise ValueError("initialize instruction is missing its "
+                                     "statevector")
+                rhos = self._apply_initialize_batch(
+                    rhos, np.stack(states), instruction.qubits, num_qubits
+                )
+                continue
+            matrices = [circuit.instructions[position].matrix_or_standard()
+                        for circuit in circuits]
+            first = matrices[0]
+            shared = all(matrix is first or np.array_equal(matrix, first)
+                         for matrix in matrices[1:])
+            if shared:
+                pending.append(instruction)
+                continue
+            rhos = flush(rhos)
+            rhos = self._apply_per_sample_column(rhos, instruction, matrices)
+        return flush(rhos)
+
+    def _apply_per_sample_column(self, rhos: np.ndarray,
+                                 instruction: Instruction,
+                                 matrices: List[np.ndarray]) -> np.ndarray:
+        """One sample-dependent gate column, fused with its noise channel.
+
+        Shared by the compiled and interpreted walks (per-sample columns are
+        never ahead-of-time compiled), so the two walks only differ where
+        compilation re-associates *shared* operator products.  The one fused
+        superoperator pass per gate halves (noiseless) or thirds (noisy) the
+        full-batch tensor contractions versus applying gate and channel
+        separately.
+        """
+        backend = self.backend
+        error = (self.noise_model.error_for_instruction(instruction)
+                 if self.noise_model is not None else None)
+        if error is not None and error.num_qubits != len(instruction.qubits):
+            # Channel acts on a sub-block of the gate's qubits; too rare to
+            # fuse, apply the two steps separately.
+            rhos = backend.apply_gates_density_batch(rhos, np.stack(matrices),
+                                                     instruction.qubits)
+            return backend.apply_superoperator_density_batch(
+                rhos, error.superoperator,
+                instruction.qubits[: error.num_qubits],
+            )
+        gates = np.stack(matrices)
+        local_dim = gates.shape[-1]
+        superops = np.einsum("bij,bkl->bikjl", gates, gates.conj()).reshape(
+            gates.shape[0], local_dim ** 2, local_dim ** 2
+        )
+        if error is not None:
+            superops = np.matmul(error.superoperator, superops)
+        return backend.apply_superoperators_density_batch(
+            rhos, superops, instruction.qubits
+        )
+
+    def _evolve_group_interpreted(self, circuits: List[QuantumCircuit],
+                                  initial: Optional[np.ndarray] = None
+                                  ) -> np.ndarray:
+        """Gate-by-gate reference walk (``compile_programs=False``)."""
         backend = self.backend
         num_qubits = circuits[0].num_qubits
         if initial is not None:
@@ -595,66 +749,40 @@ class BatchedDensityMatrixSimulator:
                 rhos = backend.reset_qubit_density_batch(rhos,
                                                          instruction.qubits[0])
                 continue
-            error = (self.noise_model.error_for_instruction(instruction)
-                     if self.noise_model is not None else None)
-            if error is not None and error.num_qubits != len(instruction.qubits):
-                # Channel acts on a sub-block of the gate's qubits; too rare to
-                # fuse, apply the two steps separately.
-                rhos = self._apply_unitary_column(rhos, circuits, position,
-                                                  instruction)
-                rhos = backend.apply_superoperator_density_batch(
-                    rhos, error.superoperator,
-                    instruction.qubits[: error.num_qubits],
-                )
-                continue
             matrices = [circuit.instructions[position].matrix_or_standard()
                         for circuit in circuits]
             first = matrices[0]
             shared = all(matrix is first or np.array_equal(matrix, first)
                          for matrix in matrices[1:])
-            if error is None and shared:
+            if not shared:
+                rhos = self._apply_per_sample_column(rhos, instruction,
+                                                     matrices)
+                continue
+            error = (self.noise_model.error_for_instruction(instruction)
+                     if self.noise_model is not None else None)
+            if error is not None and error.num_qubits != len(instruction.qubits):
+                # Channel acts on a sub-block of the gate's qubits; too rare to
+                # fuse, apply the two steps separately.
+                rhos = backend.apply_gate_density_batch(rhos, first,
+                                                        instruction.qubits)
+                rhos = backend.apply_superoperator_density_batch(
+                    rhos, error.superoperator,
+                    instruction.qubits[: error.num_qubits],
+                )
+                continue
+            if error is None:
                 rhos = backend.apply_gate_density_batch(rhos, first,
                                                         instruction.qubits)
                 continue
             # One fused superoperator pass per gate: the unitary conjugation
             # ``vec(U rho U^dagger) = (U (x) conj(U)) vec(rho)`` composed with
-            # the gate's noise channel.  This halves (noiseless per-sample
-            # gates) or thirds (noisy gates) the number of full-batch tensor
+            # the gate's noise channel thirds the number of full-batch tensor
             # contractions, which dominate the walk on ``2n+1``-qubit matrices.
-            if shared:
-                superop = np.kron(first, first.conj())
-                if error is not None:
-                    superop = error.superoperator @ superop
-                rhos = backend.apply_superoperator_density_batch(
-                    rhos, superop, instruction.qubits
-                )
-            else:
-                gates = np.stack(matrices)
-                local_dim = gates.shape[-1]
-                superops = np.einsum("bij,bkl->bikjl", gates,
-                                     gates.conj()).reshape(
-                    gates.shape[0], local_dim ** 2, local_dim ** 2
-                )
-                if error is not None:
-                    superops = np.matmul(error.superoperator, superops)
-                rhos = backend.apply_superoperators_density_batch(
-                    rhos, superops, instruction.qubits
-                )
+            superop = error.superoperator @ np.kron(first, first.conj())
+            rhos = backend.apply_superoperator_density_batch(
+                rhos, superop, instruction.qubits
+            )
         return rhos
-
-    def _apply_unitary_column(self, rhos: np.ndarray,
-                              circuits: List[QuantumCircuit], position: int,
-                              instruction: Instruction) -> np.ndarray:
-        """Apply one unitary instruction column without channel fusion."""
-        matrices = [circuit.instructions[position].matrix_or_standard()
-                    for circuit in circuits]
-        first = matrices[0]
-        if all(matrix is first or np.array_equal(matrix, first)
-               for matrix in matrices[1:]):
-            return self.backend.apply_gate_density_batch(rhos, first,
-                                                         instruction.qubits)
-        return self.backend.apply_gates_density_batch(rhos, np.stack(matrices),
-                                                      instruction.qubits)
 
     def _apply_initialize_batch(self, rhos: np.ndarray, states: np.ndarray,
                                 qubits: Sequence[int],

@@ -26,6 +26,7 @@ __all__ = [
     "merge_adjacent_rotations",
     "cancel_adjacent_self_inverse",
     "drop_trivial_gates",
+    "optimize_instructions",
     "unitaries_equivalent",
 ]
 
@@ -327,7 +328,16 @@ def _commutes_past(instruction: Instruction, blocker: Instruction) -> bool:
     return not set(instruction.qubits) & set(blocker.qubits)
 
 
-def _optimize(instructions: List[Instruction], rounds: int = 3) -> List[Instruction]:
+def optimize_instructions(instructions: List[Instruction],
+                          rounds: int = 3) -> List[Instruction]:
+    """Run the peephole passes to a fixed point (at most ``rounds`` times).
+
+    Shared by :func:`transpile` and the ahead-of-time circuit compiler in
+    :mod:`repro.quantum.compiler`: the result is unitary-equivalent to the
+    input up to global phase, but *not* bitwise identical (rotation merging
+    re-associates angle sums), so callers that pin bitwise reproducibility
+    keep it off.
+    """
     current = list(instructions)
     for _ in range(rounds):
         before = len(current)
@@ -337,6 +347,10 @@ def _optimize(instructions: List[Instruction], rounds: int = 3) -> List[Instruct
         if len(current) == before:
             break
     return current
+
+
+#: Backwards-compatible alias (the passes predate the public name).
+_optimize = optimize_instructions
 
 
 def transpile(circuit: QuantumCircuit, basis: Sequence[str] = ("rz", "sx", "x", "cx"),
@@ -360,7 +374,7 @@ def transpile(circuit: QuantumCircuit, basis: Sequence[str] = ("rz", "sx", "x", 
     for instruction in circuit.instructions:
         lowered.extend(decompose_instruction(instruction, basis))
     if optimization_level >= 1:
-        lowered = _optimize(lowered)
+        lowered = optimize_instructions(lowered)
     out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
                          name=f"{circuit.name}_transpiled")
     for instruction in lowered:

@@ -55,16 +55,19 @@ NOISE_MODELS = {
 
 
 class TestCheckpointedSweepAgainstReferences:
+    @pytest.mark.parametrize("compile_circuits", [True, False])
     @pytest.mark.parametrize("noise_name", sorted(NOISE_MODELS))
     @pytest.mark.parametrize("gate_level", [False, True])
-    def test_matches_per_sample_reference(self, noise_name, gate_level):
+    def test_matches_per_sample_reference(self, noise_name, gate_level,
+                                          compile_circuits):
         ansatz = RandomAutoencoderAnsatz(2, seed=41)
         batch = make_batch(seed=1)
         noise = NOISE_MODELS[noise_name](5)
         if noise is None and not gate_level:
             pytest.skip("noiseless initialize path never enters the circuit walk")
         engine = DensityMatrixEngine(shots=None, noise_model=noise,
-                                     gate_level_encoding=gate_level)
+                                     gate_level_encoding=gate_level,
+                                     compile_circuits=compile_circuits)
         levels = [0, 1, 2]
         checkpointed = engine.p1_levels_batch(batch, ansatz, levels)
         reference = np.stack([
@@ -74,16 +77,19 @@ class TestCheckpointedSweepAgainstReferences:
         assert checkpointed.shape == (3, batch.shape[0])
         assert np.allclose(checkpointed, reference, atol=1e-10)
 
+    @pytest.mark.parametrize("compile_circuits", [True, False])
     @pytest.mark.parametrize("backend_name", ["numpy", "numpy-float32"])
     @pytest.mark.parametrize("noise_name", sorted(NOISE_MODELS))
     def test_matches_pre_checkpoint_per_level_loop(self, backend_name,
-                                                   noise_name):
+                                                   noise_name,
+                                                   compile_circuits):
         ansatz = RandomAutoencoderAnsatz(2, seed=42)
         batch = make_batch(seed=2)
         noise = NOISE_MODELS[noise_name](5)
         engine = DensityMatrixEngine(shots=None, noise_model=noise,
                                      gate_level_encoding=True,
-                                     simulation_backend=backend_name)
+                                     simulation_backend=backend_name,
+                                     compile_circuits=compile_circuits)
         levels = [0, 1, 2]
         checkpointed = engine.p1_levels_batch(batch, ansatz, levels)
         per_level = np.stack([
@@ -92,8 +98,22 @@ class TestCheckpointedSweepAgainstReferences:
         ])
         # The kernels are row-independent, so splitting the walk at the
         # checkpoint must not change any sample's arithmetic -- on either
-        # precision tier.
+        # precision tier, compiled or interpreted.
         assert np.allclose(checkpointed, per_level, atol=1e-10)
+
+    def test_compiled_sweep_matches_interpreted_sweep(self):
+        """The compiled fast path and the gate-by-gate reference path are the
+        same computation up to operator-fusion reassociation (<= 1e-10)."""
+        ansatz = RandomAutoencoderAnsatz(2, seed=45)
+        batch = make_batch(seed=6)
+        noise = FakeBrisbane(5).to_noise_model()
+        levels = [0, 1, 2]
+        kwargs = dict(shots=None, noise_model=noise, gate_level_encoding=True)
+        compiled = DensityMatrixEngine(**kwargs)
+        interpreted = DensityMatrixEngine(compile_circuits=False, **kwargs)
+        assert np.allclose(compiled.p1_levels_batch(batch, ansatz, levels),
+                           interpreted.p1_levels_batch(batch, ansatz, levels),
+                           atol=1e-10)
 
     def test_shot_noise_rng_stream_is_bitwise_identical(self):
         """The fused sweep consumes the binomial stream in the exact level-major

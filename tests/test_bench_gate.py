@@ -1,0 +1,95 @@
+"""Unit tests for the benchmark perf-regression gate in ``benchmarks/_harness.py``.
+
+The gate itself runs in CI against real timings; these tests pin its diff
+logic (tracked vs untracked benchmarks, tolerance arithmetic, exit codes,
+baseline round-tripping) on synthetic artifacts so the tier-1 suite catches
+harness regressions without running any benchmark.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_HARNESS_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "_harness.py"
+_spec = importlib.util.spec_from_file_location("bench_harness", _HARNESS_PATH)
+harness = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(harness)
+
+
+def write_results(path, means):
+    payload = {"benchmarks": [{"fullname": name, "stats": {"mean": mean}}
+                              for name, mean in means.items()]}
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_diff_flags_only_regressions_beyond_tolerance():
+    baseline = {"benchmarks": {"a": 1.0, "b": 1.0, "c": 1.0}}
+    means = {"a": 1.2, "b": 1.3, "c": 0.5, "untracked": 99.0}
+    regressions, missing = harness.diff_against_baseline(means, baseline,
+                                                         tolerance=0.25)
+    assert missing == []
+    assert [entry[0] for entry in regressions] == ["b"]
+    name, base, measured, slowdown = regressions[0]
+    assert (base, measured) == (1.0, 1.3)
+    assert abs(slowdown - 0.3) < 1e-12
+
+
+def test_missing_tracked_benchmarks_are_reported_not_failed(tmp_path):
+    results = write_results(tmp_path / "results.json", {"a": 1.0})
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(
+        {"benchmarks": {"a": 1.0, "renamed": 1.0}}))
+    assert harness.check(results, baseline_path, tolerance=0.25) == 0
+
+
+def test_gate_fails_closed_on_empty_results(tmp_path):
+    """A misconfigured benchmark run (nothing measured) must not read as a
+    passing gate."""
+    results = write_results(tmp_path / "results.json", {})
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps({"benchmarks": {"a": 1.0}}))
+    assert harness.check(results, baseline_path, tolerance=0.25) == 1
+
+
+def test_check_exit_codes(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps({"benchmarks": {"a": 1.0}}))
+    ok = write_results(tmp_path / "ok.json", {"a": 1.1})
+    bad = write_results(tmp_path / "bad.json", {"a": 1.6})
+    assert harness.check(ok, baseline_path, tolerance=0.25) == 0
+    assert harness.check(bad, baseline_path, tolerance=0.25) == 1
+    # A wider tolerance lets the same artifact pass.
+    assert harness.check(bad, baseline_path, tolerance=1.0) == 0
+
+
+def test_update_round_trips_through_check(tmp_path):
+    results = write_results(tmp_path / "results.json",
+                            {"a": 1.23456789, "b": 0.5})
+    baseline_path = tmp_path / "baseline.json"
+    assert harness.update(results, baseline_path) == 0
+    baseline = harness.load_baseline(baseline_path)
+    assert set(baseline["benchmarks"]) == {"a", "b"}
+    # The freshly recorded baseline gates its own artifact cleanly.
+    assert harness.check(results, baseline_path, tolerance=0.25) == 0
+
+
+def test_cli_main(tmp_path):
+    results = write_results(tmp_path / "results.json", {"a": 1.0})
+    baseline_path = tmp_path / "baseline.json"
+    assert harness.main(["update", str(results),
+                         "--baseline", str(baseline_path)]) == 0
+    assert harness.main(["check", str(results),
+                         "--baseline", str(baseline_path)]) == 0
+    slow = write_results(tmp_path / "slow.json", {"a": 2.0})
+    assert harness.main(["check", str(slow), "--baseline", str(baseline_path),
+                         "--tolerance", "0.25"]) == 1
+
+
+def test_committed_baseline_tracks_real_benchmarks():
+    """The committed BENCH_baseline.json names benchmarks that exist."""
+    baseline = harness.load_baseline()
+    assert baseline["benchmarks"], "the committed baseline must track something"
+    for name in baseline["benchmarks"]:
+        test_file = name.split("::")[0]
+        assert (Path(_HARNESS_PATH).parent.parent / test_file).exists(), name

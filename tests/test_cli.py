@@ -108,6 +108,22 @@ class TestFlagPlumbing:
         assert config.simulation_backend == "numpy-float32"
         assert config.executor == "threads"
         assert config.n_jobs == 3
+        assert config.compile_circuits is True
+
+    def test_no_compile_flag_reaches_quorum_config(self, monkeypatch, capsys):
+        captured = self.capture_config(monkeypatch)
+        assert main(["detect", "--dataset", "power_plant", "--ensembles", "2",
+                     "--shots", "0", "--seed", "2", "--no-compile"]) == 0
+        assert captured["config"].compile_circuits is False
+
+    def test_compiled_and_interpreted_runs_score_identically(self, capsys):
+        """The noiseless CLI path is bitwise unchanged by compilation."""
+        outputs = {}
+        for label, flags in (("compiled", []), ("interpreted", ["--no-compile"])):
+            assert main(["detect", "--dataset", "power_plant", "--ensembles",
+                         "2", "--seed", "5"] + flags) == 0
+            outputs[label] = capsys.readouterr().out
+        assert outputs["compiled"] == outputs["interpreted"]
 
     def test_default_jobs_depend_on_executor_choice(self, monkeypatch, capsys):
         import os

@@ -1,0 +1,112 @@
+"""Serving round trip: ``fit --save-model`` -> ``serve`` -> ``POST /score``.
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_roundtrip.py
+
+Fits a small ensemble, persists it as a versioned model artifact, boots the
+real ``quorum-repro serve`` CLI in a subprocess on an ephemeral localhost
+port, and drives the HTTP API with nothing but the standard library:
+
+1. ``GET /healthz``  -- liveness + model identity,
+2. ``POST /score``   -- score three unseen samples,
+3. ``POST /score`` with ``"mode": "replay"`` -- bit-identical refit-free
+   reproduction of the training-set scores,
+4. ``GET /model``    -- operator diagnostics (compiler cache counters).
+
+CI runs this script as the serving smoke test, so it fails loudly (non-zero
+exit) on any schema or lifecycle regression.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro import QuorumDetector, load_dataset
+from repro.serving import load_model
+
+
+def _post_json(url: str, payload: dict, timeout: float = 60.0) -> dict:
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.load(response)
+
+
+def _get_json(url: str, timeout: float = 30.0) -> dict:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.load(response)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="quorum-serve-"))
+    model_path = workdir / "model.json"
+
+    # 1. Train once: fit the ensemble and persist it as a versioned artifact.
+    dataset = load_dataset("power_plant", seed=0)
+    detector = QuorumDetector(ensemble_groups=12, shots=2048, seed=7,
+                              anomaly_fraction_estimate=0.03)
+    detector.fit(dataset)
+    expected_scores = detector.anomaly_scores()
+    detector.save_model(model_path)
+    artifact = load_model(model_path)
+    print(f"model saved to {model_path} "
+          f"(schema v{artifact.schema_version}, "
+          f"{len(artifact.members)} members)")
+
+    # 2. Serve: boot the real CLI on an ephemeral port (port 0) and scrape
+    #    the bound port from its startup line.
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--model", str(model_path), "--port", "0"],
+        stdout=subprocess.PIPE, text=True)
+    try:
+        startup = server.stdout.readline().strip()
+        base_url = startup.split(" on ")[-1]
+        print(f"server: {startup}")
+
+        # 3. Score many: drive the JSON API with the standard library only.
+        health = _get_json(base_url + "/healthz")
+        assert health["status"] == "ok", health
+        assert health["schema_version"] == artifact.schema_version, health
+
+        unseen = dataset.features_only()[:3]
+        response = _post_json(base_url + "/score",
+                              {"samples": unseen.tolist()})
+        assert response["num_samples"] == 3, response
+        assert len(response["scores"]) == 3, response
+        assert response["mode"] == "reference", response
+        print(f"POST /score -> {[round(s, 2) for s in response['scores']]} "
+              f"({response['num_runs']} runs)")
+
+        replay = _post_json(base_url + "/score",
+                            {"samples": dataset.features_only().tolist(),
+                             "mode": "replay"})
+        replayed = np.asarray(replay["scores"])
+        assert np.array_equal(replayed, expected_scores), (
+            "replay scores diverged from the in-process fit")
+        print(f"POST /score mode=replay -> bitwise identical to fit "
+              f"({replayed.shape[0]} samples)")
+
+        diagnostics = _get_json(base_url + "/model")
+        cache = diagnostics["compiler_cache"]
+        assert {"compiles", "hits", "misses"} <= set(cache), diagnostics
+        print(f"GET /model -> compiler cache: {cache['compiles']} compiles, "
+              f"{cache['hits']} hits over "
+              f"{diagnostics['serving']['requests']} requests")
+    finally:
+        # 4. Shut down cleanly: SIGTERM closes the socket and the scorer.
+        server.terminate()
+        server.wait(timeout=15)
+    assert server.returncode == 0, f"server exited with {server.returncode}"
+    print("server shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,9 @@ Installed as the ``quorum-repro`` console script::
     quorum-repro compare --dataset power_plant    # Quorum vs classical baselines
     quorum-repro experiment table1 fig8 table2    # regenerate paper artifacts
     quorum-repro report --output report.md        # full evaluation report
+    quorum-repro fit --dataset letter --save-model model.json   # train once
+    quorum-repro score --model model.json --csv new.csv         # score many
+    quorum-repro serve --model model.json --port 8765           # HTTP service
 
 Every command prints GitHub-flavoured markdown so output can be pasted straight
 into issues or EXPERIMENTS.md.
@@ -59,26 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     detect = subparsers.add_parser("detect", help="run Quorum on a dataset")
     _add_data_arguments(detect)
-    detect.add_argument("--ensembles", type=int, default=50,
-                        help="number of ensemble members (paper: 1000)")
-    detect.add_argument("--shots", type=int, default=4096,
-                        help="shots per circuit; 0 means exact probabilities")
-    detect.add_argument("--qubits", type=int, default=3,
-                        help="encoding qubits n (circuits use 2n+1 qubits)")
-    detect.add_argument("--bucket-probability", type=float, default=0.75,
-                        help="target probability of >=1 anomaly per bucket")
-    detect.add_argument("--anomaly-fraction", type=float, default=None,
-                        help="estimated anomaly fraction (default: 0.05)")
-    detect.add_argument("--backend", choices=("analytic", "density_matrix",
-                                              "statevector"), default="analytic")
-    detect.add_argument("--simulation-backend",
-                        choices=available_simulation_backends(), default="numpy",
-                        help="batched numerical kernel implementation the "
-                             "engines run on")
-    detect.add_argument("--noisy", action="store_true",
-                        help="apply the Brisbane-like noise model "
-                             "(requires --backend density_matrix)")
-    detect.add_argument("--seed", type=int, default=1234)
+    _add_detector_arguments(detect)
     detect.add_argument("--top", type=int, default=10,
                         help="how many top-scoring samples to list")
     _add_executor_arguments(detect)
@@ -112,7 +96,87 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also dump machine-readable results to this path")
     _add_executor_arguments(report)
 
+    fit = subparsers.add_parser(
+        "fit", help="fit Quorum and persist the ensemble as a model artifact")
+    _add_data_arguments(fit)
+    _add_detector_arguments(fit)
+    fit.add_argument("--save-model", type=str, required=True, metavar="PATH",
+                     help="write the versioned model bundle to this path")
+    _add_executor_arguments(fit)
+
+    score = subparsers.add_parser(
+        "score", help="score samples against a saved model without refitting")
+    score.add_argument("--model", type=str, required=True, metavar="PATH",
+                       help="model bundle written by `fit --save-model`")
+    _add_data_arguments(score)
+    score.add_argument("--mode", choices=("reference", "replay"),
+                       default="reference",
+                       help="'reference' scores against frozen fit-time bucket "
+                            "statistics; 'replay' requires the exact training "
+                            "set and reproduces the fit scores bitwise")
+    score.add_argument("--top", type=int, default=10,
+                       help="how many top-scoring samples to list")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a saved model over a stdlib-only HTTP JSON API")
+    serve.add_argument("--model", type=str, required=True, metavar="PATH",
+                       help="model bundle written by `fit --save-model`")
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port; 0 binds an ephemeral port (printed on "
+                            "startup)")
+    serve.add_argument("--max-batch-samples", type=int, default=512,
+                       help="sample budget of one coalesced micro-batch")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help="how long to wait for concurrent requests to "
+                            "coalesce before executing a batch")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+
     return parser
+
+
+def _add_detector_arguments(parser: argparse.ArgumentParser) -> None:
+    """Detector knobs shared by the commands that fit an ensemble."""
+    parser.add_argument("--ensembles", type=int, default=50,
+                        help="number of ensemble members (paper: 1000)")
+    parser.add_argument("--shots", type=int, default=4096,
+                        help="shots per circuit; 0 means exact probabilities")
+    parser.add_argument("--qubits", type=int, default=3,
+                        help="encoding qubits n (circuits use 2n+1 qubits)")
+    parser.add_argument("--bucket-probability", type=float, default=0.75,
+                        help="target probability of >=1 anomaly per bucket")
+    parser.add_argument("--anomaly-fraction", type=float, default=None,
+                        help="estimated anomaly fraction (default: 0.05)")
+    parser.add_argument("--backend", choices=("analytic", "density_matrix",
+                                              "statevector"),
+                        default="analytic")
+    parser.add_argument("--simulation-backend",
+                        choices=available_simulation_backends(), default="numpy",
+                        help="batched numerical kernel implementation the "
+                             "engines run on")
+    parser.add_argument("--noisy", action="store_true",
+                        help="apply the Brisbane-like noise model "
+                             "(requires --backend density_matrix)")
+    parser.add_argument("--seed", type=int, default=1234)
+
+
+def _build_detector(args: argparse.Namespace) -> QuorumDetector:
+    """One QuorumDetector from the shared detector + executor flags."""
+    return QuorumDetector(
+        num_qubits=args.qubits,
+        ensemble_groups=args.ensembles,
+        shots=None if args.shots == 0 else args.shots,
+        bucket_probability=args.bucket_probability,
+        anomaly_fraction_estimate=args.anomaly_fraction,
+        backend=args.backend,
+        simulation_backend=args.simulation_backend,
+        compile_circuits=not args.no_compile,
+        noisy=args.noisy,
+        seed=args.seed,
+        executor=args.executor,
+        n_jobs=_resolve_jobs(args),
+    )
 
 
 def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
@@ -145,6 +209,10 @@ def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--csv", type=str, help="path to a CSV file")
     parser.add_argument("--label-column", type=str, default="label",
                         help="label column name for --csv input")
+    parser.add_argument("--no-labels", action="store_true",
+                        help="treat the --csv file as unlabeled (every column "
+                             "is a feature; metrics that need labels are "
+                             "skipped)")
     parser.add_argument("--data-seed", type=int, default=0,
                         help="generation seed for the synthetic Table I datasets")
 
@@ -152,7 +220,23 @@ def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
 def _load_data(args: argparse.Namespace) -> Dataset:
     if args.dataset:
         return load_dataset(args.dataset, seed=args.data_seed)
-    return load_dataset_csv(args.csv, label_column=args.label_column)
+    label_column = None if args.no_labels else args.label_column
+    return load_dataset_csv(args.csv, label_column=label_column)
+
+
+def _load_data_checked(args: argparse.Namespace) -> Optional[Dataset]:
+    """Like :func:`_load_data`, but turn load failures into a clean message.
+
+    Returns ``None`` after printing to stderr; callers exit 2.
+    """
+    try:
+        return _load_data(args)
+    except (OSError, ValueError) as error:
+        hint = ""
+        if "label column" in str(error) and not args.no_labels:
+            hint = " (for an unlabeled CSV, pass --no-labels)"
+        print(f"cannot load data: {error}{hint}", file=sys.stderr)
+        return None
 
 
 def _command_datasets(_: argparse.Namespace) -> int:
@@ -168,22 +252,10 @@ def _command_datasets(_: argparse.Namespace) -> int:
 
 
 def _command_detect(args: argparse.Namespace) -> int:
-    dataset = _load_data(args)
-    shots = None if args.shots == 0 else args.shots
-    detector = QuorumDetector(
-        num_qubits=args.qubits,
-        ensemble_groups=args.ensembles,
-        shots=shots,
-        bucket_probability=args.bucket_probability,
-        anomaly_fraction_estimate=args.anomaly_fraction,
-        backend=args.backend,
-        simulation_backend=args.simulation_backend,
-        compile_circuits=not args.no_compile,
-        noisy=args.noisy,
-        seed=args.seed,
-        executor=args.executor,
-        n_jobs=_resolve_jobs(args),
-    )
+    dataset = _load_data_checked(args)
+    if dataset is None:
+        return 2
+    detector = _build_detector(args)
     detector.fit(dataset)
     scores = detector.anomaly_scores()
 
@@ -197,18 +269,25 @@ def _command_detect(args: argparse.Namespace) -> int:
             [(f"{report.precision:.3f}", f"{report.recall:.3f}",
               f"{report.f1:.3f}", f"{report.accuracy:.3f}",
               f"{curve.rate_at(0.10):.2f}", f"{curve.rate_at(0.20):.2f}")]))
-    print(f"\nTop {args.top} samples by anomaly score:")
+    _print_top_samples(scores, dataset, args.top)
+    return 0
+
+
+def _print_top_samples(scores, dataset: Dataset, top: int) -> None:
+    """The shared 'Top N samples by anomaly score' table (detect and score)."""
+    print(f"\nTop {top} samples by anomaly score:")
     rows = []
-    for index in detector.ranking()[: args.top]:
+    for index in scores.argsort()[::-1][:top]:
         label = "anomaly" if dataset.labels[index] else "normal"
         rows.append((int(index), f"{scores[index]:.2f}",
                      label if dataset.num_anomalies else "?"))
     print(markdown_table(["sample", "score", "true label"], rows))
-    return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    dataset = _load_data(args)
+    dataset = _load_data_checked(args)
+    if dataset is None:
+        return 2
     if dataset.num_anomalies == 0:
         print("the compare command needs labeled data to report metrics",
               file=sys.stderr)
@@ -261,6 +340,82 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fit(args: argparse.Namespace) -> int:
+    dataset = _load_data_checked(args)
+    if dataset is None:
+        return 2
+    detector = _build_detector(args)
+    detector.fit(dataset)
+    path = detector.save_model(args.save_model)
+    diagnostics = detector.diagnostics()
+    print(f"model saved to {path}")
+    print(markdown_table(
+        ["Samples", "Members", "Runs", "Bucket size", "Backend", "Noisy"],
+        [(diagnostics["num_samples"], args.ensembles, diagnostics["num_runs"],
+          diagnostics["bucket_size"], args.backend, args.noisy)]))
+    return 0
+
+
+def _command_score(args: argparse.Namespace) -> int:
+    from repro.serving.artifact import ArtifactError, load_model
+    from repro.serving.scorer import OnlineScorer
+
+    dataset = _load_data_checked(args)
+    if dataset is None:
+        return 2
+    try:
+        artifact = load_model(args.model)
+    except ArtifactError as error:
+        print(f"cannot load model: {error}", file=sys.stderr)
+        return 2
+    with OnlineScorer(artifact) as scorer:
+        try:
+            result = scorer.score(dataset.features_only(), mode=args.mode)
+        except (ValueError, ArtifactError) as error:
+            print(f"scoring failed: {error}", file=sys.stderr)
+            return 2
+    scores = result.scores
+    print(f"Scored {result.num_samples} samples against "
+          f"{len(artifact.members)} frozen members "
+          f"({result.num_runs} runs, mode={result.mode})")
+    _print_top_samples(scores, dataset, args.top)
+    if dataset.num_anomalies > 0:
+        report = evaluate_top_k(scores, dataset.labels, dataset.num_anomalies)
+        print(markdown_table(
+            ["Precision", "Recall", "F1", "Accuracy"],
+            [(f"{report.precision:.3f}", f"{report.recall:.3f}",
+              f"{report.f1:.3f}", f"{report.accuracy:.3f}")]))
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serving.artifact import ArtifactError
+    from repro.serving.server import run_server
+
+    def _terminate(signum, frame):  # noqa: ARG001 - signal API
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        return run_server(
+            args.model, host=args.host, port=args.port,
+            quiet=not args.verbose,
+            scorer_kwargs={
+                "max_batch_samples": args.max_batch_samples,
+                "batch_window_s": args.batch_window_ms / 1000.0,
+            },
+        )
+    except ArtifactError as error:
+        print(f"cannot load model: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        # Invalid batching flags (--max-batch-samples 0, negative window).
+        print(f"cannot start server: {error}", file=sys.stderr)
+        return 2
+
+
 def _command_report(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(ensemble_groups=args.ensembles, seed=args.seed,
                                   compile_circuits=not args.no_compile,
@@ -280,6 +435,9 @@ _COMMANDS = {
     "compare": _command_compare,
     "experiment": _command_experiment,
     "report": _command_report,
+    "fit": _command_fit,
+    "score": _command_score,
+    "serve": _command_serve,
 }
 
 

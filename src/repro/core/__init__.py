@@ -13,9 +13,15 @@ from repro.core.execution import (
     DensityMatrixEngine,
     StatevectorEngine,
     SwapTestEngine,
+    apply_shot_noise,
     make_engine,
 )
-from repro.core.scoring import AnomalyScores, bucket_deviations
+from repro.core.scoring import (
+    AnomalyScores,
+    bucket_deviations,
+    bucket_statistics,
+    reference_deviations,
+)
 from repro.core.ensemble import (
     EnsembleMemberResult,
     MemberPlan,
@@ -27,6 +33,7 @@ from repro.core.parallel import (
     ExecutorStrategy,
     available_executors,
     get_executor,
+    plan_members,
     run_ensemble_members,
 )
 from repro.core.detector import QuorumDetector
@@ -42,12 +49,16 @@ __all__ = [
     "AnalyticEngine",
     "DensityMatrixEngine",
     "StatevectorEngine",
+    "apply_shot_noise",
     "make_engine",
     "AnomalyScores",
     "bucket_deviations",
+    "bucket_statistics",
+    "reference_deviations",
     "EnsembleMemberResult",
     "MemberPlan",
     "plan_member",
+    "plan_members",
     "execute_member",
     "run_ensemble_member",
     "ExecutorStrategy",

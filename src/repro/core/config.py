@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.quantum.backend import available_simulation_backends
 
@@ -189,6 +189,38 @@ class QuorumConfig:
     def with_overrides(self, **overrides: object) -> "QuorumConfig":
         """A copy of the config with the given fields replaced."""
         return replace(self, **overrides)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Every config field as a JSON-friendly mapping.
+
+        Unlike :meth:`describe` (a human-readable summary), this covers *all*
+        fields and round-trips exactly through :meth:`from_dict`, which is what
+        the serving artifact layer persists.
+        """
+        payload: Dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "QuorumConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected loudly: a silently dropped knob in a loaded
+        model artifact would change scoring behaviour without any error.
+        """
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown QuorumConfig fields: {', '.join(unknown)}")
+        values = dict(payload)
+        levels = values.get("compression_levels")
+        if levels is not None:
+            values["compression_levels"] = tuple(int(level) for level in levels)
+        return cls(**values)  # type: ignore[arg-type]
 
     def describe(self) -> Dict[str, object]:
         """Readable summary used by examples and the benchmark harness."""

@@ -7,13 +7,14 @@ after which ``anomaly_scores`` / ``detect`` expose the results.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.core.bucketing import bucket_size_for_probability
 from repro.core.config import QuorumConfig
-from repro.core.ensemble import EnsembleMemberResult
+from repro.core.ensemble import EnsembleMemberResult, MemberPlan
 from repro.core.parallel import derive_member_seeds, run_ensemble_members
 from repro.core.scoring import AnomalyScores
 from repro.data.dataset import Dataset
@@ -51,6 +52,7 @@ class QuorumDetector:
         self.normalizer: Optional[QuorumNormalizer] = None
         self._scores: Optional[AnomalyScores] = None
         self._member_results: List[EnsembleMemberResult] = []
+        self._member_plans: List[MemberPlan] = []
         self._num_samples: Optional[int] = None
 
     # ----------------------------------------------------------------- fitting
@@ -75,8 +77,9 @@ class QuorumDetector:
             self.config.bucket_probability,
         )
         seeds = derive_member_seeds(self.config.seed, self.config.ensemble_groups)
-        results = run_ensemble_members(normalized, self.config, seeds,
-                                       bucket_size=bucket_size)
+        results, plans = run_ensemble_members(normalized, self.config, seeds,
+                                              bucket_size=bucket_size,
+                                              return_plans=True)
 
         total = np.zeros(num_samples)
         runs = 0
@@ -84,6 +87,7 @@ class QuorumDetector:
             total += result.deviations
             runs += result.num_runs
         self._member_results = results
+        self._member_plans = plans
         self._num_samples = num_samples
         self._scores = AnomalyScores(
             scores=total,
@@ -148,6 +152,29 @@ class QuorumDetector:
         """Per-member diagnostics (feature subsets, bucket counts, P(1) stats)."""
         self._require_fitted()
         return list(self._member_results)
+
+    def member_plans(self) -> List[MemberPlan]:
+        """The executed member plans, in member order.
+
+        Each plan carries the member's frozen configuration (feature subset,
+        buckets, ansatz angles) plus the post-planning RNG snapshot
+        (``plan.rng_state``); together with the per-member bucket reference
+        statistics in :meth:`member_results` this is everything
+        :mod:`repro.serving.artifact` persists.
+        """
+        self._require_fitted()
+        return list(self._member_plans)
+
+    def save_model(self, path: Union[str, Path]) -> Path:
+        """Persist the fitted ensemble as a versioned serving artifact.
+
+        Convenience wrapper around :func:`repro.serving.artifact.save_model`;
+        the saved bundle restores an online scorer in a fresh process without
+        refitting (see :mod:`repro.serving`).
+        """
+        from repro.serving.artifact import save_model
+
+        return save_model(self, path)
 
     def diagnostics(self) -> Dict[str, object]:
         """Run-level diagnostics: bucket size, runs, score distribution summary."""

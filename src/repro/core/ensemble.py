@@ -37,6 +37,7 @@ convenience wrapper (plan + execute).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -47,7 +48,7 @@ from repro.core.bucketing import BucketAssignment, assign_buckets, bucket_size_f
 from repro.core.config import QuorumConfig
 from repro.core.execution import SwapTestEngine, make_engine
 from repro.core.feature_selection import select_feature_subset
-from repro.core.scoring import bucket_deviations
+from repro.core.scoring import bucket_deviations, bucket_statistics
 
 __all__ = [
     "EnsembleMemberResult",
@@ -101,6 +102,10 @@ class EnsembleMemberResult:
         Number of (compression level) runs contributing to ``deviations``.
     p1_statistics:
         Per-compression-level mean/std of the raw SWAP-test outputs (diagnostics).
+    bucket_statistics:
+        Per-compression-level per-bucket ``(means, stds)`` of the raw SWAP-test
+        outputs -- the frozen reference a serving artifact scores unseen
+        samples against (see :mod:`repro.serving.artifact`).
     """
 
     member_index: int
@@ -110,6 +115,8 @@ class EnsembleMemberResult:
     num_buckets: int
     num_runs: int
     p1_statistics: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    bucket_statistics: Dict[int, Tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict)
 
 
 @dataclass
@@ -138,6 +145,11 @@ class MemberPlan:
         The member's random encoder/decoder pair (angles drawn at planning time).
     rng:
         Member RNG positioned immediately after the planning draws.
+    rng_state:
+        Immutable snapshot of ``rng``'s bit-generator state taken at planning
+        time.  Execution advances ``rng`` in place (shot noise), so this
+        snapshot is what a serving artifact persists: restoring a generator
+        from it replays the member's shot-noise stream bit for bit.
     """
 
     member_index: int
@@ -147,6 +159,7 @@ class MemberPlan:
     buckets: BucketAssignment
     ansatz: RandomAutoencoderAnsatz
     rng: np.random.Generator
+    rng_state: Optional[Dict[str, object]] = None
 
 
 def plan_member(num_samples: int, num_features: int, config: QuorumConfig,
@@ -185,6 +198,7 @@ def plan_member(num_samples: int, num_features: int, config: QuorumConfig,
         buckets=buckets,
         ansatz=ansatz,
         rng=rng,
+        rng_state=copy.deepcopy(rng.bit_generator.state),
     )
 
 
@@ -217,10 +231,14 @@ def execute_member(normalized_data: np.ndarray, plan: MemberPlan,
 
     deviations = np.zeros(normalized_data.shape[0])
     statistics: Dict[int, Tuple[float, float]] = {}
+    references: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
     for position, level in enumerate(levels):
         level_p1 = p1_values[position]
         statistics[level] = (float(np.mean(level_p1)), float(np.std(level_p1)))
-        deviations += bucket_deviations(level_p1, plan.buckets)
+        level_reference = bucket_statistics(level_p1, plan.buckets)
+        references[level] = level_reference
+        deviations += bucket_deviations(level_p1, plan.buckets,
+                                        statistics=level_reference)
 
     return EnsembleMemberResult(
         member_index=plan.member_index,
@@ -230,6 +248,7 @@ def execute_member(normalized_data: np.ndarray, plan: MemberPlan,
         num_buckets=plan.buckets.num_buckets,
         num_runs=len(levels),
         p1_statistics=statistics,
+        bucket_statistics=references,
     )
 
 

@@ -65,8 +65,25 @@ __all__ = [
     "AnalyticEngine",
     "DensityMatrixEngine",
     "StatevectorEngine",
+    "apply_shot_noise",
     "make_engine",
 ]
+
+
+def apply_shot_noise(exact_p1: np.ndarray, shots: Optional[int],
+                     rng: np.random.Generator) -> np.ndarray:
+    """Replace exact probabilities with binomial shot estimates.
+
+    This is the single source of truth for how every engine converts exact
+    probabilities into shot estimates: one elementwise binomial draw over the
+    clipped array, consuming ``rng`` in C order.  The online scorer
+    (:mod:`repro.serving.scorer`) calls it directly with a restored member RNG
+    so that serving-time shot noise is bit-identical to fit-time shot noise.
+    """
+    if shots is None:
+        return exact_p1
+    clipped = np.clip(exact_p1, 0.0, 1.0)
+    return rng.binomial(shots, clipped) / float(shots)
 
 
 class SwapTestEngine(ABC):
@@ -166,11 +183,7 @@ class SwapTestEngine(ABC):
 
     def _apply_shot_noise(self, exact_p1: np.ndarray) -> np.ndarray:
         """Replace exact probabilities with binomial shot estimates."""
-        if self.shots is None:
-            return exact_p1
-        clipped = np.clip(exact_p1, 0.0, 1.0)
-        sampled = self.rng.binomial(self.shots, clipped) / float(self.shots)
-        return sampled
+        return apply_shot_noise(exact_p1, self.shots, self.rng)
 
     def _encoder_unitary(self, ansatz: RandomAutoencoderAnsatz) -> np.ndarray:
         """The member's dense encoder ``E`` -- the compiled pure-state program.
@@ -512,7 +525,8 @@ def make_engine(backend: str, shots: Optional[int],
                 gate_level_encoding: bool = False,
                 num_qubits: int = 3,
                 simulation_backend: Union[str, SimulationBackend, None] = None,
-                compile_circuits: bool = True
+                compile_circuits: bool = True,
+                compiler: Optional[CircuitCompiler] = None
                 ) -> SwapTestEngine:
     """Factory used by the detector to build the configured engine.
 
@@ -520,7 +534,9 @@ def make_engine(backend: str, shots: Optional[int],
     / ``statevector``); ``simulation_backend`` selects the *numerical kernel
     implementation* those engines run on (see :mod:`repro.quantum.backend`);
     ``compile_circuits`` selects between compiled-program execution (default)
-    and the gate-by-gate interpreted reference paths.
+    and the gate-by-gate interpreted reference paths; ``compiler`` overrides
+    the process-wide shared compiled-program cache (the online scorer passes a
+    private instance in tests so cache counters can be asserted in isolation).
     """
     backend = backend.lower()
     if backend == "analytic":
@@ -528,6 +544,7 @@ def make_engine(backend: str, shots: Optional[int],
             raise ValueError("the analytic engine cannot model hardware noise")
         return AnalyticEngine(shots=shots, rng=rng,
                               simulation_backend=simulation_backend,
+                              compiler=compiler,
                               compile_circuits=compile_circuits)
     if backend == "density_matrix":
         noise_model = None
@@ -536,11 +553,13 @@ def make_engine(backend: str, shots: Optional[int],
         return DensityMatrixEngine(shots=shots, rng=rng, noise_model=noise_model,
                                    gate_level_encoding=gate_level_encoding or noisy,
                                    simulation_backend=simulation_backend,
+                                   compiler=compiler,
                                    compile_circuits=compile_circuits)
     if backend == "statevector":
         if noisy:
             raise ValueError("the statevector engine cannot model hardware noise")
         return StatevectorEngine(shots=shots or 1024, rng=rng,
                                  simulation_backend=simulation_backend,
+                                 compiler=compiler,
                                  compile_circuits=compile_circuits)
     raise ValueError(f"unknown backend {backend!r}")

@@ -50,6 +50,7 @@ __all__ = [
     "ProcessExecutor",
     "available_executors",
     "get_executor",
+    "plan_members",
     "run_ensemble_members",
     "derive_member_seeds",
 ]
@@ -192,23 +193,42 @@ def get_executor(name: str) -> ExecutorStrategy:
     return _EXECUTORS[key]()
 
 
+def plan_members(num_samples: int, num_features: int, config: QuorumConfig,
+                 seeds: Sequence[int],
+                 bucket_size: Optional[int] = None) -> List[MemberPlan]:
+    """Build one :class:`~repro.core.ensemble.MemberPlan` per seed, in order.
+
+    Planning is deterministic in the dataset *shape* and the seeds, so the same
+    call always reproduces the same plans (feature subsets, buckets, ansatz
+    angles, and post-planning RNG snapshots).
+    """
+    return [
+        plan_member(num_samples, num_features, config, index, seed,
+                    bucket_size=bucket_size)
+        for index, seed in enumerate(seeds)
+    ]
+
+
 def run_ensemble_members(normalized_data: np.ndarray, config: QuorumConfig,
                          seeds: Sequence[int],
-                         bucket_size: Optional[int] = None
-                         ) -> List[EnsembleMemberResult]:
+                         bucket_size: Optional[int] = None,
+                         return_plans: bool = False):
     """Plan every ensemble member, then execute the plans on the configured
-    executor strategy (falling back to serial when a pool cannot be created)."""
+    executor strategy (falling back to serial when a pool cannot be created).
+
+    With ``return_plans=True`` the return value is ``(results, plans)``, where
+    ``plans`` are the executed plans in member order -- the detector hands them
+    to :mod:`repro.serving.artifact` so a fitted model can be persisted with
+    each member's exact configuration and post-planning RNG snapshot.
+    """
     normalized_data = np.asarray(normalized_data, dtype=float)
     if normalized_data.ndim != 2:
         raise ValueError("normalized_data must be 2-D")
     num_samples, num_features = normalized_data.shape
 
     def build_plans() -> List[MemberPlan]:
-        return [
-            plan_member(num_samples, num_features, config, index, seed,
-                        bucket_size=bucket_size)
-            for index, seed in enumerate(seeds)
-        ]
+        return plan_members(num_samples, num_features, config, seeds,
+                            bucket_size=bucket_size)
 
     plans = build_plans()
     if config.n_jobs <= 1 or len(plans) <= 1:
@@ -235,7 +255,10 @@ def run_ensemble_members(normalized_data: np.ndarray, config: QuorumConfig,
         # Re-plan before the serial pass: a strategy that executed some members
         # before failing advanced those plans' RNGs, and reusing them would
         # silently break the fixed-seed bit-identity guarantee.
-        results = SerialExecutor().run(normalized_data, build_plans(), config)
+        plans = build_plans()
+        results = SerialExecutor().run(normalized_data, plans, config)
     logger.info("ensemble of %d members executed with the %r executor",
                 len(plans), used)
+    if return_plans:
+        return results, plans
     return results

@@ -10,23 +10,29 @@ the "sum absolute std. deviation" score plotted in Fig. 10.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.bucketing import BucketAssignment
 
-__all__ = ["bucket_deviations", "AnomalyScores"]
+__all__ = [
+    "bucket_deviations",
+    "bucket_statistics",
+    "reference_deviations",
+    "AnomalyScores",
+]
 
 _MIN_STD = 1e-12
 
 
-def bucket_deviations(p1_values: np.ndarray,
-                      buckets: BucketAssignment) -> np.ndarray:
-    """Absolute per-sample z-scores of ``p1_values`` within their buckets.
+def bucket_statistics(p1_values: np.ndarray, buckets: BucketAssignment
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-bucket ``(means, stds)`` of ``p1_values``.
 
-    Buckets whose standard deviation vanishes (e.g. all-identical outputs)
-    contribute zero for every member, since no sample deviates from the rest.
+    These are the *reference statistics* a serving artifact freezes at fit
+    time: a previously unseen sample is later scored against them with
+    :func:`reference_deviations` instead of recomputing in-batch statistics.
     """
     p1_values = np.asarray(p1_values, dtype=float).ravel()
     if buckets.num_samples != p1_values.shape[0]:
@@ -34,15 +40,69 @@ def bucket_deviations(p1_values: np.ndarray,
             f"bucket assignment covers {buckets.num_samples} samples but "
             f"{p1_values.shape[0]} P(1) values were provided"
         )
+    means = np.empty(buckets.num_buckets)
+    stds = np.empty(buckets.num_buckets)
+    for position, bucket in enumerate(buckets.buckets):
+        values = p1_values[np.asarray(bucket, dtype=int)]
+        means[position] = values.mean()
+        stds[position] = values.std()
+    return means, stds
+
+
+def bucket_deviations(p1_values: np.ndarray, buckets: BucketAssignment,
+                      statistics: Optional[Tuple[np.ndarray, np.ndarray]] = None
+                      ) -> np.ndarray:
+    """Absolute per-sample z-scores of ``p1_values`` within their buckets.
+
+    Buckets whose standard deviation vanishes (e.g. all-identical outputs)
+    contribute zero for every member, since no sample deviates from the rest.
+    ``statistics`` accepts the precomputed output of :func:`bucket_statistics`
+    for the same ``(p1_values, buckets)`` pair so callers that need both (the
+    ensemble executor records reference statistics for serving) do not compute
+    the bucket moments twice.
+    """
+    p1_values = np.asarray(p1_values, dtype=float).ravel()
+    if buckets.num_samples != p1_values.shape[0]:
+        raise ValueError(
+            f"bucket assignment covers {buckets.num_samples} samples but "
+            f"{p1_values.shape[0]} P(1) values were provided"
+        )
+    if statistics is None:
+        statistics = bucket_statistics(p1_values, buckets)
+    means, stds = statistics
     deviations = np.zeros_like(p1_values)
-    for bucket in buckets.buckets:
-        indices = np.asarray(bucket, dtype=int)
-        values = p1_values[indices]
-        std = values.std()
-        if std < _MIN_STD:
+    for position, bucket in enumerate(buckets.buckets):
+        if stds[position] < _MIN_STD:
             continue
-        deviations[indices] = np.abs(values - values.mean()) / std
+        indices = np.asarray(bucket, dtype=int)
+        deviations[indices] = (np.abs(p1_values[indices] - means[position])
+                               / stds[position])
     return deviations
+
+
+def reference_deviations(p1_values: np.ndarray, means: np.ndarray,
+                         stds: np.ndarray) -> np.ndarray:
+    """Deviations of (possibly unseen) samples against frozen bucket statistics.
+
+    At fit time a sample belongs to exactly one random bucket and contributes
+    its absolute z-score within it.  A sample scored *online* has no bucket, so
+    its deviation is the expectation of that rule under a uniformly random
+    bucket assignment: the mean over buckets of ``|p1 - mean_b| / std_b``, with
+    degenerate buckets (vanishing std) contributing zero exactly as they do in
+    :func:`bucket_deviations`.
+    """
+    p1_values = np.asarray(p1_values, dtype=float).ravel()
+    means = np.asarray(means, dtype=float).ravel()
+    stds = np.asarray(stds, dtype=float).ravel()
+    if means.shape != stds.shape:
+        raise ValueError("means and stds must have the same length")
+    if means.size == 0:
+        raise ValueError("reference statistics cannot be empty")
+    live = stds >= _MIN_STD
+    if not np.any(live):
+        return np.zeros_like(p1_values)
+    scores = np.abs(p1_values[:, None] - means[None, live]) / stds[None, live]
+    return scores.sum(axis=1) / float(means.size)
 
 
 @dataclass

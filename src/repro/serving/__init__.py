@@ -1,0 +1,49 @@
+"""Serving subsystem: persistent model artifacts + online micro-batched scoring.
+
+The batch pipeline (``QuorumDetector.fit``) is a train-once step; this package
+is the score-many half:
+
+* :mod:`repro.serving.artifact` -- ``save_model`` / ``load_model`` persist a
+  fitted ensemble (member plans, RNG snapshots, bucket reference statistics)
+  as a versioned JSON bundle that restores in a fresh process without
+  refitting.
+* :mod:`repro.serving.scorer` -- :class:`OnlineScorer` scores unseen samples
+  against the frozen ensemble, coalescing concurrent requests into fused
+  micro-batches while keeping results bitwise independent of batching.
+* :mod:`repro.serving.server` -- the stdlib-only ``quorum-repro serve`` HTTP
+  JSON API (``POST /score``, ``GET /healthz``, ``GET /model``).
+"""
+
+from repro.serving.artifact import (
+    ARTIFACT_FORMAT,
+    SCHEMA_VERSION,
+    ArtifactCorruptError,
+    ArtifactDtypeError,
+    ArtifactError,
+    ArtifactVersionError,
+    MemberArtifact,
+    ModelArtifact,
+    load_model,
+    save_model,
+)
+from repro.serving.scorer import SCORING_MODES, OnlineScorer, ScoreResult
+from repro.serving.server import QuorumHTTPServer, build_server, run_server
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "SCHEMA_VERSION",
+    "ArtifactError",
+    "ArtifactCorruptError",
+    "ArtifactVersionError",
+    "ArtifactDtypeError",
+    "MemberArtifact",
+    "ModelArtifact",
+    "save_model",
+    "load_model",
+    "SCORING_MODES",
+    "OnlineScorer",
+    "ScoreResult",
+    "QuorumHTTPServer",
+    "build_server",
+    "run_server",
+]

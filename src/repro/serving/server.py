@@ -1,0 +1,188 @@
+"""The ``quorum-repro serve`` HTTP service (stdlib only).
+
+A thin JSON API over :class:`~repro.serving.scorer.OnlineScorer`:
+
+* ``POST /score`` -- body ``{"samples": [[...], ...], "mode": "reference"}``;
+  responds with ``{"scores": [...], "num_runs": ..., "mode": ...,
+  "num_samples": ...}``.  Concurrent requests are coalesced by the scorer's
+  micro-batching queue (the server is a ``ThreadingHTTPServer``, so each HTTP
+  request runs on its own thread and blocks on its own future).
+* ``GET /healthz`` -- liveness probe with the loaded model's identity.
+* ``GET /model`` -- the scorer's full diagnostics: ensemble summary, artifact
+  schema version, serving counters, and compiler cache hit/miss counters so
+  operators can verify warm-cache serving.
+
+No dependency beyond the Python standard library is introduced on either the
+server or the client side; the CI smoke test drives the service with
+``urllib``.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.serving.artifact import ModelArtifact, load_model
+from repro.serving.scorer import OnlineScorer
+
+__all__ = ["QuorumHTTPServer", "build_server", "run_server"]
+
+#: Largest accepted request body; /score payloads are sample matrices, so a
+#: megabyte-scale bound guards the JSON parser without limiting real use.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: How long one /score request may wait on its future before the server gives
+#: up (the scorer executes batches promptly; this only bounds pathological
+#: stalls so a client never hangs forever).
+SCORE_TIMEOUT_S = 300.0
+
+
+class QuorumHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server owning the scorer it serves."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], scorer: OnlineScorer,
+                 quiet: bool = True) -> None:
+        self.scorer = scorer
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+    def shutdown(self) -> None:  # pragma: no cover - exercised via clients
+        super().shutdown()
+        self.scorer.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: QuorumHTTPServer
+
+    # ------------------------------------------------------------------ plumbing
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # ------------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            summary = self.server.scorer.artifact.summary()
+            self._send_json(200, {
+                "status": "ok",
+                "format": summary["format"],
+                "schema_version": summary["schema_version"],
+                "ensemble_groups": summary["ensemble_groups"],
+            })
+        elif self.path == "/model":
+            self._send_json(200, self.server.scorer.diagnostics())
+        else:
+            self._error(404, f"unknown path {self.path!r}; "
+                             "try /score, /healthz, or /model")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/score":
+            self._error(404, f"unknown path {self.path!r}; POST /score")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "invalid Content-Length")
+            return
+        if length <= 0:
+            self._error(400, "POST /score requires a JSON body")
+            return
+        if length > MAX_BODY_BYTES:
+            self._error(413, "request body too large")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            self._error(400, f"invalid JSON body: {error}")
+            return
+        if not isinstance(payload, dict) or "samples" not in payload:
+            self._error(400, 'body must be an object with a "samples" matrix')
+            return
+        mode = payload.get("mode", "reference")
+        try:
+            future = self.server.scorer.submit(payload["samples"], mode=mode)
+        except (TypeError, ValueError) as error:
+            self._error(400, str(error))
+            return
+        try:
+            result = future.result(timeout=SCORE_TIMEOUT_S)
+        except FutureTimeoutError:
+            # Cancel so the worker can skip the orphaned request instead of
+            # burning a batch slot on a response nobody will read.
+            future.cancel()
+            self._error(504, f"scoring timed out after {SCORE_TIMEOUT_S:.0f}s")
+            return
+        except (TypeError, ValueError) as error:
+            self._error(400, str(error))
+            return
+        except Exception as error:  # pragma: no cover - defensive
+            self._error(500, f"scoring failed: {error}")
+            return
+        self._send_json(200, {
+            "scores": result.scores.tolist(),
+            "num_runs": result.num_runs,
+            "num_samples": result.num_samples,
+            "mode": result.mode,
+            "schema_version": self.server.scorer.artifact.schema_version,
+        })
+
+
+def build_server(model: Union[str, Path, ModelArtifact, OnlineScorer],
+                 host: str = "127.0.0.1", port: int = 0,
+                 quiet: bool = True,
+                 scorer_kwargs: Optional[dict] = None) -> QuorumHTTPServer:
+    """Build (but do not start) a server for a model path, artifact, or scorer.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address`` (the CI smoke test and the examples do).
+    """
+    if isinstance(model, OnlineScorer):
+        if scorer_kwargs:
+            raise ValueError(
+                "scorer_kwargs cannot be applied to a prebuilt OnlineScorer; "
+                "pass a model path or artifact instead"
+            )
+        scorer = model
+    else:
+        artifact = model if isinstance(model, ModelArtifact) else load_model(model)
+        scorer = OnlineScorer(artifact, **(scorer_kwargs or {}))
+    return QuorumHTTPServer((host, port), scorer, quiet=quiet)
+
+
+def run_server(model_path: Union[str, Path], host: str = "127.0.0.1",
+               port: int = 0, quiet: bool = True,
+               scorer_kwargs: Optional[dict] = None) -> int:
+    """Load a model and serve it until interrupted (the CLI entry point).
+
+    Prints one ``serving ... on http://host:port`` line (flushed) before
+    blocking, so wrappers that spawn the CLI can scrape the ephemeral port.
+    """
+    server = build_server(model_path, host=host, port=port, quiet=quiet,
+                          scorer_kwargs=scorer_kwargs)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving {model_path} on http://{bound_host}:{bound_port}",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        server.scorer.close()
+    return 0

@@ -14,7 +14,14 @@ from typing import Any, Dict, Union
 
 import numpy as np
 
-__all__ = ["to_jsonable", "dataclass_to_dict", "save_json", "load_json"]
+__all__ = [
+    "to_jsonable",
+    "dataclass_to_dict",
+    "save_json",
+    "load_json",
+    "coerce_float_array",
+    "coerce_int_array",
+]
 
 
 def to_jsonable(value: Any) -> Any:
@@ -74,3 +81,46 @@ def load_json(path: Union[str, Path]) -> Any:
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def coerce_float_array(value: Any, name: str = "array",
+                       shape: Any = None) -> np.ndarray:
+    """Strictly decode a JSON payload into a float64 numpy array.
+
+    Raises :class:`TypeError` when ``value`` holds non-numeric entries (JSON
+    strings, nulls, nested objects) and :class:`ValueError` when ``shape`` is
+    given and does not match -- the artifact loader wraps both into its
+    dtype-mismatch error so corrupted model files fail loudly at load time
+    instead of producing garbage scores.
+    """
+    try:
+        raw = np.asarray(value)
+    except (TypeError, ValueError) as error:
+        raise TypeError(f"{name} is not a numeric array: {error}") from None
+    # Reject non-numeric dtypes *before* converting: np.asarray(...,
+    # dtype=float64) would happily parse numeric strings ("1.5"), defeating
+    # the dtype hardening this helper exists for.
+    if raw.dtype.kind not in "fiu":
+        raise TypeError(f"{name} decoded to dtype {raw.dtype}, expected numeric")
+    array = raw.astype(np.float64)
+    if not np.all(np.isfinite(array)):
+        raise TypeError(f"{name} contains non-finite values")
+    if shape is not None and array.shape != tuple(shape):
+        raise ValueError(
+            f"{name} has shape {array.shape}, expected {tuple(shape)}"
+        )
+    return array
+
+
+def coerce_int_array(value: Any, name: str = "array",
+                     shape: Any = None) -> np.ndarray:
+    """Strictly decode a JSON payload into an int64 numpy array.
+
+    Like :func:`coerce_float_array`, but additionally rejects fractional
+    values that would silently truncate (e.g. a feature index ``2.5``).
+    """
+    as_float = coerce_float_array(value, name=name, shape=shape)
+    array = as_float.astype(np.int64)
+    if not np.array_equal(array, as_float):
+        raise TypeError(f"{name} contains non-integer values")
+    return array

@@ -74,3 +74,31 @@ class TestDerivedProperties:
         description = QuorumConfig(seed=9).describe()
         assert description["circuit_qubits"] == 7
         assert description["seed"] == 9
+
+
+class TestDictRoundTrip:
+    def test_to_dict_from_dict_round_trips_every_field(self):
+        config = QuorumConfig(num_qubits=4, ensemble_groups=7, shots=None,
+                              compression_levels=(1, 3), seed=5,
+                              executor="threads", n_jobs=2,
+                              compile_circuits=False)
+        assert QuorumConfig.from_dict(config.to_dict()) == config
+
+    def test_to_dict_is_json_friendly(self):
+        import json
+
+        payload = QuorumConfig(compression_levels=(1, 2)).to_dict()
+        restored = QuorumConfig.from_dict(json.loads(json.dumps(payload)))
+        assert restored.compression_levels == (1, 2)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        payload = QuorumConfig().to_dict()
+        payload["mystery_knob"] = 1
+        with pytest.raises(ValueError, match="mystery_knob"):
+            QuorumConfig.from_dict(payload)
+
+    def test_from_dict_validates_values(self):
+        payload = QuorumConfig().to_dict()
+        payload["backend"] = "quantum_annealer"
+        with pytest.raises(ValueError):
+            QuorumConfig.from_dict(payload)

@@ -94,3 +94,44 @@ class TestEnsembleMember:
     def test_rejects_1d_data(self):
         with pytest.raises(ValueError):
             run_ensemble_member(np.zeros(10), self._config(), 0, 0)
+
+
+class TestServingState:
+    """The plan/result fields the serving artifact persists."""
+
+    def _config(self, **overrides):
+        defaults = {"ensemble_groups": 1, "shots": 512, "seed": 0}
+        defaults.update(overrides)
+        return QuorumConfig(**defaults)
+
+    def test_plan_snapshots_post_planning_rng_state(self):
+        from repro.core.ensemble import execute_member, plan_member
+
+        data = normalized_toy_data()
+        plan = plan_member(40, 10, self._config(), 0, member_seed=7)
+        assert plan.rng_state == plan.rng.bit_generator.state
+        snapshot = dict(plan.rng_state)
+        execute_member(data, plan, self._config())  # consumes shot noise
+        # Execution advanced the live generator but not the snapshot.
+        assert plan.rng.bit_generator.state != snapshot
+        assert plan.rng_state == snapshot
+
+    def test_restored_rng_replays_the_shot_noise_stream(self):
+        from repro.core.ensemble import execute_member, plan_member
+
+        data = normalized_toy_data()
+        config = self._config()
+        first = execute_member(data, plan_member(40, 10, config, 0, 7), config)
+        # Rebuild the plan and execute again: same snapshot, same stream.
+        second = execute_member(data, plan_member(40, 10, config, 0, 7), config)
+        assert np.array_equal(first.deviations, second.deviations)
+
+    def test_result_carries_per_level_bucket_statistics(self):
+        result = run_ensemble_member(normalized_toy_data(), self._config(),
+                                     member_index=0, member_seed=3)
+        assert set(result.bucket_statistics) == {1, 2}
+        for level, (means, stds) in result.bucket_statistics.items():
+            assert means.shape == (result.num_buckets,)
+            assert stds.shape == (result.num_buckets,)
+            assert np.all(np.isfinite(means))
+            assert np.all(stds >= 0)

@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.bucketing import BucketAssignment, assign_buckets
-from repro.core.scoring import AnomalyScores, bucket_deviations
+from repro.core.scoring import (
+    AnomalyScores,
+    bucket_deviations,
+    bucket_statistics,
+    reference_deviations,
+)
 
 
 class TestBucketDeviations:
@@ -42,6 +47,69 @@ class TestBucketDeviations:
         deviations = bucket_deviations(p1, buckets)
         assert np.all(deviations >= 0.0)
         assert np.all(np.isfinite(deviations))
+
+
+class TestBucketStatistics:
+    def test_statistics_match_numpy_per_bucket(self):
+        buckets = BucketAssignment(buckets=((0, 2), (1, 3, 4)))
+        p1 = np.array([0.1, 0.3, 0.5, 0.7, 0.2])
+        means, stds = bucket_statistics(p1, buckets)
+        assert means[0] == p1[[0, 2]].mean()
+        assert stds[0] == p1[[0, 2]].std()
+        assert means[1] == p1[[1, 3, 4]].mean()
+        assert stds[1] == p1[[1, 3, 4]].std()
+
+    def test_size_mismatch_raises(self):
+        buckets = BucketAssignment(buckets=((0, 1),))
+        with pytest.raises(ValueError):
+            bucket_statistics(np.zeros(5), buckets)
+
+    def test_precomputed_statistics_reproduce_deviations_bitwise(self):
+        rng = np.random.default_rng(3)
+        p1 = rng.uniform(0, 0.5, size=30)
+        buckets = assign_buckets(30, 6, np.random.default_rng(1))
+        plain = bucket_deviations(p1, buckets)
+        reused = bucket_deviations(p1, buckets,
+                                   statistics=bucket_statistics(p1, buckets))
+        assert np.array_equal(plain, reused)
+
+
+class TestReferenceDeviations:
+    def test_matches_mean_absolute_z_over_buckets(self):
+        means = np.array([0.2, 0.4])
+        stds = np.array([0.1, 0.2])
+        p1 = np.array([0.3])
+        expected = (abs(0.3 - 0.2) / 0.1 + abs(0.3 - 0.4) / 0.2) / 2.0
+        assert np.allclose(reference_deviations(p1, means, stds), expected)
+
+    def test_degenerate_buckets_contribute_zero(self):
+        means = np.array([0.2, 0.4])
+        stds = np.array([0.1, 0.0])  # the second bucket had identical values
+        p1 = np.array([0.3])
+        expected = (abs(0.3 - 0.2) / 0.1) / 2.0  # averaged over ALL buckets
+        assert np.allclose(reference_deviations(p1, means, stds), expected)
+
+    def test_all_degenerate_buckets_give_zero(self):
+        scores = reference_deviations(np.array([0.1, 0.9]),
+                                      np.array([0.5]), np.array([0.0]))
+        assert np.array_equal(scores, np.zeros(2))
+
+    def test_far_samples_score_higher(self):
+        rng = np.random.default_rng(0)
+        p1 = rng.uniform(0.2, 0.3, size=50)
+        buckets = assign_buckets(50, 10, rng)
+        means, stds = bucket_statistics(p1, buckets)
+        near = reference_deviations(np.array([0.25]), means, stds)
+        far = reference_deviations(np.array([0.9]), means, stds)
+        assert far[0] > near[0]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            reference_deviations(np.zeros(2), np.zeros(3), np.zeros(2))
+
+    def test_empty_reference_raises(self):
+        with pytest.raises(ValueError):
+            reference_deviations(np.zeros(2), np.zeros(0), np.zeros(0))
 
 
 class TestAnomalyScores:

@@ -1,0 +1,177 @@
+"""HTTP-service tests driven through a real socket with stdlib clients only."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.detector import QuorumDetector
+from repro.serving.artifact import save_model
+from repro.serving.server import build_server
+
+
+@pytest.fixture(scope="module")
+def served_model(tmp_path_factory):
+    rng = np.random.default_rng(3)
+    data = rng.normal(size=(30, 5))
+    detector = QuorumDetector(ensemble_groups=3, seed=19, shots=512)
+    detector.fit(data)
+    path = save_model(detector, tmp_path_factory.mktemp("model") / "m.json")
+    server = build_server(path, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", data
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url, payload, raw=None):
+    body = raw if raw is not None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestRoutes:
+    def test_healthz(self, served_model):
+        base, _ = served_model
+        status, payload = _get(base + "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["schema_version"] == 1
+        assert payload["ensemble_groups"] == 3
+
+    def test_model_diagnostics(self, served_model):
+        base, _ = served_model
+        status, payload = _get(base + "/model")
+        assert status == 200
+        assert payload["model"]["format"] == "quorum-repro/model"
+        assert payload["model"]["schema_version"] == 1
+        assert {"compiles", "hits", "misses"} <= set(payload["compiler_cache"])
+        assert "requests" in payload["serving"]
+
+    def test_score_round_trip(self, served_model):
+        base, data = served_model
+        status, payload = _post(base + "/score",
+                                {"samples": data[:4].tolist()})
+        assert status == 200
+        assert payload["mode"] == "reference"
+        assert payload["num_samples"] == 4
+        assert len(payload["scores"]) == 4
+        assert payload["num_runs"] == 3 * 2
+        assert payload["schema_version"] == 1
+
+    def test_score_is_deterministic_across_requests(self, served_model):
+        base, data = served_model
+        _, first = _post(base + "/score", {"samples": data[:3].tolist()})
+        _, second = _post(base + "/score", {"samples": data[:3].tolist()})
+        assert first["scores"] == second["scores"]
+
+    def test_concurrent_posts_match_sequential(self, served_model):
+        base, data = served_model
+        requests = [data[i:i + 2].tolist() for i in range(6)]
+        sequential = [_post(base + "/score", {"samples": r})[1]["scores"]
+                      for r in requests]
+        results = [None] * len(requests)
+
+        def worker(index):
+            results[index] = _post(base + "/score",
+                                   {"samples": requests[index]})[1]["scores"]
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(requests))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert results == sequential
+
+    def test_replay_mode_over_http(self, served_model):
+        base, data = served_model
+        status, payload = _post(base + "/score",
+                                {"samples": data.tolist(), "mode": "replay"})
+        assert status == 200
+        assert payload["mode"] == "replay"
+
+    def test_cache_counters_grow_across_requests(self, served_model):
+        base, data = served_model
+        _, before = _get(base + "/model")
+        _post(base + "/score", {"samples": data[:1].tolist()})
+        _post(base + "/score", {"samples": data[:1].tolist()})
+        _, after = _get(base + "/model")
+        assert after["compiler_cache"]["hits"] > before["compiler_cache"]["hits"]
+        assert (after["compiler_cache"]["compiles"]
+                == before["compiler_cache"]["compiles"])
+        assert after["serving"]["requests"] >= before["serving"]["requests"] + 2
+
+
+class TestErrors:
+    def _status_of(self, call):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            call()
+        return excinfo.value.code, json.loads(excinfo.value.read())
+
+    def test_unknown_get_path(self, served_model):
+        base, _ = served_model
+        code, payload = self._status_of(lambda: _get(base + "/nope"))
+        assert code == 404
+        assert "unknown path" in payload["error"]
+
+    def test_unknown_post_path(self, served_model):
+        base, data = served_model
+        code, _ = self._status_of(
+            lambda: _post(base + "/detect", {"samples": data[:1].tolist()}))
+        assert code == 404
+
+    def test_invalid_json_body(self, served_model):
+        base, _ = served_model
+        code, payload = self._status_of(
+            lambda: _post(base + "/score", None, raw=b"{not json"))
+        assert code == 400
+        assert "invalid JSON" in payload["error"]
+
+    def test_missing_samples_key(self, served_model):
+        base, _ = served_model
+        code, payload = self._status_of(
+            lambda: _post(base + "/score", {"rows": [[1.0]]}))
+        assert code == 400
+        assert "samples" in payload["error"]
+
+    def test_wrong_feature_width(self, served_model):
+        base, _ = served_model
+        code, payload = self._status_of(
+            lambda: _post(base + "/score", {"samples": [[1.0, 2.0]]}))
+        assert code == 400
+        assert "features" in payload["error"]
+
+    def test_unknown_mode(self, served_model):
+        base, data = served_model
+        code, payload = self._status_of(
+            lambda: _post(base + "/score", {"samples": data[:1].tolist(),
+                                            "mode": "transduce"}))
+        assert code == 400
+        assert "unknown scoring mode" in payload["error"]
+
+    def test_replay_with_wrong_count(self, served_model):
+        base, data = served_model
+        code, payload = self._status_of(
+            lambda: _post(base + "/score", {"samples": data[:2].tolist(),
+                                            "mode": "replay"}))
+        assert code == 400
+        assert "replay mode requires" in payload["error"]
+
+    def test_empty_body(self, served_model):
+        base, _ = served_model
+        code, _ = self._status_of(lambda: _post(base + "/score", None, raw=b""))
+        assert code == 400

@@ -73,6 +73,127 @@ class TestCommands:
         assert main(["experiment", "table1"]) == 0
         assert "Pr[Anomaly in Bucket]" in capsys.readouterr().out
 
+    def test_fit_then_score_round_trip(self, tmp_path, capsys):
+        rng = np.random.default_rng(3)
+        dataset = Dataset("toy", rng.normal(size=(30, 4)),
+                          np.zeros(30, dtype=int))
+        csv_path = save_dataset_csv(dataset, tmp_path / "toy.csv")
+        model_path = tmp_path / "model.json"
+        assert main(["fit", "--csv", str(csv_path), "--save-model",
+                     str(model_path), "--ensembles", "3", "--shots", "128",
+                     "--seed", "4"]) == 0
+        assert "model saved to" in capsys.readouterr().out
+        assert model_path.exists()
+
+        assert main(["score", "--model", str(model_path), "--csv",
+                     str(csv_path), "--top", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "3 frozen members" in output
+        assert "Top 3 samples" in output
+
+    def test_score_replay_matches_fit_bitwise(self, tmp_path, capsys):
+        """The CLI replay path reproduces the in-process fit scores."""
+        rng = np.random.default_rng(9)
+        dataset = Dataset("toy", rng.normal(size=(25, 4)),
+                          np.zeros(25, dtype=int))
+        csv_path = save_dataset_csv(dataset, tmp_path / "toy.csv")
+        model_path = tmp_path / "model.json"
+        assert main(["fit", "--csv", str(csv_path), "--save-model",
+                     str(model_path), "--ensembles", "2", "--shots", "256",
+                     "--seed", "6"]) == 0
+        capsys.readouterr()
+        assert main(["score", "--model", str(model_path), "--csv",
+                     str(csv_path), "--mode", "replay", "--top", "2"]) == 0
+        assert "mode=replay" in capsys.readouterr().out
+
+    def test_score_unlabeled_csv_without_label_column(self, tmp_path, capsys):
+        """The primary serving flow: score a CSV holding only features."""
+        rng = np.random.default_rng(5)
+        train = Dataset("train", rng.normal(size=(20, 3)),
+                        np.zeros(20, dtype=int))
+        train_csv = save_dataset_csv(train, tmp_path / "train.csv")
+        model_path = tmp_path / "model.json"
+        assert main(["fit", "--csv", str(train_csv), "--save-model",
+                     str(model_path), "--ensembles", "2", "--shots", "64",
+                     "--seed", "1"]) == 0
+        capsys.readouterr()
+        unlabeled = tmp_path / "new.csv"
+        unlabeled.write_text("a,b,c\n" + "\n".join(
+            ",".join(f"{value:.3f}" for value in row)
+            for row in rng.normal(size=(5, 3))) + "\n")
+        # Without --no-labels the missing label column is a clean exit 2 ...
+        assert main(["score", "--model", str(model_path), "--csv",
+                     str(unlabeled)]) == 2
+        assert "--no-labels" in capsys.readouterr().err
+        # ... and with it the file scores as pure features.
+        assert main(["score", "--model", str(model_path), "--csv",
+                     str(unlabeled), "--no-labels", "--top", "2"]) == 0
+        assert "Scored 5 samples" in capsys.readouterr().out
+
+    def test_score_with_missing_model(self, tmp_path, capsys):
+        rng = np.random.default_rng(3)
+        dataset = Dataset("toy", rng.normal(size=(10, 3)),
+                          np.zeros(10, dtype=int))
+        csv_path = save_dataset_csv(dataset, tmp_path / "toy.csv")
+        exit_code = main(["score", "--model", str(tmp_path / "nope.json"),
+                          "--csv", str(csv_path)])
+        assert exit_code == 2
+        assert "cannot load model" in capsys.readouterr().err
+
+    def test_score_with_wrong_feature_count(self, tmp_path, capsys):
+        rng = np.random.default_rng(3)
+        train = Dataset("train", rng.normal(size=(20, 4)),
+                        np.zeros(20, dtype=int))
+        other = Dataset("other", rng.normal(size=(8, 6)),
+                        np.zeros(8, dtype=int))
+        train_csv = save_dataset_csv(train, tmp_path / "train.csv")
+        other_csv = save_dataset_csv(other, tmp_path / "other.csv")
+        model_path = tmp_path / "model.json"
+        assert main(["fit", "--csv", str(train_csv), "--save-model",
+                     str(model_path), "--ensembles", "2", "--shots", "64",
+                     "--seed", "1"]) == 0
+        capsys.readouterr()
+        exit_code = main(["score", "--model", str(model_path), "--csv",
+                          str(other_csv)])
+        assert exit_code == 2
+        assert "scoring failed" in capsys.readouterr().err
+
+    def test_serve_with_missing_model(self, tmp_path, capsys):
+        exit_code = main(["serve", "--model", str(tmp_path / "nope.json"),
+                          "--port", "0"])
+        assert exit_code == 2
+        assert "cannot load model" in capsys.readouterr().err
+
+    def test_serve_with_invalid_batching_flags(self, tmp_path, capsys):
+        rng = np.random.default_rng(2)
+        dataset = Dataset("toy", rng.normal(size=(12, 3)),
+                          np.zeros(12, dtype=int))
+        csv_path = save_dataset_csv(dataset, tmp_path / "toy.csv")
+        model_path = tmp_path / "model.json"
+        assert main(["fit", "--csv", str(csv_path), "--save-model",
+                     str(model_path), "--ensembles", "1", "--shots", "64",
+                     "--seed", "1"]) == 0
+        capsys.readouterr()
+        exit_code = main(["serve", "--model", str(model_path), "--port", "0",
+                          "--max-batch-samples", "0"])
+        assert exit_code == 2
+        assert "cannot start server" in capsys.readouterr().err
+
+    def test_fit_unlabeled_csv_without_label_column(self, tmp_path, capsys):
+        unlabeled = tmp_path / "plain.csv"
+        unlabeled.write_text("a,b\n1.0,2.0\n3.0,4.0\n5.0,6.0\n7.0,8.0\n")
+        exit_code = main(["fit", "--csv", str(unlabeled), "--save-model",
+                          str(tmp_path / "m.json")])
+        assert exit_code == 2
+        assert "--no-labels" in capsys.readouterr().err
+        assert main(["fit", "--csv", str(unlabeled), "--no-labels",
+                     "--save-model", str(tmp_path / "m.json"),
+                     "--ensembles", "1", "--shots", "64"]) == 0
+
+    def test_fit_requires_save_model_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fit", "--dataset", "letter"])
+
     def test_report_to_file(self, tmp_path, capsys):
         output = tmp_path / "report.md"
         exit_code = main(["report", "--ensembles", "3", "--seed", "4",

@@ -6,7 +6,14 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.utils.serialization import dataclass_to_dict, load_json, save_json, to_jsonable
+from repro.utils.serialization import (
+    coerce_float_array,
+    coerce_int_array,
+    dataclass_to_dict,
+    load_json,
+    save_json,
+    to_jsonable,
+)
 
 
 @dataclass(frozen=True)
@@ -83,3 +90,43 @@ class TestFileRoundTrip:
         loaded = load_json(path)
         assert loaded["scores"] == [0.1, 0.9]
         assert loaded["config"]["weight"] == 0.3
+
+
+class TestCoerceArrays:
+    def test_float_array_round_trip(self):
+        array = coerce_float_array([0.25, 1.5], "x", shape=(2,))
+        assert array.dtype == np.float64
+        assert np.array_equal(array, [0.25, 1.5])
+
+    def test_float_array_rejects_strings(self):
+        with pytest.raises(TypeError, match="numeric"):
+            coerce_float_array(["a", "b"], "x")
+
+    def test_float_array_rejects_numeric_strings(self):
+        with pytest.raises(TypeError, match="numeric"):
+            coerce_float_array(["1.5", "2"], "x")
+
+    def test_float_array_rejects_booleans(self):
+        with pytest.raises(TypeError, match="numeric"):
+            coerce_float_array([True, False], "x")
+
+    def test_float_array_rejects_non_finite(self):
+        with pytest.raises(TypeError, match="non-finite"):
+            coerce_float_array([0.1, float("nan")], "x")
+
+    def test_float_array_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            coerce_float_array([0.1, 0.2], "x", shape=(3,))
+
+    def test_float_array_rejects_ragged_input(self):
+        with pytest.raises(TypeError):
+            coerce_float_array([[0.1], [0.2, 0.3]], "x")
+
+    def test_int_array_round_trip(self):
+        array = coerce_int_array([1, 2, 3], "x")
+        assert array.dtype == np.int64
+        assert np.array_equal(array, [1, 2, 3])
+
+    def test_int_array_rejects_fractional_values(self):
+        with pytest.raises(TypeError, match="non-integer"):
+            coerce_int_array([1.5], "x")

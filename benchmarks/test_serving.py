@@ -10,7 +10,9 @@ benchmarks measure that contract:
   (includes the one-time compiles);
 * warm path -- amortized per-request latency at request sizes 1 / 8 / 64;
 * micro-batching -- many concurrent single-sample requests coalesced into
-  fused batches vs the same requests scored one at a time.
+  fused batches vs the same requests scored one at a time;
+* job overhead -- the async ``submit -> poll -> result`` lifecycle of the
+  runtime service's JobManager vs the same work scored synchronously.
 """
 
 import time
@@ -22,7 +24,11 @@ from _harness import run_once
 
 from repro.core.detector import QuorumDetector
 from repro.experiments.common import markdown_table
+from repro.quantum.compiler import CircuitCompiler
 from repro.serving.artifact import load_model, save_model
+from repro.serving.jobs import JobManager
+from repro.serving.models import JobSubmitRequest
+from repro.serving.registry import ModelRegistry
 from repro.serving.scorer import OnlineScorer
 
 #: One mid-sized frozen ensemble shared by every benchmark in this module.
@@ -130,6 +136,56 @@ def _microbatch_vs_sequential(model_path):
         "batches": diagnostics["serving"]["batches"],
         "coalesced_requests": diagnostics["serving"]["coalesced_requests"],
     }
+
+
+def _job_overhead(model_path, cycles=48):
+    """Full async job lifecycles (submit -> poll -> result) vs direct scoring.
+
+    Each cycle runs one single-sample ``score`` job through the JobManager's
+    worker pool and polls it to completion the way an HTTP client would; the
+    direct pass scores the identical probes through the scorer's micro-batch
+    queue.  The difference is the bookkeeping the runtime service adds per
+    job (uuid allocation, table locking, worker handoff, poll latency).
+    """
+    probes = [_probes(1, seed=300 + i).tolist() for i in range(cycles)]
+    with ModelRegistry(compiler=CircuitCompiler()) as registry:
+        entry = registry.load(model_path, model_id="bench")
+        entry.scorer.submit(probes[0]).result(timeout=120)  # warm the cache
+
+        start = time.perf_counter()
+        for probe in probes:
+            entry.scorer.submit(probe).result(timeout=120)
+        direct_seconds = time.perf_counter() - start
+
+        with JobManager(registry, workers=2) as manager:
+            start = time.perf_counter()
+            for probe in probes:
+                job = manager.submit(JobSubmitRequest(
+                    kind="score", model_id="bench",
+                    params={"samples": probe}))
+                while manager.get(job.job_id).status not in (
+                        "succeeded", "failed", "cancelled"):
+                    time.sleep(0.0005)
+                manager.result(job.job_id)
+            job_seconds = time.perf_counter() - start
+
+    return {
+        "cycles": cycles,
+        "direct_seconds": direct_seconds,
+        "job_seconds": job_seconds,
+        "overhead_ms_per_job": (job_seconds - direct_seconds) / cycles * 1e3,
+    }
+
+
+def test_serving_job_overhead(benchmark, model_path):
+    results = run_once(benchmark, _job_overhead, model_path)
+    print(f"\n[Serving] {results['cycles']} submit->poll->result job cycles "
+          f"({MEMBERS} members): direct {results['direct_seconds'] * 1e3:.0f} "
+          f"ms, via jobs {results['job_seconds'] * 1e3:.0f} ms "
+          f"(+{results['overhead_ms_per_job']:.2f} ms/job)")
+    # The job machinery must add bookkeeping, not re-scoring: per-job overhead
+    # stays far below one member sweep (hundreds of ms for this ensemble).
+    assert results["overhead_ms_per_job"] < 100.0
 
 
 def test_serving_microbatch_speedup(benchmark, model_path, request):

@@ -8,11 +8,15 @@ Fits a small ensemble, persists it as a versioned model artifact, boots the
 real ``quorum-repro serve`` CLI in a subprocess on an ephemeral localhost
 port, and drives the HTTP API with nothing but the standard library:
 
-1. ``GET /healthz``  -- liveness + model identity,
-2. ``POST /score``   -- score three unseen samples,
+1. ``GET /healthz``  -- liveness + model identity (legacy alias),
+2. ``POST /score``   -- score three unseen samples (legacy alias),
 3. ``POST /score`` with ``"mode": "replay"`` -- bit-identical refit-free
    reproduction of the training-set scores,
-4. ``GET /model``    -- operator diagnostics (compiler cache counters).
+4. ``GET /model``    -- operator diagnostics (compiler cache counters),
+5. ``GET /v1/healthz`` + ``POST /v1/models/{id}/score`` -- the versioned API
+   serves the same model under its registry id,
+6. ``POST /v1/jobs`` (``replay_dataset``) -- submit, poll, and fetch an async
+   replay job whose result is again bitwise identical to the fit.
 
 CI runs this script as the serving smoke test, so it fails loudly (non-zero
 exit) on any schema or lifecycle regression.
@@ -22,6 +26,7 @@ import json
 import subprocess
 import sys
 import tempfile
+import time
 import urllib.request
 from pathlib import Path
 
@@ -100,6 +105,35 @@ def main() -> None:
         print(f"GET /model -> compiler cache: {cache['compiles']} compiles, "
               f"{cache['hits']} hits over "
               f"{diagnostics['serving']['requests']} requests")
+
+        # 4. The versioned API: same model, addressed by its registry id.
+        v1_health = _get_json(base_url + "/v1/healthz")
+        assert v1_health["api_version"] == "v1", v1_health
+        model_id = v1_health["default_model"]
+        v1_score = _post_json(f"{base_url}/v1/models/{model_id}/score",
+                              {"samples": unseen.tolist()})
+        assert v1_score["scores"] == response["scores"], v1_score
+        assert v1_score["model_id"] == model_id, v1_score
+        print(f"POST /v1/models/{model_id}/score -> matches legacy /score")
+
+        # 5. Async replay job: submit, poll to completion, fetch the result.
+        job = _post_json(base_url + "/v1/jobs",
+                         {"kind": "replay_dataset",
+                          "params": {"samples":
+                                     dataset.features_only().tolist()}})
+        job_id = job["job_id"]
+        deadline = time.monotonic() + 300
+        while job["status"] in ("queued", "running"):
+            assert time.monotonic() < deadline, f"job {job_id} stalled"
+            time.sleep(0.1)
+            job = _get_json(f"{base_url}/v1/jobs/{job_id}")
+        assert job["status"] == "succeeded", job
+        result = _get_json(f"{base_url}/v1/jobs/{job_id}/result")
+        job_scores = np.asarray(result["result"]["scores"])
+        assert np.array_equal(job_scores, expected_scores), (
+            "async replay job diverged from the in-process fit")
+        print(f"POST /v1/jobs replay_dataset -> job {job_id[:8]}... "
+              f"succeeded, bitwise identical to fit")
     finally:
         # 4. Shut down cleanly: SIGTERM closes the socket and the scorer.
         server.terminate()

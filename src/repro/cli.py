@@ -10,7 +10,10 @@ Installed as the ``quorum-repro`` console script::
     quorum-repro report --output report.md        # full evaluation report
     quorum-repro fit --dataset letter --save-model model.json   # train once
     quorum-repro score --model model.json --csv new.csv         # score many
-    quorum-repro serve --model model.json --port 8765           # HTTP service
+    quorum-repro serve --model model.json --port 8765           # /v1 runtime
+    quorum-repro serve --model a.json --models canary=b.json    # multi-model
+    quorum-repro jobs submit --server http://127.0.0.1:8765 \\
+        --kind replay_dataset --dataset letter --wait           # async job
 
 Every command prints GitHub-flavoured markdown so output can be pasted straight
 into issues or EXPERIMENTS.md.
@@ -118,9 +121,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="how many top-scoring samples to list")
 
     serve = subparsers.add_parser(
-        "serve", help="serve a saved model over a stdlib-only HTTP JSON API")
-    serve.add_argument("--model", type=str, required=True, metavar="PATH",
-                       help="model bundle written by `fit --save-model`")
+        "serve", help="serve saved model(s) over the stdlib-only /v1 HTTP API")
+    serve.add_argument("--model", type=str, default=None, metavar="PATH",
+                       help="default model bundle written by "
+                            "`fit --save-model`")
+    serve.add_argument("--models", type=str, nargs="+", default=None,
+                       metavar="ID=PATH",
+                       help="additional model bundles registered under "
+                            "pinned ids, e.g. --models prod=a.json "
+                            "canary=b.json")
     serve.add_argument("--host", type=str, default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8765,
                        help="TCP port; 0 binds an ephemeral port (printed on "
@@ -130,8 +139,59 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-window-ms", type=float, default=2.0,
                        help="how long to wait for concurrent requests to "
                             "coalesce before executing a batch")
+    serve.add_argument("--job-workers", type=int, default=2,
+                       help="worker threads executing POST /v1/jobs work")
+    serve.add_argument("--job-ttl", type=float, default=900.0,
+                       metavar="SECONDS",
+                       help="how long finished jobs (and results) stay "
+                            "retrievable")
+    serve.add_argument("--session-ttl", type=float, default=600.0,
+                       metavar="SECONDS",
+                       help="idle TTL of /v1/sessions")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
+
+    jobs = subparsers.add_parser(
+        "jobs", help="drive async jobs on a running `quorum-repro serve`")
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    submit = jobs_sub.add_parser(
+        "submit", help="submit a job (POST /v1/jobs) and print its id")
+    submit.add_argument("--server", type=str, required=True, metavar="URL",
+                        help="base URL of a running server, e.g. "
+                             "http://127.0.0.1:8765")
+    submit.add_argument("--kind", choices=("replay_dataset", "score", "fit"),
+                        required=True)
+    submit.add_argument("--model-id", type=str, default=None,
+                        help="target model id (default: the server's default "
+                             "model)")
+    _add_data_arguments(submit)
+    submit.add_argument("--mode", choices=("reference", "replay"),
+                        default="reference",
+                        help="scoring mode for --kind score")
+    submit.add_argument("--register-as", type=str, default=None,
+                        help="model id the fitted artifact registers under "
+                             "(--kind fit)")
+    submit.add_argument("--save-path", type=str, default=None,
+                        help="server-side path the fitted artifact is saved "
+                             "to (--kind fit)")
+    submit.add_argument("--params", type=str, default=None, metavar="JSON",
+                        help="extra kind-specific params as a JSON object "
+                             "(merged over the flag-derived ones)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes and print its "
+                             "result")
+    submit.add_argument("--poll-interval", type=float, default=0.5,
+                        metavar="SECONDS")
+
+    for verb, help_text in (
+            ("status", "print one job's status (GET /v1/jobs/{id})"),
+            ("result", "print a finished job's result "
+                       "(GET /v1/jobs/{id}/result)"),
+            ("cancel", "cancel a job (DELETE /v1/jobs/{id})")):
+        sub = jobs_sub.add_parser(verb, help=help_text)
+        sub.add_argument("--server", type=str, required=True, metavar="URL")
+        sub.add_argument("job_id", type=str)
 
     return parser
 
@@ -388,10 +448,29 @@ def _command_score(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_model_specs(specs: Optional[Sequence[str]]) -> dict:
+    """``ID=PATH`` specs -> an ``{model_id: path}`` mapping (ids must be
+    pinned so clients know how to address each model)."""
+    models = {}
+    for spec in specs or ():
+        model_id, separator, path = spec.partition("=")
+        if not separator:
+            raise ValueError(
+                f"--models entry {spec!r} must be ID=PATH (pin an id so "
+                "clients can address the model)")
+        if not model_id or not path:
+            raise ValueError(f"--models entry {spec!r} has an empty id or "
+                             "path")
+        if model_id in models:
+            raise ValueError(f"--models id {model_id!r} given twice")
+        models[model_id] = path
+    return models
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     import signal
 
-    from repro.serving.artifact import ArtifactError
+    from repro.serving.models import ApiError
     from repro.serving.server import run_server
 
     def _terminate(signum, frame):  # noqa: ARG001 - signal API
@@ -399,6 +478,10 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     signal.signal(signal.SIGTERM, _terminate)
     try:
+        models = _parse_model_specs(args.models)
+        if args.model is None and not models:
+            print("serve needs --model and/or --models", file=sys.stderr)
+            return 2
         return run_server(
             args.model, host=args.host, port=args.port,
             quiet=not args.verbose,
@@ -406,13 +489,109 @@ def _command_serve(args: argparse.Namespace) -> int:
                 "max_batch_samples": args.max_batch_samples,
                 "batch_window_s": args.batch_window_ms / 1000.0,
             },
+            models=models,
+            job_workers=args.job_workers,
+            job_ttl_s=args.job_ttl,
+            session_ttl_s=args.session_ttl,
         )
-    except ArtifactError as error:
-        print(f"cannot load model: {error}", file=sys.stderr)
+    except ApiError as error:
+        # Registry load failures (bad bundle, duplicate id).
+        print(f"cannot load model: {error.message}", file=sys.stderr)
         return 2
     except ValueError as error:
-        # Invalid batching flags (--max-batch-samples 0, negative window).
+        # Invalid batching/worker/TTL flags or malformed --models specs.
         print(f"cannot start server: {error}", file=sys.stderr)
+        return 2
+
+
+def _jobs_api(server: str, path: str, payload: Optional[dict] = None,
+              method: Optional[str] = None) -> dict:
+    """One JSON round trip against a running server's /v1 API."""
+    import json
+    import urllib.request
+
+    url = server.rstrip("/") + path
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=300) as response:
+        return json.load(response)
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    import json
+    import time
+    import urllib.error
+
+    try:
+        if args.jobs_command == "submit":
+            params: dict = {}
+            dataset = _load_data_checked(args)
+            if dataset is None:
+                return 2
+            params["samples"] = dataset.features_only().tolist()
+            if args.kind == "score":
+                params["mode"] = args.mode
+            if args.kind == "fit":
+                if args.register_as:
+                    params["register_as"] = args.register_as
+                if args.save_path:
+                    params["save_path"] = args.save_path
+            if args.params:
+                try:
+                    extra = json.loads(args.params)
+                except json.JSONDecodeError as error:
+                    print(f"--params is not valid JSON: {error}",
+                          file=sys.stderr)
+                    return 2
+                if not isinstance(extra, dict):
+                    print("--params must be a JSON object", file=sys.stderr)
+                    return 2
+                params.update(extra)
+            job = _jobs_api(args.server, "/v1/jobs",
+                           {"kind": args.kind, "model_id": args.model_id,
+                            "params": params})
+            print(f"job {job['job_id']} submitted ({job['kind']}, "
+                  f"status={job['status']})")
+            if not args.wait:
+                return 0
+            while job["status"] in ("queued", "running"):
+                time.sleep(args.poll_interval)
+                job = _jobs_api(args.server, f"/v1/jobs/{job['job_id']}")
+            print(f"job {job['job_id']} finished: {job['status']}")
+            if job["status"] != "succeeded":
+                print(json.dumps(job.get("error"), indent=2), file=sys.stderr)
+                return 1
+            result = _jobs_api(args.server,
+                               f"/v1/jobs/{job['job_id']}/result")
+            print(json.dumps(result["result"], indent=2))
+            return 0
+
+        if args.jobs_command == "status":
+            print(json.dumps(
+                _jobs_api(args.server, f"/v1/jobs/{args.job_id}"), indent=2))
+            return 0
+        if args.jobs_command == "result":
+            payload = _jobs_api(args.server,
+                                f"/v1/jobs/{args.job_id}/result")
+            print(json.dumps(payload["result"], indent=2))
+            return 0
+        # cancel
+        job = _jobs_api(args.server, f"/v1/jobs/{args.job_id}",
+                        method="DELETE")
+        print(f"job {job['job_id']}: {job['status']}")
+        return 0
+    except urllib.error.HTTPError as error:
+        try:
+            envelope = json.load(error)["error"]
+            print(f"server error [{envelope['code']}]: "
+                  f"{envelope['message']}", file=sys.stderr)
+        except Exception:
+            print(f"server error: HTTP {error.code}", file=sys.stderr)
+        return 2
+    except (urllib.error.URLError, OSError) as error:
+        print(f"cannot reach server {args.server}: {error}", file=sys.stderr)
         return 2
 
 
@@ -438,6 +617,7 @@ _COMMANDS = {
     "fit": _command_fit,
     "score": _command_score,
     "serve": _command_serve,
+    "jobs": _command_jobs,
 }
 
 

@@ -1,4 +1,4 @@
-"""Serving subsystem: persistent model artifacts + online micro-batched scoring.
+"""Serving subsystem: artifacts, online scoring, and the runtime service.
 
 The batch pipeline (``QuorumDetector.fit``) is a train-once step; this package
 is the score-many half:
@@ -10,8 +10,19 @@ is the score-many half:
 * :mod:`repro.serving.scorer` -- :class:`OnlineScorer` scores unseen samples
   against the frozen ensemble, coalescing concurrent requests into fused
   micro-batches while keeping results bitwise independent of batching.
-* :mod:`repro.serving.server` -- the stdlib-only ``quorum-repro serve`` HTTP
-  JSON API (``POST /score``, ``GET /healthz``, ``GET /model``).
+* :mod:`repro.serving.models` -- typed request/response models and the
+  stable error codes of the versioned ``/v1`` HTTP API.
+* :mod:`repro.serving.registry` -- :class:`ModelRegistry`: several loaded
+  artifacts keyed by id/sha256, all sharing one compiler cache.
+* :mod:`repro.serving.jobs` -- :class:`JobManager`: async long-running work
+  (``replay_dataset``, ``score``, ``fit``) with polling, cancellation, and
+  TTL-based garbage collection.
+* :mod:`repro.serving.sessions` -- :class:`SessionManager`: sticky scoring
+  sessions (``dedicated`` sequential-deterministic vs ``batch``
+  micro-batched) with idle TTL expiry.
+* :mod:`repro.serving.server` -- the stdlib-only ``quorum-repro serve``
+  HTTP service fronting all of the above under ``/v1/`` (legacy ``/score``,
+  ``/healthz``, ``/model`` kept as deprecated aliases); see ``docs/API.md``.
 """
 
 from repro.serving.artifact import (
@@ -26,8 +37,31 @@ from repro.serving.artifact import (
     load_model,
     save_model,
 )
+from repro.serving.jobs import Job, JobManager
+from repro.serving.models import (
+    ERROR_STATUS,
+    JOB_KINDS,
+    SESSION_MODES,
+    ApiError,
+    ErrorEnvelope,
+    JobInfo,
+    JobSubmitRequest,
+    ModelInfo,
+    ModelLoadRequest,
+    ScoreRequest,
+    ScoreResponse,
+    SessionCreateRequest,
+    SessionInfo,
+)
+from repro.serving.registry import ModelRegistry, RegisteredModel
 from repro.serving.scorer import SCORING_MODES, OnlineScorer, ScoreResult
-from repro.serving.server import QuorumHTTPServer, build_server, run_server
+from repro.serving.server import (
+    QuorumHTTPServer,
+    ServerRuntime,
+    build_server,
+    run_server,
+)
+from repro.serving.sessions import Session, SessionManager
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -40,9 +74,29 @@ __all__ = [
     "ModelArtifact",
     "save_model",
     "load_model",
+    "ERROR_STATUS",
+    "JOB_KINDS",
+    "SESSION_MODES",
+    "ApiError",
+    "ErrorEnvelope",
+    "JobInfo",
+    "JobSubmitRequest",
+    "ModelInfo",
+    "ModelLoadRequest",
+    "ScoreRequest",
+    "ScoreResponse",
+    "SessionCreateRequest",
+    "SessionInfo",
+    "Job",
+    "JobManager",
+    "ModelRegistry",
+    "RegisteredModel",
+    "Session",
+    "SessionManager",
     "SCORING_MODES",
     "OnlineScorer",
     "ScoreResult",
+    "ServerRuntime",
     "QuorumHTTPServer",
     "build_server",
     "run_server",

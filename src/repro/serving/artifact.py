@@ -331,6 +331,19 @@ class ModelArtifact:
             "shots": self.config.shots,
         }
 
+    def content_sha256(self) -> str:
+        """Canonical sha256 of the bundle content (the registry's model key).
+
+        Hashes the JSON payload with sorted keys, so the digest is stable
+        across file formatting (indentation, key order) and identical for an
+        artifact loaded from disk and the same artifact still in memory --
+        which is what lets :class:`~repro.serving.registry.ModelRegistry` key
+        fit-as-a-job results and ``load_model`` results uniformly.
+        """
+        canonical = json.dumps(self.to_payload(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     # ------------------------------------------------------------- (de)coding
     def to_payload(self) -> Dict[str, object]:
         """The bundle as plain JSON types."""

@@ -183,6 +183,11 @@ class OnlineScorer:
             self._exact_engine = self._build_engine(shots=None)
 
         self._lock = threading.Lock()
+        # Serializes access to the shared exact engine: the micro-batch worker
+        # thread and stateful callers (dedicated sessions, job workers) may
+        # sweep concurrently, and engine-internal per-member caches are not
+        # synchronized.
+        self._engine_lock = threading.Lock()
         self._queue: List[_Request] = []
         self._queue_cond = threading.Condition(self._lock)
         self._worker: Optional[threading.Thread] = None
@@ -228,28 +233,35 @@ class OnlineScorer:
         """Exact ``(levels, samples)`` probabilities, one array per member."""
         engine = self._exact_engine
         assert engine is not None
-        return [
-            engine.p1_levels_batch(self._member_amplitudes(member, normalized),
-                                   member.ansatz, self.levels)
-            for member in self._members
-        ]
+        with self._engine_lock:
+            return [
+                engine.p1_levels_batch(
+                    self._member_amplitudes(member, normalized),
+                    member.ansatz, self.levels)
+                for member in self._members
+            ]
 
     def _finalize(self, member_p1: List[np.ndarray], mode: str,
-                  shot_noise: bool) -> ScoreResult:
+                  shot_noise: bool,
+                  rngs: Optional[List[np.random.Generator]] = None
+                  ) -> ScoreResult:
         """Turn per-member P(1) sweeps for ONE request into summed deviations.
 
         ``shot_noise=True`` applies each member's binomial draws here (the
         fusable path computed exact probabilities); ``False`` means the engine
         already sampled shots during evolution (statevector trajectories).
+        ``rngs`` substitutes caller-owned generators (consumed in place) for
+        the per-request restored ones -- the stateful-session path.
         """
         num_samples = member_p1[0].shape[1]
         self._check_replay_size(num_samples, mode)
         total = np.zeros(num_samples)
         runs = 0
-        for member, p1_sweep in zip(self._members, member_p1):
+        for index, (member, p1_sweep) in enumerate(zip(self._members,
+                                                       member_p1)):
             if shot_noise:
-                p1_sweep = apply_shot_noise(p1_sweep, self.config.shots,
-                                            member.fresh_rng())
+                rng = rngs[index] if rngs is not None else member.fresh_rng()
+                p1_sweep = apply_shot_noise(p1_sweep, self.config.shots, rng)
             # Accumulate each member's levels into its own vector first, then
             # add members together -- the exact summation order the detector
             # uses, so replay-mode scores match `fit` bitwise (float addition
@@ -294,6 +306,61 @@ class OnlineScorer:
         normalized = self._normalize(features)
         self._check_replay_size(normalized.shape[0], mode)
         return self._score_rows(normalized, mode)
+
+    # ------------------------------------------------------- stateful scoring
+    def fresh_member_rngs(self) -> List[np.random.Generator]:
+        """One restored post-planning generator per member.
+
+        The seed state a *dedicated session* holds: passing these generators
+        to :meth:`score_stateful` for every sequential request makes the
+        member RNG streams advance across the session exactly as one long
+        fit-time sweep would.
+        """
+        return [member.fresh_rng() for member in self._members]
+
+    def score_stateful(self, features: Union[np.ndarray, Sequence],
+                       rngs: List[np.random.Generator],
+                       mode: str = "reference") -> ScoreResult:
+        """Score with caller-owned per-member generators, consumed in place.
+
+        Unlike :meth:`score` (which restores each member's RNG from the
+        artifact *per request*, making requests independent), this advances
+        the supplied generators -- the contract dedicated sessions build on:
+
+        * the **first** request of a fresh generator set consumes the RNG
+          exactly like :meth:`score`, so a full-training-set ``replay`` as
+          the opening request is bitwise identical to the detector's fit;
+        * two generator sets fed the same request sequence produce
+          bitwise-identical score sequences (sticky determinism).
+
+        The caller is responsible for sequencing: concurrent calls sharing
+        one generator set would interleave draws nondeterministically.
+        """
+        self._check_mode(mode)
+        if len(rngs) != len(self._members):
+            raise ValueError(
+                f"expected {len(self._members)} member generators, "
+                f"got {len(rngs)}")
+        normalized = self._normalize(features)
+        self._check_replay_size(normalized.shape[0], mode)
+        if self._fusable:
+            result = self._finalize(self._exact_member_p1(normalized), mode,
+                                    shot_noise=True, rngs=rngs)
+        else:
+            # Trajectory engines consume the generator during evolution, so
+            # handing the session's generator to the engine *is* the sticky
+            # stream (no post-hoc noise application).
+            member_p1 = []
+            for member, rng in zip(self._members, rngs):
+                engine = self._build_engine(self.config.shots, rng=rng)
+                member_p1.append(engine.p1_levels_batch(
+                    self._member_amplitudes(member, normalized),
+                    member.ansatz, self.levels))
+            result = self._finalize(member_p1, mode, shot_noise=False)
+        with self._lock:
+            self._stats["requests"] += 1
+            self._stats["samples"] += result.num_samples
+        return result
 
     # ----------------------------------------------------------- micro-batching
     def submit(self, features: Union[np.ndarray, Sequence],

@@ -1,59 +1,165 @@
-"""The ``quorum-repro serve`` HTTP service (stdlib only).
+"""The ``quorum-repro serve`` runtime service (stdlib only).
 
-A thin JSON API over :class:`~repro.serving.scorer.OnlineScorer`:
+A versioned JSON API over the serving managers, fully specified in
+``docs/API.md``:
 
-* ``POST /score`` -- body ``{"samples": [[...], ...], "mode": "reference"}``;
-  responds with ``{"scores": [...], "num_runs": ..., "mode": ...,
-  "num_samples": ...}``.  Concurrent requests are coalesced by the scorer's
-  micro-batching queue (the server is a ``ThreadingHTTPServer``, so each HTTP
-  request runs on its own thread and blocks on its own future).
-* ``GET /healthz`` -- liveness probe with the loaded model's identity.
-* ``GET /model`` -- the scorer's full diagnostics: ensemble summary, artifact
-  schema version, serving counters, and compiler cache hit/miss counters so
-  operators can verify warm-cache serving.
+* ``/v1/models``               -- multi-model registry: list, load, unload,
+  and ``POST /v1/models/{id}/score`` for synchronous micro-batched scoring.
+* ``/v1/jobs``                 -- async jobs (``replay_dataset``, ``score``,
+  ``fit``) on a bounded worker pool: submit, poll status, fetch result,
+  cancel; finished jobs expire after a TTL.
+* ``/v1/sessions``             -- sticky scoring sessions (``dedicated``
+  sequential + deterministic, or ``batch`` micro-batched) with idle TTLs.
+* ``/v1/healthz``              -- liveness incl. registry/job/session counts.
 
-No dependency beyond the Python standard library is introduced on either the
-server or the client side; the CI smoke test drives the service with
-``urllib``.
+The pre-``/v1`` routes (``POST /score``, ``GET /healthz``, ``GET /model``)
+remain as thin **deprecated aliases** over the default model: responses are
+byte-compatible with the original single-model server and carry a
+``Deprecation`` header pointing at the ``/v1`` successor.
+
+Every handler decodes its body into a typed request model
+(:mod:`repro.serving.models`), calls a manager, and encodes a typed
+response -- the router below owns all HTTP mechanics (body limits, 405 with
+``Allow``, the uniform ``{"error": {code, message, detail}}`` envelope).
+No dependency beyond the Python standard library is introduced on either
+side; the CI smoke test drives the service with ``urllib``.
 """
 
 from __future__ import annotations
 
 import json
+import re
+import threading
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
+from urllib.parse import urlsplit
 
-from repro.serving.artifact import ModelArtifact, load_model
-from repro.serving.scorer import OnlineScorer
+from repro.quantum.compiler import CircuitCompiler
+from repro.serving.artifact import ModelArtifact
+from repro.serving.jobs import JobManager
+from repro.serving.models import (
+    ApiError,
+    HealthResponse,
+    JobListResponse,
+    JobResultResponse,
+    JobSubmitRequest,
+    ModelListResponse,
+    ModelLoadRequest,
+    ScoreRequest,
+    ScoreResponse,
+    SessionCreateRequest,
+    SessionListResponse,
+)
+from repro.serving.registry import ModelRegistry, RegisteredModel
+from repro.serving.scorer import OnlineScorer, ScoreResult
+from repro.serving.sessions import SessionManager
 
-__all__ = ["QuorumHTTPServer", "build_server", "run_server"]
+__all__ = ["ServerRuntime", "QuorumHTTPServer", "build_server", "run_server"]
 
-#: Largest accepted request body; /score payloads are sample matrices, so a
+#: Largest accepted request body; payloads are sample matrices, so a
 #: megabyte-scale bound guards the JSON parser without limiting real use.
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
-#: How long one /score request may wait on its future before the server gives
-#: up (the scorer executes batches promptly; this only bounds pathological
-#: stalls so a client never hangs forever).
+#: How long one synchronous score request may wait on its future before the
+#: server gives up (the scorer executes batches promptly; this only bounds
+#: pathological stalls so a client never hangs forever).
 SCORE_TIMEOUT_S = 300.0
+
+#: API version segment every current route lives under.
+API_VERSION = "v1"
+
+
+class ServerRuntime:
+    """The server's non-HTTP state: registry + job/session managers.
+
+    Owns lifecycle (``drain`` -> reject new work with ``shutting_down``;
+    ``close`` -> tear every manager down) so the HTTP layer stays a router.
+    """
+
+    def __init__(self, registry: ModelRegistry,
+                 job_workers: int = 2, job_ttl_s: float = 900.0,
+                 session_ttl_s: float = 600.0) -> None:
+        self.registry = registry
+        self.jobs = JobManager(registry, workers=job_workers, ttl_s=job_ttl_s)
+        self.sessions = SessionManager(registry, default_ttl_s=session_ttl_s)
+        self._draining = threading.Event()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def drain(self) -> None:
+        """Stop accepting requests (everything answers 503 shutting_down)."""
+        self._draining.set()
+
+    def close(self) -> None:
+        self.drain()
+        self.jobs.close()
+        self.sessions.close()
+        self.registry.close()
+
+    def default_scorer(self) -> OnlineScorer:
+        return self.registry.get().scorer
 
 
 class QuorumHTTPServer(ThreadingHTTPServer):
-    """Threaded HTTP server owning the scorer it serves."""
+    """Threaded HTTP server owning the runtime it serves."""
 
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], scorer: OnlineScorer,
+    def __init__(self, address: Tuple[str, int], runtime: ServerRuntime,
                  quiet: bool = True) -> None:
-        self.scorer = scorer
+        self.runtime = runtime
         self.quiet = quiet
         super().__init__(address, _Handler)
 
+    @property
+    def scorer(self) -> OnlineScorer:
+        """The default model's scorer (pre-/v1 compatibility accessor)."""
+        return self.runtime.default_scorer()
+
     def shutdown(self) -> None:  # pragma: no cover - exercised via clients
+        self.runtime.drain()
         super().shutdown()
-        self.scorer.close()
+        self.runtime.close()
+
+
+# Route table: (compiled path pattern, {method: handler attribute}, legacy?).
+# A path that matches a pattern but not a listed method is a 405 with an
+# ``Allow`` header; a path matching nothing is a 404 ``not_found``.
+_LEGACY_SUCCESSORS = {
+    "/score": "/v1/models/{id}/score",
+    "/healthz": "/v1/healthz",
+    "/model": "/v1/models/{id}",
+}
+
+_ROUTES = (
+    (re.compile(r"^/v1/healthz$"),
+     {"GET": "_v1_health"}, False),
+    (re.compile(r"^/v1/models$"),
+     {"GET": "_v1_models_list", "POST": "_v1_models_load"}, False),
+    (re.compile(r"^/v1/models/([^/]+)$"),
+     {"GET": "_v1_model_get", "DELETE": "_v1_model_unload"}, False),
+    (re.compile(r"^/v1/models/([^/]+)/score$"),
+     {"POST": "_v1_model_score"}, False),
+    (re.compile(r"^/v1/jobs$"),
+     {"GET": "_v1_jobs_list", "POST": "_v1_jobs_submit"}, False),
+    (re.compile(r"^/v1/jobs/([^/]+)$"),
+     {"GET": "_v1_job_get", "DELETE": "_v1_job_cancel"}, False),
+    (re.compile(r"^/v1/jobs/([^/]+)/result$"),
+     {"GET": "_v1_job_result"}, False),
+    (re.compile(r"^/v1/sessions$"),
+     {"GET": "_v1_sessions_list", "POST": "_v1_sessions_create"}, False),
+    (re.compile(r"^/v1/sessions/([^/]+)$"),
+     {"GET": "_v1_session_get", "DELETE": "_v1_session_close"}, False),
+    (re.compile(r"^/v1/sessions/([^/]+)/score$"),
+     {"POST": "_v1_session_score"}, False),
+    (re.compile(r"^/score$"), {"POST": "_legacy_score"}, True),
+    (re.compile(r"^/healthz$"), {"GET": "_legacy_health"}, True),
+    (re.compile(r"^/model$"), {"GET": "_legacy_model"}, True),
+)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -64,119 +170,307 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   extra_headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _send_error_envelope(self, error: ApiError,
+                             extra_headers: Optional[Dict[str, str]] = None
+                             ) -> None:
+        self._send_json(error.http_status, error.envelope().to_json(),
+                        extra_headers)
 
-    # ------------------------------------------------------------------- routes
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/healthz":
-            summary = self.server.scorer.artifact.summary()
-            self._send_json(200, {
-                "status": "ok",
-                "format": summary["format"],
-                "schema_version": summary["schema_version"],
-                "ensemble_groups": summary["ensemble_groups"],
-            })
-        elif self.path == "/model":
-            self._send_json(200, self.server.scorer.diagnostics())
-        else:
-            self._error(404, f"unknown path {self.path!r}; "
-                             "try /score, /healthz, or /model")
-
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path != "/score":
-            self._error(404, f"unknown path {self.path!r}; POST /score")
-            return
+    def _read_json_body(self):
+        """Decode the request body, enforcing size and parse limits."""
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
-            self._error(400, "invalid Content-Length")
-            return
+            raise ApiError("bad_request", "invalid Content-Length header")
         if length <= 0:
-            self._error(400, "POST /score requires a JSON body")
-            return
+            raise ApiError("bad_request", "this route requires a JSON body")
         if length > MAX_BODY_BYTES:
-            self._error(413, "request body too large")
-            return
+            raise ApiError("payload_too_large",
+                           f"request body exceeds {MAX_BODY_BYTES} bytes",
+                           detail={"content_length": length})
+        raw = self.rfile.read(length)
         try:
-            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            return json.loads(raw.decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError) as error:
-            self._error(400, f"invalid JSON body: {error}")
-            return
-        if not isinstance(payload, dict) or "samples" not in payload:
-            self._error(400, 'body must be an object with a "samples" matrix')
-            return
-        mode = payload.get("mode", "reference")
+            raise ApiError("bad_request", f"invalid JSON body: {error}")
+
+    # ------------------------------------------------------------------- router
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        path = urlsplit(self.path).path
+        extra_headers: Dict[str, str] = {}
         try:
-            future = self.server.scorer.submit(payload["samples"], mode=mode)
+            if self.server.runtime.draining:
+                raise ApiError("shutting_down",
+                               "the server is shutting down; retry against "
+                               "another replica")
+            for pattern, methods, legacy in _ROUTES:
+                match = pattern.match(path)
+                if match is None:
+                    continue
+                if legacy:
+                    extra_headers["Deprecation"] = "true"
+                    extra_headers["Link"] = (
+                        f'<{_LEGACY_SUCCESSORS[path]}>; '
+                        'rel="successor-version"')
+                handler = methods.get(method)
+                if handler is None:
+                    extra_headers["Allow"] = ", ".join(sorted(methods))
+                    raise ApiError(
+                        "method_not_allowed",
+                        f"{method} is not supported on {path}; allowed: "
+                        f"{sorted(methods)}")
+                status, payload = getattr(self, handler)(*match.groups())
+                self._send_json(status, payload, extra_headers)
+                return
+            raise ApiError("not_found",
+                           f"unknown path {path!r}; the API lives under "
+                           f"/{API_VERSION}/ (see docs/API.md)")
+        except ApiError as error:
+            self._send_error_envelope(error, extra_headers)
+        except Exception as error:  # pragma: no cover - defensive backstop
+            self._send_error_envelope(ApiError(
+                "internal", f"unhandled server error: "
+                f"{type(error).__name__}: {error}"))
+
+    # ----------------------------------------------------------------- helpers
+    @property
+    def runtime(self) -> ServerRuntime:
+        return self.server.runtime
+
+    def _score_on(self, entry: RegisteredModel,
+                  request: ScoreRequest) -> ScoreResult:
+        """Micro-batched synchronous scoring with uniform error mapping."""
+        try:
+            future = entry.scorer.submit(request.samples, mode=request.mode)
         except (TypeError, ValueError) as error:
-            self._error(400, str(error))
-            return
+            raise ApiError("bad_request", str(error)) from None
         try:
-            result = future.result(timeout=SCORE_TIMEOUT_S)
+            return future.result(timeout=SCORE_TIMEOUT_S)
         except FutureTimeoutError:
             # Cancel so the worker can skip the orphaned request instead of
             # burning a batch slot on a response nobody will read.
             future.cancel()
-            self._error(504, f"scoring timed out after {SCORE_TIMEOUT_S:.0f}s")
-            return
+            raise ApiError("timeout",
+                           f"scoring timed out after {SCORE_TIMEOUT_S:.0f}s")
         except (TypeError, ValueError) as error:
-            self._error(400, str(error))
-            return
-        except Exception as error:  # pragma: no cover - defensive
-            self._error(500, f"scoring failed: {error}")
-            return
-        self._send_json(200, {
-            "scores": result.scores.tolist(),
-            "num_runs": result.num_runs,
-            "num_samples": result.num_samples,
-            "mode": result.mode,
-            "schema_version": self.server.scorer.artifact.schema_version,
-        })
+            raise ApiError("bad_request", str(error)) from None
+
+    @staticmethod
+    def _score_response(entry: RegisteredModel,
+                        result: ScoreResult) -> ScoreResponse:
+        return ScoreResponse(
+            scores=result.scores.tolist(),
+            num_runs=result.num_runs,
+            num_samples=result.num_samples,
+            mode=result.mode,
+            model_id=entry.model_id,
+            schema_version=entry.artifact.schema_version,
+        )
+
+    # --------------------------------------------------------------- /v1 routes
+    def _v1_health(self):
+        runtime = self.runtime
+        response = HealthResponse(
+            status="ok",
+            api_version=API_VERSION,
+            models=runtime.registry.ids(),
+            default_model=runtime.registry.default_id(),
+            jobs=runtime.jobs.counts(),
+            sessions=len(runtime.sessions),
+        )
+        return 200, response.to_json()
+
+    def _v1_models_list(self):
+        entries = self.runtime.registry.list()
+        response = ModelListResponse(
+            models=[entry.info(is_default=(index == 0))
+                    for index, entry in enumerate(entries)],
+            default_model=self.runtime.registry.default_id(),
+        )
+        return 200, response.to_json()
+
+    def _v1_models_load(self):
+        request = ModelLoadRequest.from_json(self._read_json_body())
+        entry = self.runtime.registry.load(request.path,
+                                           model_id=request.model_id)
+        is_default = self.runtime.registry.default_id() == entry.model_id
+        return 201, entry.info(is_default=is_default).to_json()
+
+    def _v1_model_get(self, model_id: str):
+        entry = self.runtime.registry.get(model_id)
+        is_default = self.runtime.registry.default_id() == entry.model_id
+        diagnostics = entry.scorer.diagnostics()
+        payload = entry.info(is_default=is_default).to_json()
+        payload["serving"] = diagnostics["serving"]
+        payload["compiler_cache"] = diagnostics["compiler_cache"]
+        return 200, payload
+
+    def _v1_model_unload(self, model_id: str):
+        entry = self.runtime.registry.unload(model_id)
+        return 200, entry.info().to_json()
+
+    def _v1_model_score(self, model_id: str):
+        request = ScoreRequest.from_json(self._read_json_body())
+        entry = self.runtime.registry.get(model_id)
+        result = self._score_on(entry, request)
+        return 200, self._score_response(entry, result).to_json()
+
+    def _v1_jobs_list(self):
+        response = JobListResponse(
+            jobs=[job.info() for job in self.runtime.jobs.list()])
+        return 200, response.to_json()
+
+    def _v1_jobs_submit(self):
+        request = JobSubmitRequest.from_json(self._read_json_body())
+        job = self.runtime.jobs.submit(request)
+        return 202, job.info().to_json()
+
+    def _v1_job_get(self, job_id: str):
+        return 200, self.runtime.jobs.get(job_id).info().to_json()
+
+    def _v1_job_result(self, job_id: str):
+        result = self.runtime.jobs.result(job_id)
+        job = self.runtime.jobs.get(job_id)
+        response = JobResultResponse(job_id=job.job_id, kind=job.kind,
+                                     result=result)
+        return 200, response.to_json()
+
+    def _v1_job_cancel(self, job_id: str):
+        return 200, self.runtime.jobs.cancel(job_id).info().to_json()
+
+    def _v1_sessions_list(self):
+        response = SessionListResponse(
+            sessions=[session.info()
+                      for session in self.runtime.sessions.list()])
+        return 200, response.to_json()
+
+    def _v1_sessions_create(self):
+        request = SessionCreateRequest.from_json(self._read_json_body())
+        session = self.runtime.sessions.create(request)
+        return 201, session.info().to_json()
+
+    def _v1_session_get(self, session_id: str):
+        return 200, self.runtime.sessions.get(session_id).info().to_json()
+
+    def _v1_session_score(self, session_id: str):
+        request = ScoreRequest.from_json(self._read_json_body())
+        session = self.runtime.sessions.get(session_id)
+        entry = self.runtime.registry.get(session.model_id)
+        result = self.runtime.sessions.score(session_id, request,
+                                             timeout_s=SCORE_TIMEOUT_S)
+        return 200, self._score_response(entry, result).to_json()
+
+    def _v1_session_close(self, session_id: str):
+        session = self.runtime.sessions.close_session(session_id)
+        return 200, session.info().to_json()
+
+    # ------------------------------------------------------------ legacy routes
+    # Deprecated aliases over the DEFAULT model, byte-compatible with the
+    # original single-model server.  New functionality is /v1-only.
+    def _legacy_score(self):
+        request = ScoreRequest.from_json(self._read_json_body())
+        entry = self.runtime.registry.get()
+        result = self._score_on(entry, request)
+        return 200, self._score_response(entry, result).to_json(legacy=True)
+
+    def _legacy_health(self):
+        summary = self.runtime.registry.get().artifact.summary()
+        return 200, {
+            "status": "ok",
+            "format": summary["format"],
+            "schema_version": summary["schema_version"],
+            "ensemble_groups": summary["ensemble_groups"],
+        }
+
+    def _legacy_model(self):
+        return 200, self.runtime.registry.get().scorer.diagnostics()
 
 
-def build_server(model: Union[str, Path, ModelArtifact, OnlineScorer],
+def build_server(model: Union[str, Path, ModelArtifact, OnlineScorer, None]
+                 = None,
                  host: str = "127.0.0.1", port: int = 0,
                  quiet: bool = True,
-                 scorer_kwargs: Optional[dict] = None) -> QuorumHTTPServer:
-    """Build (but do not start) a server for a model path, artifact, or scorer.
+                 scorer_kwargs: Optional[dict] = None,
+                 *,
+                 models: Optional[Dict[str, Union[str, Path]]] = None,
+                 job_workers: int = 2,
+                 job_ttl_s: float = 900.0,
+                 session_ttl_s: float = 600.0,
+                 compiler: Optional[CircuitCompiler] = None
+                 ) -> QuorumHTTPServer:
+    """Build (but do not start) a runtime server.
+
+    ``model`` is the default model (path, artifact, or prebuilt scorer --
+    the original single-model signature); ``models`` adds further artifacts
+    as an ``{model_id: path}`` mapping.  At least one model must be given.
+    All scorers share one compiler cache (``compiler`` overrides the
+    process-wide instance, e.g. for cache-counter tests).
 
     ``port=0`` binds an ephemeral port; read the actual one from
     ``server.server_address`` (the CI smoke test and the examples do).
     """
-    if isinstance(model, OnlineScorer):
-        if scorer_kwargs:
-            raise ValueError(
-                "scorer_kwargs cannot be applied to a prebuilt OnlineScorer; "
-                "pass a model path or artifact instead"
-            )
-        scorer = model
-    else:
-        artifact = model if isinstance(model, ModelArtifact) else load_model(model)
-        scorer = OnlineScorer(artifact, **(scorer_kwargs or {}))
-    return QuorumHTTPServer((host, port), scorer, quiet=quiet)
+    registry = ModelRegistry(compiler=compiler, scorer_kwargs=scorer_kwargs)
+    if model is not None:
+        if isinstance(model, OnlineScorer):
+            if scorer_kwargs:
+                raise ValueError(
+                    "scorer_kwargs cannot be applied to a prebuilt "
+                    "OnlineScorer; pass a model path or artifact instead")
+            registry.adopt_scorer(model)
+        elif isinstance(model, ModelArtifact):
+            registry.register(model)
+        else:
+            registry.load(model)
+    for model_id, path in (models or {}).items():
+        registry.load(path, model_id=model_id)
+    if len(registry) == 0:
+        raise ValueError("build_server needs at least one model "
+                         "(model=... or models={...})")
+    runtime = ServerRuntime(registry, job_workers=job_workers,
+                            job_ttl_s=job_ttl_s, session_ttl_s=session_ttl_s)
+    return QuorumHTTPServer((host, port), runtime, quiet=quiet)
 
 
-def run_server(model_path: Union[str, Path], host: str = "127.0.0.1",
+def run_server(model_path: Union[str, Path, None], host: str = "127.0.0.1",
                port: int = 0, quiet: bool = True,
-               scorer_kwargs: Optional[dict] = None) -> int:
-    """Load a model and serve it until interrupted (the CLI entry point).
+               scorer_kwargs: Optional[dict] = None,
+               models: Optional[Dict[str, Union[str, Path]]] = None,
+               job_workers: int = 2,
+               job_ttl_s: float = 900.0,
+               session_ttl_s: float = 600.0) -> int:
+    """Load model(s) and serve until interrupted (the CLI entry point).
 
     Prints one ``serving ... on http://host:port`` line (flushed) before
     blocking, so wrappers that spawn the CLI can scrape the ephemeral port.
     """
     server = build_server(model_path, host=host, port=port, quiet=quiet,
-                          scorer_kwargs=scorer_kwargs)
+                          scorer_kwargs=scorer_kwargs, models=models,
+                          job_workers=job_workers, job_ttl_s=job_ttl_s,
+                          session_ttl_s=session_ttl_s)
     bound_host, bound_port = server.server_address[:2]
-    print(f"serving {model_path} on http://{bound_host}:{bound_port}",
+    served = model_path if model_path is not None \
+        else ", ".join(server.runtime.registry.ids())
+    print(f"serving {served} on http://{bound_host}:{bound_port}",
           flush=True)
     try:
         server.serve_forever()
@@ -184,5 +478,5 @@ def run_server(model_path: Union[str, Path], host: str = "127.0.0.1",
         pass
     finally:
         server.server_close()
-        server.scorer.close()
+        server.runtime.close()
     return 0

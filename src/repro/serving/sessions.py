@@ -1,0 +1,215 @@
+"""Scoring sessions: sticky execution contexts with TTL expiry.
+
+A session binds a client to one registered model plus an execution mode:
+
+``batch`` (default)
+    Stateless micro-batched scoring -- each request flows through the
+    scorer's coalescing queue exactly like ``POST /v1/models/{id}/score``,
+    so concurrent sessions share fused batches.  The session is bookkeeping
+    (affinity, TTL, request counters), not an execution constraint.
+
+``dedicated``
+    Sequential, **stateful** scoring: the session owns one restored
+    post-planning RNG per ensemble member
+    (:meth:`~repro.serving.scorer.OnlineScorer.fresh_member_rngs`) and every
+    request advances those generators in place
+    (:meth:`~repro.serving.scorer.OnlineScorer.score_stateful`).  Requests
+    within the session execute one at a time under the session lock.  The
+    determinism contract: two dedicated sessions fed the same request
+    sequence produce bitwise-identical score sequences, and a fresh
+    session whose first request is the full training set in ``replay`` mode
+    reproduces the fit scores bitwise.
+
+Sessions expire after ``ttl_s`` seconds of inactivity.  Expired ids are
+remembered in a bounded tombstone table so clients get the precise
+``session_expired`` (410) rather than ``session_not_found`` (404).  The
+clock is injectable so expiry is deterministic under test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.serving.models import (
+    ApiError,
+    ScoreRequest,
+    SessionCreateRequest,
+    SessionInfo,
+)
+from repro.serving.registry import ModelRegistry
+from repro.serving.scorer import ScoreResult
+
+__all__ = ["Session", "SessionManager"]
+
+#: How many expired session ids the tombstone table remembers.
+TOMBSTONE_CAPACITY = 1024
+
+#: How long one batch-mode session request may wait on the micro-batch queue.
+SESSION_SCORE_TIMEOUT_S = 300.0
+
+
+@dataclass
+class Session:
+    """One live session (internal record; the API shape is SessionInfo)."""
+
+    session_id: str
+    model_id: str
+    mode: str
+    ttl_s: float
+    created_at: float
+    last_used_at: float
+    requests: int = 0
+    #: Dedicated mode only: the sticky per-member generators.
+    member_rngs: Optional[list] = None
+    #: Serializes dedicated-mode requests (sticky RNG draws must not race).
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def info(self) -> SessionInfo:
+        return SessionInfo(session_id=self.session_id, model_id=self.model_id,
+                           mode=self.mode, ttl_s=self.ttl_s,
+                           created_at=self.created_at,
+                           last_used_at=self.last_used_at,
+                           requests=self.requests)
+
+
+class SessionManager:
+    """Lock-protected session table over a :class:`ModelRegistry`."""
+
+    def __init__(self, registry: ModelRegistry, default_ttl_s: float = 600.0,
+                 clock: Callable[[], float] = time.time) -> None:
+        if default_ttl_s <= 0:
+            raise ValueError("default_ttl_s must be positive")
+        self.registry = registry
+        self.default_ttl_s = float(default_ttl_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, Session] = {}
+        self._tombstones: "OrderedDict[str, float]" = OrderedDict()
+        self._closed = False
+
+    # ---------------------------------------------------------------- create
+    def create(self, request: SessionCreateRequest) -> Session:
+        """Open a session bound to a registered model.
+
+        Resolves the model *now* so an unknown id fails with 404 at creation
+        rather than on the first score call.
+        """
+        entry = self.registry.get(request.model_id)
+        now = self._clock()
+        session = Session(
+            session_id=uuid.uuid4().hex,
+            model_id=entry.model_id,
+            mode=request.mode,
+            ttl_s=float(request.ttl_s or self.default_ttl_s),
+            created_at=now,
+            last_used_at=now,
+            member_rngs=(entry.scorer.fresh_member_rngs()
+                         if request.mode == "dedicated" else None),
+        )
+        with self._lock:
+            if self._closed:
+                raise ApiError("shutting_down",
+                               "the session manager is shutting down")
+            self._gc_locked()
+            self._sessions[session.session_id] = session
+        return session
+
+    # ---------------------------------------------------------------- lookup
+    def get(self, session_id: str) -> Session:
+        """Live session by id; expired -> 410, unknown -> 404."""
+        with self._lock:
+            self._gc_locked()
+            session = self._sessions.get(session_id)
+            if session is not None:
+                return session
+            if session_id in self._tombstones:
+                raise ApiError(
+                    "session_expired",
+                    f"session {session_id} expired after {self._ttl_hint(session_id)}",
+                    detail={"session_id": session_id})
+            raise ApiError("session_not_found",
+                           f"no session with id {session_id!r}")
+
+    def _ttl_hint(self, session_id: str) -> str:
+        ttl = self._tombstones.get(session_id)
+        return f"{ttl:.0f}s of inactivity" if ttl is not None else "its TTL"
+
+    # ---------------------------------------------------------------- scoring
+    def score(self, session_id: str, request: ScoreRequest,
+              timeout_s: float = SESSION_SCORE_TIMEOUT_S) -> ScoreResult:
+        """Execute one score request in the session's mode."""
+        session = self.get(session_id)
+        entry = self.registry.get(session.model_id)  # 404 if unloaded meanwhile
+        try:
+            if session.mode == "dedicated":
+                assert session.member_rngs is not None
+                with session.lock:
+                    result = entry.scorer.score_stateful(
+                        request.samples, session.member_rngs,
+                        mode=request.mode)
+            else:
+                result = entry.scorer.submit(
+                    request.samples, mode=request.mode).result(
+                        timeout=timeout_s)
+        except (TypeError, ValueError) as error:
+            raise ApiError("bad_request", str(error)) from None
+        with self._lock:
+            session.requests += 1
+            session.last_used_at = self._clock()
+        return result
+
+    def touch(self, session_id: str) -> Session:
+        """Refresh a session's idle timer without scoring."""
+        session = self.get(session_id)
+        with self._lock:
+            session.last_used_at = self._clock()
+        return session
+
+    # -------------------------------------------------------------- lifecycle
+    def close_session(self, session_id: str) -> Session:
+        """Explicitly end a session (its id does NOT become a tombstone)."""
+        with self._lock:
+            self._gc_locked()
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise ApiError("session_not_found",
+                           f"no session with id {session_id!r}")
+        return session
+
+    def list(self) -> List[Session]:
+        with self._lock:
+            self._gc_locked()
+            return sorted(self._sessions.values(),
+                          key=lambda session: session.created_at)
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._gc_locked()
+            return len(self._sessions)
+
+    def _gc_locked(self) -> None:
+        now = self._clock()
+        expired = [session_id for session_id, session in self._sessions.items()
+                   if now - session.last_used_at > session.ttl_s]
+        for session_id in expired:
+            session = self._sessions.pop(session_id)
+            self._tombstones[session_id] = session.ttl_s
+            self._tombstones.move_to_end(session_id)
+        while len(self._tombstones) > TOMBSTONE_CAPACITY:
+            self._tombstones.popitem(last=False)
+
+    def gc(self) -> None:
+        """Expire idle sessions (also runs on every access)."""
+        with self._lock:
+            self._gc_locked()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._sessions.clear()
+            self._tombstones.clear()

@@ -1,7 +1,9 @@
 """HTTP-service tests driven through a real socket with stdlib clients only."""
 
+import http.client
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -10,7 +12,7 @@ import pytest
 
 from repro.core.detector import QuorumDetector
 from repro.serving.artifact import save_model
-from repro.serving.server import build_server
+from repro.serving.server import MAX_BODY_BYTES, build_server
 
 
 @pytest.fixture(scope="module")
@@ -24,7 +26,9 @@ def served_model(tmp_path_factory):
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     host, port = server.server_address[:2]
-    yield f"http://{host}:{port}", data
+    yield {"base": f"http://{host}:{port}", "data": data, "path": str(path),
+           "detector": detector,
+           "default_id": server.runtime.registry.default_id()}
     server.shutdown()
     server.server_close()
     thread.join(timeout=10)
@@ -32,7 +36,7 @@ def served_model(tmp_path_factory):
 
 def _get(url):
     with urllib.request.urlopen(url, timeout=30) as response:
-        return response.status, json.loads(response.read())
+        return response.status, json.loads(response.read()), response.headers
 
 
 def _post(url, payload, raw=None):
@@ -40,46 +44,76 @@ def _post(url, payload, raw=None):
     request = urllib.request.Request(
         url, data=body, headers={"Content-Type": "application/json"})
     with urllib.request.urlopen(request, timeout=60) as response:
-        return response.status, json.loads(response.read())
+        return response.status, json.loads(response.read()), response.headers
 
 
-class TestRoutes:
+def _delete(url):
+    request = urllib.request.Request(url, method="DELETE")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read()), response.headers
+
+
+def _error_of(call):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        call()
+    return (excinfo.value.code, json.loads(excinfo.value.read()),
+            excinfo.value.headers)
+
+
+def _wait_job(base, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, job, _ = _get(f"{base}/v1/jobs/{job_id}")
+        if job["status"] in ("succeeded", "failed", "cancelled"):
+            return job
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish within {timeout}s")
+
+
+class TestLegacyRoutes:
+    """The pre-/v1 aliases stay byte-compatible and carry Deprecation."""
+
     def test_healthz(self, served_model):
-        base, _ = served_model
-        status, payload = _get(base + "/healthz")
+        status, payload, headers = _get(served_model["base"] + "/healthz")
         assert status == 200
         assert payload["status"] == "ok"
         assert payload["schema_version"] == 1
         assert payload["ensemble_groups"] == 3
+        assert headers["Deprecation"] == "true"
+        assert "successor-version" in headers["Link"]
 
     def test_model_diagnostics(self, served_model):
-        base, _ = served_model
-        status, payload = _get(base + "/model")
+        status, payload, headers = _get(served_model["base"] + "/model")
         assert status == 200
         assert payload["model"]["format"] == "quorum-repro/model"
         assert payload["model"]["schema_version"] == 1
         assert {"compiles", "hits", "misses"} <= set(payload["compiler_cache"])
         assert "requests" in payload["serving"]
+        assert headers["Deprecation"] == "true"
 
     def test_score_round_trip(self, served_model):
-        base, data = served_model
-        status, payload = _post(base + "/score",
-                                {"samples": data[:4].tolist()})
+        data = served_model["data"]
+        status, payload, headers = _post(served_model["base"] + "/score",
+                                         {"samples": data[:4].tolist()})
         assert status == 200
         assert payload["mode"] == "reference"
         assert payload["num_samples"] == 4
         assert len(payload["scores"]) == 4
         assert payload["num_runs"] == 3 * 2
         assert payload["schema_version"] == 1
+        # Byte-compatible: the legacy shape never grew a model_id field.
+        assert set(payload) == {"scores", "num_runs", "num_samples", "mode",
+                                "schema_version"}
+        assert headers["Deprecation"] == "true"
 
     def test_score_is_deterministic_across_requests(self, served_model):
-        base, data = served_model
-        _, first = _post(base + "/score", {"samples": data[:3].tolist()})
-        _, second = _post(base + "/score", {"samples": data[:3].tolist()})
+        base, data = served_model["base"], served_model["data"]
+        _, first, _ = _post(base + "/score", {"samples": data[:3].tolist()})
+        _, second, _ = _post(base + "/score", {"samples": data[:3].tolist()})
         assert first["scores"] == second["scores"]
 
     def test_concurrent_posts_match_sequential(self, served_model):
-        base, data = served_model
+        base, data = served_model["base"], served_model["data"]
         requests = [data[i:i + 2].tolist() for i in range(6)]
         sequential = [_post(base + "/score", {"samples": r})[1]["scores"]
                       for r in requests]
@@ -98,80 +132,381 @@ class TestRoutes:
         assert results == sequential
 
     def test_replay_mode_over_http(self, served_model):
-        base, data = served_model
-        status, payload = _post(base + "/score",
-                                {"samples": data.tolist(), "mode": "replay"})
+        base, data = served_model["base"], served_model["data"]
+        status, payload, _ = _post(base + "/score",
+                                   {"samples": data.tolist(),
+                                    "mode": "replay"})
         assert status == 200
         assert payload["mode"] == "replay"
 
+    def test_legacy_score_matches_v1_minus_model_id(self, served_model):
+        """Alias parity: /score == /v1/models/{id}/score minus model_id."""
+        base, data = served_model["base"], served_model["data"]
+        model_id = served_model["default_id"]
+        _, legacy, _ = _post(base + "/score", {"samples": data[:3].tolist()})
+        _, v1, headers = _post(f"{base}/v1/models/{model_id}/score",
+                               {"samples": data[:3].tolist()})
+        assert v1.pop("model_id") == model_id
+        assert v1 == legacy
+        assert "Deprecation" not in headers  # /v1 routes are not deprecated
+
     def test_cache_counters_grow_across_requests(self, served_model):
-        base, data = served_model
-        _, before = _get(base + "/model")
+        base, data = served_model["base"], served_model["data"]
+        _, before, _ = _get(base + "/model")
         _post(base + "/score", {"samples": data[:1].tolist()})
         _post(base + "/score", {"samples": data[:1].tolist()})
-        _, after = _get(base + "/model")
+        _, after, _ = _get(base + "/model")
         assert after["compiler_cache"]["hits"] > before["compiler_cache"]["hits"]
         assert (after["compiler_cache"]["compiles"]
                 == before["compiler_cache"]["compiles"])
         assert after["serving"]["requests"] >= before["serving"]["requests"] + 2
 
 
-class TestErrors:
-    def _status_of(self, call):
-        with pytest.raises(urllib.error.HTTPError) as excinfo:
-            call()
-        return excinfo.value.code, json.loads(excinfo.value.read())
+class TestV1Models:
+    def test_health(self, served_model):
+        status, payload, _ = _get(served_model["base"] + "/v1/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["api_version"] == "v1"
+        assert served_model["default_id"] in payload["models"]
+        assert payload["default_model"] == served_model["default_id"]
+        assert set(payload["jobs"]) == {"queued", "running", "succeeded",
+                                        "failed", "cancelled"}
 
-    def test_unknown_get_path(self, served_model):
-        base, _ = served_model
-        code, payload = self._status_of(lambda: _get(base + "/nope"))
+    def test_list_and_get(self, served_model):
+        base = served_model["base"]
+        status, listing, _ = _get(base + "/v1/models")
+        assert status == 200
+        ids = [model["model_id"] for model in listing["models"]]
+        assert served_model["default_id"] in ids
+        default = next(m for m in listing["models"]
+                       if m["model_id"] == served_model["default_id"])
+        assert default["is_default"] is True
+        assert len(default["sha256"]) == 64
+
+        _, detail, _ = _get(f"{base}/v1/models/{served_model['default_id']}")
+        assert detail["sha256"] == default["sha256"]
+        assert "compiler_cache" in detail and "serving" in detail
+
+    def test_get_by_full_sha(self, served_model):
+        base = served_model["base"]
+        _, listing, _ = _get(base + "/v1/models")
+        sha = listing["models"][0]["sha256"]
+        status, detail, _ = _get(f"{base}/v1/models/{sha}")
+        assert status == 200
+        assert detail["sha256"] == sha
+
+    def test_v1_score(self, served_model):
+        base, data = served_model["base"], served_model["data"]
+        model_id = served_model["default_id"]
+        status, payload, _ = _post(f"{base}/v1/models/{model_id}/score",
+                                   {"samples": data[:2].tolist()})
+        assert status == 200
+        assert payload["model_id"] == model_id
+        assert len(payload["scores"]) == 2
+
+    def test_load_score_unload_second_model_shares_cache(self, served_model):
+        """Acceptance criterion over HTTP: a second registry entry for the
+        same artifact adds hits, not compiles, to the shared cache."""
+        base, data = served_model["base"], served_model["data"]
+        probe = data[:2].tolist()
+        # Warm the cache through the default model with this exact probe.
+        _post(f"{base}/v1/models/{served_model['default_id']}/score",
+              {"samples": probe})
+        _, warm, _ = _get(f"{base}/v1/models/{served_model['default_id']}")
+
+        status, loaded, _ = _post(base + "/v1/models",
+                                  {"path": served_model["path"],
+                                   "model_id": "twin"})
+        assert status == 201
+        assert loaded["model_id"] == "twin"
+        assert loaded["is_default"] is False
+
+        _post(f"{base}/v1/models/twin/score", {"samples": probe})
+        _, after, _ = _get(base + "/v1/models/twin")
+        assert (after["compiler_cache"]["compiles"]
+                == warm["compiler_cache"]["compiles"])
+        assert after["compiler_cache"]["hits"] > warm["compiler_cache"]["hits"]
+
+        status, unloaded, _ = _delete(base + "/v1/models/twin")
+        assert status == 200
+        code, payload, _ = _error_of(lambda: _get(base + "/v1/models/twin"))
         assert code == 404
-        assert "unknown path" in payload["error"]
+        assert payload["error"]["code"] == "model_not_found"
+
+    def test_unknown_model_404s(self, served_model):
+        base, data = served_model["base"], served_model["data"]
+        code, payload, _ = _error_of(
+            lambda: _post(f"{base}/v1/models/ghost/score",
+                          {"samples": data[:1].tolist()}))
+        assert code == 404
+        assert payload["error"]["code"] == "model_not_found"
+
+    def test_load_conflicting_id_is_409(self, served_model, tmp_path):
+        base, data = served_model["base"], served_model["data"]
+        other = QuorumDetector(ensemble_groups=2, seed=77, shots=256)
+        other.fit(data)
+        other_path = save_model(other, tmp_path / "other.json")
+        code, payload, _ = _error_of(
+            lambda: _post(base + "/v1/models",
+                          {"path": str(other_path),
+                           "model_id": served_model["default_id"]}))
+        assert code == 409
+        assert payload["error"]["code"] == "model_exists"
+
+    def test_load_bad_bundle_is_400(self, served_model, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code, payload, _ = _error_of(
+            lambda: _post(served_model["base"] + "/v1/models",
+                          {"path": str(bad)}))
+        assert code == 400
+        assert payload["error"]["code"] == "bad_request"
+
+
+class TestV1Jobs:
+    def test_replay_job_lifecycle_matches_sync_replay(self, served_model):
+        base, data = served_model["base"], served_model["data"]
+        status, job, _ = _post(base + "/v1/jobs",
+                               {"kind": "replay_dataset",
+                                "params": {"samples": data.tolist()}})
+        assert status == 202
+        assert job["status"] in ("queued", "running")
+
+        done = _wait_job(base, job["job_id"])
+        assert done["status"] == "succeeded"
+        _, result, _ = _get(f"{base}/v1/jobs/{job['job_id']}/result")
+        assert result["job_id"] == job["job_id"]
+        assert result["kind"] == "replay_dataset"
+        scores = np.array(result["result"]["scores"])
+        assert np.array_equal(scores,
+                              served_model["detector"].anomaly_scores())
+
+    def test_result_while_pending_is_409(self, served_model):
+        base, data = served_model["base"], served_model["data"]
+        # A fit job is slow enough to catch in flight.
+        _, job, _ = _post(base + "/v1/jobs",
+                          {"kind": "fit",
+                           "params": {"samples": data.tolist(),
+                                      "config": {"ensemble_groups": 2,
+                                                 "seed": 5, "shots": 128}}})
+        try:
+            _get(f"{base}/v1/jobs/{job['job_id']}/result")
+        except urllib.error.HTTPError as error:
+            assert error.code == 409
+            assert json.loads(error.read())["error"]["code"] == "job_not_done"
+        # else: the job finished before we polled -- fine on a fast machine.
+        done = _wait_job(base, job["job_id"])
+        assert done["status"] == "succeeded"
+        _, result, _ = _get(f"{base}/v1/jobs/{job['job_id']}/result")
+        fitted_id = result["result"]["model_id"]
+        # The fit job registered a NEW servable model.
+        _, scored, _ = _post(f"{base}/v1/models/{fitted_id}/score",
+                             {"samples": data[:2].tolist()})
+        assert scored["model_id"] == fitted_id
+        _delete(f"{base}/v1/models/{fitted_id}")
+
+    def test_cancel_finished_job_is_idempotent(self, served_model):
+        base, data = served_model["base"], served_model["data"]
+        _, job, _ = _post(base + "/v1/jobs",
+                          {"kind": "score",
+                           "params": {"samples": data[:1].tolist()}})
+        _wait_job(base, job["job_id"])
+        status, after, _ = _delete(f"{base}/v1/jobs/{job['job_id']}")
+        assert status == 200
+        assert after["status"] == "succeeded"
+
+    def test_jobs_listing(self, served_model):
+        base, data = served_model["base"], served_model["data"]
+        _, job, _ = _post(base + "/v1/jobs",
+                          {"kind": "score",
+                           "params": {"samples": data[:1].tolist()}})
+        _, listing, _ = _get(base + "/v1/jobs")
+        assert job["job_id"] in [j["job_id"] for j in listing["jobs"]]
+
+    def test_unknown_job_404s(self, served_model):
+        code, payload, _ = _error_of(
+            lambda: _get(served_model["base"] + "/v1/jobs/deadbeef"))
+        assert code == 404
+        assert payload["error"]["code"] == "job_not_found"
+
+    def test_bad_submit_is_400_with_detail(self, served_model):
+        code, payload, _ = _error_of(
+            lambda: _post(served_model["base"] + "/v1/jobs",
+                          {"kind": "replay_dataset", "params": {}}))
+        assert code == 400
+        assert payload["error"]["code"] == "bad_request"
+        assert "samples" in payload["error"]["message"]
+
+
+class TestV1Sessions:
+    def test_dedicated_session_replay_matches_fit(self, served_model):
+        base, data = served_model["base"], served_model["data"]
+        status, session, _ = _post(base + "/v1/sessions",
+                                   {"mode": "dedicated"})
+        assert status == 201
+        sid = session["session_id"]
+        _, scored, _ = _post(f"{base}/v1/sessions/{sid}/score",
+                             {"samples": data.tolist(), "mode": "replay"})
+        assert np.array_equal(np.array(scored["scores"]),
+                              served_model["detector"].anomaly_scores())
+        _, info, _ = _get(f"{base}/v1/sessions/{sid}")
+        assert info["requests"] == 1
+        assert info["mode"] == "dedicated"
+        _delete(f"{base}/v1/sessions/{sid}")
+
+    def test_batch_session_round_trip(self, served_model):
+        base, data = served_model["base"], served_model["data"]
+        _, session, _ = _post(base + "/v1/sessions", {})
+        sid = session["session_id"]
+        assert session["mode"] == "batch"
+        _, scored, _ = _post(f"{base}/v1/sessions/{sid}/score",
+                             {"samples": data[:2].tolist()})
+        _, direct, _ = _post(base + "/score", {"samples": data[:2].tolist()})
+        assert scored["scores"] == direct["scores"]
+        _, listing, _ = _get(base + "/v1/sessions")
+        assert sid in [s["session_id"] for s in listing["sessions"]]
+        status, closed, _ = _delete(f"{base}/v1/sessions/{sid}")
+        assert status == 200
+        code, payload, _ = _error_of(
+            lambda: _get(f"{base}/v1/sessions/{sid}"))
+        assert code == 404
+        assert payload["error"]["code"] == "session_not_found"
+
+    def test_unknown_session_404s(self, served_model):
+        code, payload, _ = _error_of(
+            lambda: _get(served_model["base"] + "/v1/sessions/deadbeef"))
+        assert code == 404
+        assert payload["error"]["code"] == "session_not_found"
+
+    def test_session_for_unknown_model_404s(self, served_model):
+        code, payload, _ = _error_of(
+            lambda: _post(served_model["base"] + "/v1/sessions",
+                          {"model_id": "ghost"}))
+        assert code == 404
+        assert payload["error"]["code"] == "model_not_found"
+
+
+class TestErrors:
+    def test_unknown_get_path(self, served_model):
+        code, payload, _ = _error_of(
+            lambda: _get(served_model["base"] + "/nope"))
+        assert code == 404
+        assert payload["error"]["code"] == "not_found"
+        assert "unknown path" in payload["error"]["message"]
 
     def test_unknown_post_path(self, served_model):
-        base, data = served_model
-        code, _ = self._status_of(
-            lambda: _post(base + "/detect", {"samples": data[:1].tolist()}))
+        data = served_model["data"]
+        code, payload, _ = _error_of(
+            lambda: _post(served_model["base"] + "/detect",
+                          {"samples": data[:1].tolist()}))
         assert code == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_wrong_method_is_405_with_allow(self, served_model):
+        """Satellite bugfix: a known path with the wrong method is 405."""
+        code, payload, headers = _error_of(
+            lambda: _delete(served_model["base"] + "/v1/healthz"))
+        assert code == 405
+        assert payload["error"]["code"] == "method_not_allowed"
+        assert headers["Allow"] == "GET"
+
+    def test_wrong_method_on_legacy_route(self, served_model):
+        code, payload, headers = _error_of(
+            lambda: _post(served_model["base"] + "/healthz", {}))
+        assert code == 405
+        assert headers["Allow"] == "GET"
+        assert headers["Deprecation"] == "true"
 
     def test_invalid_json_body(self, served_model):
-        base, _ = served_model
-        code, payload = self._status_of(
-            lambda: _post(base + "/score", None, raw=b"{not json"))
+        code, payload, _ = _error_of(
+            lambda: _post(served_model["base"] + "/score", None,
+                          raw=b"{not json"))
         assert code == 400
-        assert "invalid JSON" in payload["error"]
+        assert "invalid JSON" in payload["error"]["message"]
+
+    def test_oversized_body_is_413(self, served_model):
+        host, port = served_model["base"].removeprefix("http://").split(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=30)
+        try:
+            connection.putrequest("POST", "/v1/jobs")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            connection.endheaders()
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            connection.close()
+        assert response.status == 413
+        assert payload["error"]["code"] == "payload_too_large"
 
     def test_missing_samples_key(self, served_model):
-        base, _ = served_model
-        code, payload = self._status_of(
-            lambda: _post(base + "/score", {"rows": [[1.0]]}))
+        code, payload, _ = _error_of(
+            lambda: _post(served_model["base"] + "/score", {}))
         assert code == 400
-        assert "samples" in payload["error"]
+        assert "samples" in payload["error"]["message"]
+
+    def test_unknown_request_field(self, served_model):
+        code, payload, _ = _error_of(
+            lambda: _post(served_model["base"] + "/score",
+                          {"rows": [[1.0]]}))
+        assert code == 400
+        assert "unknown field" in payload["error"]["message"]
 
     def test_wrong_feature_width(self, served_model):
-        base, _ = served_model
-        code, payload = self._status_of(
-            lambda: _post(base + "/score", {"samples": [[1.0, 2.0]]}))
+        code, payload, _ = _error_of(
+            lambda: _post(served_model["base"] + "/score",
+                          {"samples": [[1.0, 2.0]]}))
         assert code == 400
-        assert "features" in payload["error"]
+        assert "features" in payload["error"]["message"]
 
     def test_unknown_mode(self, served_model):
-        base, data = served_model
-        code, payload = self._status_of(
-            lambda: _post(base + "/score", {"samples": data[:1].tolist(),
-                                            "mode": "transduce"}))
+        data = served_model["data"]
+        code, payload, _ = _error_of(
+            lambda: _post(served_model["base"] + "/score",
+                          {"samples": data[:1].tolist(),
+                           "mode": "transduce"}))
         assert code == 400
-        assert "unknown scoring mode" in payload["error"]
+        assert "mode" in payload["error"]["message"]
 
     def test_replay_with_wrong_count(self, served_model):
-        base, data = served_model
-        code, payload = self._status_of(
-            lambda: _post(base + "/score", {"samples": data[:2].tolist(),
-                                            "mode": "replay"}))
+        data = served_model["data"]
+        code, payload, _ = _error_of(
+            lambda: _post(served_model["base"] + "/score",
+                          {"samples": data[:2].tolist(), "mode": "replay"}))
         assert code == 400
-        assert "replay mode requires" in payload["error"]
+        assert "replay mode requires" in payload["error"]["message"]
 
     def test_empty_body(self, served_model):
-        base, _ = served_model
-        code, _ = self._status_of(lambda: _post(base + "/score", None, raw=b""))
+        code, _, _ = _error_of(
+            lambda: _post(served_model["base"] + "/score", None, raw=b""))
         assert code == 400
+
+
+class TestDraining:
+    def test_draining_server_answers_503(self, tmp_path):
+        rng = np.random.default_rng(9)
+        data = rng.normal(size=(12, 3))
+        detector = QuorumDetector(ensemble_groups=2, seed=2, shots=128)
+        detector.fit(data)
+        path = save_model(detector, tmp_path / "m.json")
+        server = build_server(path, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            status, _, _ = _get(base + "/v1/healthz")
+            assert status == 200
+            server.runtime.drain()
+            code, payload, _ = _error_of(lambda: _get(base + "/v1/healthz"))
+            assert code == 503
+            assert payload["error"]["code"] == "shutting_down"
+            code, payload, _ = _error_of(
+                lambda: _post(base + "/score",
+                              {"samples": data[:1].tolist()}))
+            assert code == 503
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)

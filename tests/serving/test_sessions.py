@@ -1,0 +1,204 @@
+"""SessionManager: dedicated-mode determinism, batch mode, TTL expiry."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import QuorumDetector
+from repro.quantum.compiler import CircuitCompiler
+from repro.serving.artifact import save_model
+from repro.serving.models import ApiError, ScoreRequest, SessionCreateRequest
+from repro.serving.registry import ModelRegistry
+from repro.serving.sessions import SessionManager
+
+
+def _toy_data(samples=24, features=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(samples, features))
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    data = _toy_data()
+    detector = QuorumDetector(ensemble_groups=2, seed=23, shots=512)
+    detector.fit(data)
+    path = save_model(detector,
+                      tmp_path_factory.mktemp("sessions") / "model.json")
+    return {"data": data, "detector": detector, "path": path}
+
+
+@pytest.fixture()
+def registry(bundle):
+    with ModelRegistry(compiler=CircuitCompiler()) as reg:
+        reg.load(bundle["path"], model_id="m")
+        yield reg
+
+
+class TestDedicatedDeterminism:
+    def test_fresh_session_full_replay_matches_fit_bitwise(self, bundle,
+                                                           registry):
+        """Acceptance criterion: a dedicated session whose FIRST request is
+        the full training set in replay mode reproduces the fit scores."""
+        manager = SessionManager(registry)
+        session = manager.create(SessionCreateRequest(mode="dedicated"))
+        result = manager.score(session.session_id, ScoreRequest(
+            samples=bundle["data"].tolist(), mode="replay"))
+        assert np.array_equal(result.scores,
+                              bundle["detector"].anomaly_scores())
+
+    def test_same_request_sequence_is_bitwise_identical(self, bundle,
+                                                        registry):
+        """Two dedicated sessions fed identical sequences agree bitwise at
+        every step (sticky per-member RNGs advance identically)."""
+        manager = SessionManager(registry)
+        chunks = [_toy_data(samples=3, seed=s).tolist() for s in (31, 32, 33)]
+
+        def run_sequence():
+            session = manager.create(SessionCreateRequest(mode="dedicated"))
+            return [manager.score(session.session_id,
+                                  ScoreRequest(samples=chunk)).scores
+                    for chunk in chunks]
+
+        first, second = run_sequence(), run_sequence()
+        for step_a, step_b in zip(first, second):
+            assert np.array_equal(step_a, step_b)
+
+    def test_rng_state_advances_across_requests(self, bundle, registry):
+        """The same samples scored twice IN ONE dedicated session may draw
+        different shot noise (the RNGs moved on) -- but a second session
+        replays the exact same pair, proving the evolution is deterministic,
+        not random."""
+        manager = SessionManager(registry)
+        probe = _toy_data(samples=3, seed=41).tolist()
+
+        def score_twice():
+            session = manager.create(SessionCreateRequest(mode="dedicated"))
+            return (manager.score(session.session_id,
+                                  ScoreRequest(samples=probe)).scores,
+                    manager.score(session.session_id,
+                                  ScoreRequest(samples=probe)).scores)
+
+        first_a, second_a = score_twice()
+        first_b, second_b = score_twice()
+        assert np.array_equal(first_a, first_b)
+        assert np.array_equal(second_a, second_b)
+
+    def test_sessions_do_not_perturb_stateless_scoring(self, bundle,
+                                                       registry):
+        """Dedicated sessions own private RNG copies: interleaving session
+        traffic must not change what plain /score returns."""
+        scorer = registry.get("m").scorer
+        probe = _toy_data(samples=3, seed=47)
+        before = scorer.submit(probe).result(timeout=60).scores
+
+        manager = SessionManager(registry)
+        session = manager.create(SessionCreateRequest(mode="dedicated"))
+        manager.score(session.session_id,
+                      ScoreRequest(samples=probe.tolist()))
+
+        after = scorer.submit(probe).result(timeout=60).scores
+        assert np.array_equal(before, after)
+
+
+class TestBatchMode:
+    def test_batch_sessions_are_stateless(self, bundle, registry):
+        """Batch mode routes through the micro-batch queue: the same probe
+        scores identically on every request, inside or outside a session."""
+        manager = SessionManager(registry)
+        session = manager.create(SessionCreateRequest())  # mode defaults batch
+        assert session.mode == "batch"
+        assert session.member_rngs is None
+        probe = _toy_data(samples=3, seed=53)
+        in_session = manager.score(session.session_id,
+                                   ScoreRequest(samples=probe.tolist()))
+        again = manager.score(session.session_id,
+                              ScoreRequest(samples=probe.tolist()))
+        direct = registry.get("m").scorer.submit(probe).result(timeout=60)
+        assert np.array_equal(in_session.scores, direct.scores)
+        assert np.array_equal(again.scores, direct.scores)
+        assert manager.get(session.session_id).requests == 2
+
+    def test_bad_samples_are_bad_request(self, registry):
+        manager = SessionManager(registry)
+        session = manager.create(SessionCreateRequest())
+        with pytest.raises(ApiError) as excinfo:
+            manager.score(session.session_id,
+                          ScoreRequest(samples=[[1.0]]))  # wrong feature dim
+        assert excinfo.value.code == "bad_request"
+
+
+class TestLifecycleAndExpiry:
+    def test_unknown_model_404s_at_creation(self, registry):
+        manager = SessionManager(registry)
+        with pytest.raises(ApiError) as excinfo:
+            manager.create(SessionCreateRequest(model_id="ghost"))
+        assert excinfo.value.code == "model_not_found"
+
+    def test_expired_session_is_410_unknown_is_404(self, registry):
+        """The tombstone table distinguishes 'expired' from 'never existed'."""
+        fake = [1000.0]
+        manager = SessionManager(registry, default_ttl_s=60.0,
+                                 clock=lambda: fake[0])
+        session = manager.create(SessionCreateRequest())
+
+        fake[0] += 59.0  # still alive
+        assert manager.get(session.session_id).session_id == session.session_id
+
+        fake[0] += 62.0  # idle past TTL (get() above refreshed nothing)
+        with pytest.raises(ApiError) as expired:
+            manager.get(session.session_id)
+        assert expired.value.code == "session_expired"
+        assert expired.value.http_status == 410
+
+        with pytest.raises(ApiError) as unknown:
+            manager.get("deadbeef")
+        assert unknown.value.code == "session_not_found"
+        assert unknown.value.http_status == 404
+
+    def test_scoring_refreshes_the_idle_timer(self, bundle, registry):
+        fake = [1000.0]
+        manager = SessionManager(registry, default_ttl_s=60.0,
+                                 clock=lambda: fake[0])
+        session = manager.create(SessionCreateRequest())
+        probe = _toy_data(samples=2, seed=59).tolist()
+        for _ in range(3):
+            fake[0] += 50.0  # each score resets last_used_at
+            manager.score(session.session_id, ScoreRequest(samples=probe))
+        assert manager.get(session.session_id).requests == 3
+
+    def test_touch_refreshes_without_scoring(self, registry):
+        fake = [1000.0]
+        manager = SessionManager(registry, default_ttl_s=60.0,
+                                 clock=lambda: fake[0])
+        session = manager.create(SessionCreateRequest())
+        fake[0] += 50.0
+        manager.touch(session.session_id)
+        fake[0] += 50.0
+        assert manager.get(session.session_id).requests == 0
+
+    def test_per_session_ttl_overrides_default(self, registry):
+        fake = [1000.0]
+        manager = SessionManager(registry, default_ttl_s=600.0,
+                                 clock=lambda: fake[0])
+        short = manager.create(SessionCreateRequest(ttl_s=10.0))
+        long = manager.create(SessionCreateRequest())
+        fake[0] += 11.0
+        assert len(manager) == 1
+        with pytest.raises(ApiError) as excinfo:
+            manager.get(short.session_id)
+        assert excinfo.value.code == "session_expired"
+        assert manager.get(long.session_id).session_id == long.session_id
+
+    def test_closed_session_id_is_404_not_410(self, registry):
+        manager = SessionManager(registry)
+        session = manager.create(SessionCreateRequest())
+        manager.close_session(session.session_id)
+        with pytest.raises(ApiError) as excinfo:
+            manager.get(session.session_id)
+        assert excinfo.value.code == "session_not_found"
+
+    def test_close_rejects_new_sessions(self, registry):
+        manager = SessionManager(registry)
+        manager.close()
+        with pytest.raises(ApiError) as excinfo:
+            manager.create(SessionCreateRequest())
+        assert excinfo.value.code == "shutting_down"

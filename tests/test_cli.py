@@ -1,12 +1,14 @@
 """Tests for the quorum-repro command-line interface."""
 
+import threading
+
 import numpy as np
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _parse_model_specs, build_parser, main
 from repro.core.detector import QuorumDetector
 from repro.data.dataset import Dataset
-from repro.data.io import save_dataset_csv
+from repro.data.io import load_dataset_csv, save_dataset_csv
 
 
 class TestParser:
@@ -201,6 +203,119 @@ class TestCommands:
         assert exit_code == 0
         assert output.exists()
         assert "Table II" in output.read_text(encoding="utf-8")
+
+
+class TestModelSpecs:
+    def test_valid_specs_build_a_mapping(self):
+        assert _parse_model_specs(["a=x.json", "b=y.json"]) == {
+            "a": "x.json", "b": "y.json"}
+        assert _parse_model_specs(None) == {}
+
+    @pytest.mark.parametrize("specs, match", [
+        (["bare-path.json"], "must be ID=PATH"),
+        (["=x.json"], "empty id or path"),
+        (["a="], "empty id or path"),
+        (["a=x.json", "a=y.json"], "given twice"),
+    ])
+    def test_invalid_specs_raise(self, specs, match):
+        with pytest.raises(ValueError, match=match):
+            _parse_model_specs(specs)
+
+    def test_serve_without_any_model_is_exit_2(self, capsys):
+        assert main(["serve", "--port", "0"]) == 2
+        assert "--model and/or --models" in capsys.readouterr().err
+
+    def test_serve_with_malformed_models_spec_is_exit_2(self, capsys):
+        assert main(["serve", "--models", "bare-path.json",
+                     "--port", "0"]) == 2
+        assert "cannot start server" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def jobs_server(tmp_path_factory):
+    """A live runtime server plus the CSV its model was fitted on."""
+    from repro.serving.artifact import save_model
+    from repro.serving.server import build_server
+
+    tmp_path = tmp_path_factory.mktemp("jobs_cli")
+    rng = np.random.default_rng(6)
+    dataset = Dataset("toy", rng.normal(size=(20, 4)),
+                      np.zeros(20, dtype=int))
+    csv_path = save_dataset_csv(dataset, tmp_path / "toy.csv")
+    features = load_dataset_csv(csv_path).features_only()
+    detector = QuorumDetector(ensemble_groups=2, seed=8, shots=256)
+    detector.fit(features)
+    model_path = save_model(detector, tmp_path / "model.json")
+
+    server = build_server(model_path, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield {"server": f"http://{host}:{port}", "csv": str(csv_path),
+           "detector": detector}
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+class TestJobsCommand:
+    def test_submit_wait_replay_prints_fit_scores(self, jobs_server, capsys):
+        import json
+
+        exit_code = main(["jobs", "submit", "--server",
+                          jobs_server["server"], "--kind", "replay_dataset",
+                          "--csv", jobs_server["csv"], "--wait",
+                          "--poll-interval", "0.05"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "submitted" in output
+        assert "finished: succeeded" in output
+        payload = json.loads(output[output.index("{"):])
+        assert np.array_equal(np.array(payload["scores"]),
+                              jobs_server["detector"].anomaly_scores())
+
+    def test_submit_then_status_result_cancel(self, jobs_server, capsys):
+        assert main(["jobs", "submit", "--server", jobs_server["server"],
+                     "--kind", "score", "--csv", jobs_server["csv"]]) == 0
+        job_id = capsys.readouterr().out.split()[1]
+
+        import time
+        deadline = time.monotonic() + 30
+        while main(["jobs", "status", "--server", jobs_server["server"],
+                    job_id]) == 0:
+            status_output = capsys.readouterr().out
+            if '"status": "succeeded"' in status_output:
+                break
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+
+        assert main(["jobs", "result", "--server", jobs_server["server"],
+                     job_id]) == 0
+        assert '"scores"' in capsys.readouterr().out
+        # Cancelling a finished job is an acknowledged no-op.
+        assert main(["jobs", "cancel", "--server", jobs_server["server"],
+                     job_id]) == 0
+        assert "succeeded" in capsys.readouterr().out
+
+    def test_unknown_job_id_prints_envelope(self, jobs_server, capsys):
+        exit_code = main(["jobs", "status", "--server",
+                          jobs_server["server"], "deadbeef"])
+        assert exit_code == 2
+        assert "server error [job_not_found]" in capsys.readouterr().err
+
+    def test_bad_params_json_fails_before_any_request(self, jobs_server,
+                                                      capsys):
+        exit_code = main(["jobs", "submit", "--server", "http://127.0.0.1:1",
+                          "--kind", "score", "--csv", jobs_server["csv"],
+                          "--params", "{not json"])
+        assert exit_code == 2
+        assert "--params is not valid JSON" in capsys.readouterr().err
+
+    def test_unreachable_server_is_exit_2(self, jobs_server, capsys):
+        exit_code = main(["jobs", "status", "--server", "http://127.0.0.1:1",
+                          "deadbeef"])
+        assert exit_code == 2
+        assert "cannot reach server" in capsys.readouterr().err
 
 
 class TestFlagPlumbing:

@@ -236,6 +236,7 @@ def _build_detector(args: argparse.Namespace) -> QuorumDetector:
         seed=args.seed,
         executor=args.executor,
         n_jobs=_resolve_jobs(args),
+        fused_members=args.fused_members,
     )
 
 
@@ -251,6 +252,17 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
                         help="interpret circuits gate by gate instead of "
                              "executing cached compiled operator programs "
                              "(reference path; slower)")
+    fused = parser.add_mutually_exclusive_group()
+    fused.add_argument("--fused-members", dest="fused_members",
+                       action="store_true", default=None,
+                       help="force cross-member fused execution: members "
+                            "sharing a circuit structure run as one stacked "
+                            "batch per sweep step (bit-identical scores)")
+    fused.add_argument("--no-fused-members", dest="fused_members",
+                       action="store_false",
+                       help="disable cross-member fusion even for "
+                            "--executor fused (per-member reference "
+                            "dispatch)")
 
 
 def _resolve_jobs(args: argparse.Namespace) -> int:
@@ -356,7 +368,8 @@ def _command_compare(args: argparse.Namespace) -> int:
                               seed=args.seed,
                               anomaly_fraction_estimate=dataset.anomaly_fraction,
                               compile_circuits=not args.no_compile,
-                              executor=args.executor, n_jobs=_resolve_jobs(args))
+                              executor=args.executor, n_jobs=_resolve_jobs(args),
+                              fused_members=args.fused_members)
     detector.fit(dataset)
     methods = {
         "Quorum (quantum)": detector.anomaly_scores(),
@@ -379,7 +392,8 @@ def _command_compare(args: argparse.Namespace) -> int:
 def _command_experiment(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(ensemble_groups=args.ensembles, seed=args.seed,
                                   compile_circuits=not args.no_compile,
-                                  executor=args.executor, n_jobs=_resolve_jobs(args))
+                                  executor=args.executor, n_jobs=_resolve_jobs(args),
+                                  fused_members=args.fused_members)
     for artifact in args.artifacts:
         if artifact == "table1":
             print("\n## Table I\n")
@@ -598,7 +612,8 @@ def _command_jobs(args: argparse.Namespace) -> int:
 def _command_report(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(ensemble_groups=args.ensembles, seed=args.seed,
                                   compile_circuits=not args.no_compile,
-                                  executor=args.executor, n_jobs=_resolve_jobs(args))
+                                  executor=args.executor, n_jobs=_resolve_jobs(args),
+                                  fused_members=args.fused_members)
     report = run_full_evaluation(settings, include_noisy=not args.skip_noisy)
     if args.output:
         path = write_report(report, args.output, json_path=args.json)

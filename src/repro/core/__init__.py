@@ -18,6 +18,7 @@ from repro.core.execution import (
 )
 from repro.core.scoring import (
     AnomalyScores,
+    BucketStatistics,
     bucket_deviations,
     bucket_statistics,
     reference_deviations,
@@ -52,6 +53,7 @@ __all__ = [
     "apply_shot_noise",
     "make_engine",
     "AnomalyScores",
+    "BucketStatistics",
     "bucket_deviations",
     "bucket_statistics",
     "reference_deviations",

@@ -14,7 +14,7 @@ _ENTANGLEMENTS = ("linear", "ring", "full")
 _FEATURE_SCALINGS = ("circuit_sqrt", "dataset_sqrt", "dataset_linear")
 # Mirrors repro.core.parallel.available_executors(); kept literal here because
 # the parallel module imports this one.
-_EXECUTORS = ("auto", "serial", "threads", "processes")
+_EXECUTORS = ("auto", "fused", "serial", "threads", "processes")
 
 
 @dataclass(frozen=True)
@@ -81,9 +81,20 @@ class QuorumConfig:
     executor:
         Executor strategy running the ensemble members when ``n_jobs > 1``:
         ``"serial"``, ``"threads"`` (zero-copy shared dataset, BLAS releases
-        the GIL), ``"processes"`` (dataset in shared memory), or ``"auto"``
+        the GIL), ``"processes"`` (dataset in shared memory), ``"fused"``
+        (cross-member stacked batches, see ``fused_members``), or ``"auto"``
         (processes when ``n_jobs > 1``).  Results are bit-identical across
         strategies for a fixed seed.
+    fused_members:
+        Cross-member fused execution: members sharing a compiled-circuit
+        structure signature run as ONE ``(members x levels x samples)``
+        stacked batch per sweep step instead of one dispatch per member.
+        ``True`` forces fusion regardless of ``executor``; ``False`` disables
+        it even for ``executor="fused"``; ``None`` (default) fuses exactly
+        when ``executor == "fused"``.  Scores stay bit-identical to the
+        serial path (shot noise is drawn per member from each member's own
+        RNG stream); unfusable configurations (statevector backend, mixed
+        structure signatures) fall back to per-member dispatch.
     """
 
     num_qubits: int = 3
@@ -104,6 +115,7 @@ class QuorumConfig:
     seed: Optional[int] = 1234
     n_jobs: int = 1
     executor: str = "auto"
+    fused_members: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.num_qubits < 2:
@@ -138,6 +150,9 @@ class QuorumConfig:
             raise ValueError("n_jobs must be at least 1")
         if self.executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}")
+        if self.fused_members is not None and not isinstance(
+                self.fused_members, bool):
+            raise ValueError("fused_members must be True, False, or None")
         if self.compression_levels is not None:
             levels = tuple(int(level) for level in self.compression_levels)
             if not levels:
@@ -177,6 +192,17 @@ class QuorumConfig:
         if self.feature_scaling == "dataset_sqrt":
             return 1.0 / float(num_dataset_features) ** 0.5
         return 1.0 / float(num_dataset_features)
+
+    @property
+    def wants_fused_members(self) -> bool:
+        """Whether ensemble members should execute as cross-member batches.
+
+        ``fused_members`` overrides when set; otherwise fusion follows the
+        executor choice (``executor == "fused"``).
+        """
+        if self.fused_members is not None:
+            return self.fused_members
+        return self.executor == "fused"
 
     @property
     def effective_anomaly_fraction(self) -> float:
@@ -239,4 +265,5 @@ class QuorumConfig:
             "seed": self.seed,
             "n_jobs": self.n_jobs,
             "executor": self.executor,
+            "fused_members": self.fused_members,
         }

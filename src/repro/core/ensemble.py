@@ -39,23 +39,27 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.algorithms.ansatz import RandomAutoencoderAnsatz
 from repro.core.bucketing import BucketAssignment, assign_buckets, bucket_size_for_probability
 from repro.core.config import QuorumConfig
-from repro.core.execution import SwapTestEngine, make_engine
+from repro.core.execution import SwapTestEngine, apply_shot_noise, make_engine
 from repro.core.feature_selection import select_feature_subset
-from repro.core.scoring import bucket_deviations, bucket_statistics
+from repro.core.scoring import (BucketStatistics, bucket_deviations,
+                                bucket_statistics)
+from repro.quantum.compiler import structure_signature
 
 __all__ = [
     "EnsembleMemberResult",
     "MemberPlan",
     "batch_amplitudes",
     "plan_member",
+    "plan_structure_key",
     "execute_member",
+    "execute_member_group",
     "run_ensemble_member",
 ]
 
@@ -103,9 +107,10 @@ class EnsembleMemberResult:
     p1_statistics:
         Per-compression-level mean/std of the raw SWAP-test outputs (diagnostics).
     bucket_statistics:
-        Per-compression-level per-bucket ``(means, stds)`` of the raw SWAP-test
-        outputs -- the frozen reference a serving artifact scores unseen
-        samples against (see :mod:`repro.serving.artifact`).
+        Per-compression-level :class:`~repro.core.scoring.BucketStatistics`
+        (per-bucket means, stds, and the degenerate-bucket mask) of the raw
+        SWAP-test outputs -- the frozen reference a serving artifact scores
+        unseen samples against (see :mod:`repro.serving.artifact`).
     """
 
     member_index: int
@@ -115,7 +120,7 @@ class EnsembleMemberResult:
     num_buckets: int
     num_runs: int
     p1_statistics: Dict[int, Tuple[float, float]] = field(default_factory=dict)
-    bucket_statistics: Dict[int, Tuple[np.ndarray, np.ndarray]] = field(
+    bucket_statistics: Dict[int, BucketStatistics] = field(
         default_factory=dict)
 
 
@@ -228,8 +233,19 @@ def execute_member(normalized_data: np.ndarray, plan: MemberPlan,
         )
     levels = config.effective_compression_levels
     p1_values = engine.p1_levels_batch(amplitudes, plan.ansatz, levels)
+    return _score_member(plan, levels, p1_values, normalized_data.shape[0])
 
-    deviations = np.zeros(normalized_data.shape[0])
+
+def _score_member(plan: MemberPlan, levels: Sequence[int],
+                  p1_values: np.ndarray,
+                  num_samples: int) -> EnsembleMemberResult:
+    """Convert one member's ``(levels, samples)`` SWAP-test outputs to a result.
+
+    Shared verbatim by :func:`execute_member` and
+    :func:`execute_member_group`, so fused and per-member execution score
+    through literally the same code.
+    """
+    deviations = np.zeros(num_samples)
     statistics: Dict[int, Tuple[float, float]] = {}
     references: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
     for position, level in enumerate(levels):
@@ -250,6 +266,74 @@ def execute_member(normalized_data: np.ndarray, plan: MemberPlan,
         p1_statistics=statistics,
         bucket_statistics=references,
     )
+
+
+def plan_structure_key(plan: MemberPlan) -> Tuple:
+    """Hashable compiled-circuit *structure* fingerprint of a member plan.
+
+    Plans with equal keys share qubit counts and ansatz shape (parameters --
+    the random rotation angles -- excluded), so their circuits lower to
+    compiled programs with identical block structure and the members can
+    execute as one stacked batch.  The fused executor groups plans by this
+    key; mixed-key ensembles fall back to per-member dispatch group by group.
+    """
+    ansatz = plan.ansatz
+    return (
+        ansatz.num_qubits,
+        structure_signature(
+            ansatz.encoder_circuit(list(range(ansatz.num_qubits)))
+        ),
+    )
+
+
+def execute_member_group(normalized_data: np.ndarray,
+                         plans: Sequence[MemberPlan], config: QuorumConfig,
+                         engine: Optional[SwapTestEngine] = None
+                         ) -> List[EnsembleMemberResult]:
+    """Run a structure-signature group of members as ONE stacked batch.
+
+    All members' compression sweeps execute together through the engine's
+    :meth:`~repro.core.execution.SwapTestEngine.p1_levels_member_batch` -- one
+    ``(members x levels x samples)`` contraction per sweep step instead of one
+    dispatch per member -- and one engine (noise model, walker, compiler
+    handle) is built for the whole group instead of per member.
+
+    Bit-identity with the serial executor is preserved by construction: the
+    exact sweep consumes no randomness, and shot noise is then drawn *per
+    member* from each plan's own RNG in member-major order -- exactly the
+    stream the serial :func:`execute_member` would consume.  Callers must
+    group plans with :func:`plan_structure_key` first.
+    """
+    normalized_data = np.asarray(normalized_data, dtype=float)
+    if normalized_data.ndim != 2:
+        raise ValueError("normalized_data must be 2-D")
+    if not plans:
+        raise ValueError("execute_member_group needs at least one plan")
+    amplitude_stack = np.stack([
+        batch_amplitudes(normalized_data[:, plan.selected_features],
+                         config.num_qubits)
+        for plan in plans
+    ])
+    if engine is None:
+        engine = make_engine(
+            config.backend, config.shots, noisy=config.noisy,
+            gate_level_encoding=config.gate_level_encoding,
+            num_qubits=config.num_qubits,
+            simulation_backend=config.simulation_backend,
+            compile_circuits=config.compile_circuits,
+        )
+    levels = config.effective_compression_levels
+    exact_p1 = engine.p1_levels_member_batch(
+        amplitude_stack, [plan.ansatz for plan in plans], levels
+    )
+    return [
+        _score_member(
+            plan, levels,
+            apply_shot_noise(exact_p1[member], config.shots, plan.rng),
+            normalized_data.shape[0],
+        )
+        for member, plan in enumerate(plans)
+    ]
 
 
 def run_ensemble_member(normalized_data: np.ndarray, config: QuorumConfig,

@@ -14,13 +14,26 @@ hands the plans to a pluggable :class:`ExecutorStrategy`:
 * ``processes`` -- a process pool whose workers map the dataset once from
   ``multiprocessing.shared_memory`` instead of receiving one pickled copy
   each; only the tiny plans and result arrays cross process boundaries.
+* ``fused`` -- cross-member stacked execution in the calling process: plans
+  are grouped by compiled-circuit structure signature
+  (:func:`~repro.core.ensemble.plan_structure_key`) and each group runs as
+  ONE ``(members x levels x samples)`` batch per sweep step through
+  :func:`~repro.core.ensemble.execute_member_group`, sharing a single engine
+  (one noise-model build, one walker) across the whole ensemble.  Configs
+  the stacked sweep cannot express (statevector backend) fall back to the
+  per-member loop inside the strategy.
 
 ``QuorumConfig.executor`` selects a strategy (``"auto"`` picks ``processes``
-when ``n_jobs > 1``).  Pool creation failures -- ``OSError``/``ValueError``
-(restricted environments: no ``/dev/shm``, sandboxed fork),
-``PicklingError``/``RuntimeError`` (unpicklable state, missing start-method
-bootstrapping) -- fall back to the serial strategy, and the executor actually
-used is logged and recorded on the strategy result.
+when ``n_jobs > 1``; ``QuorumConfig.fused_members`` can force fusion on or
+off independently of the executor).  Pool creation failures --
+``OSError``/``ValueError`` (restricted environments: no ``/dev/shm``,
+sandboxed fork), ``PicklingError``/``RuntimeError`` (unpicklable state,
+missing start-method bootstrapping) -- fall back to the serial strategy, and
+the executor actually used is logged and recorded on the strategy result.
+
+All strategies produce bit-identical scores for a fixed seed: every member
+owns an independent RNG stream, and the fused path draws its shot noise per
+member from exactly those streams.
 """
 
 from __future__ import annotations
@@ -40,14 +53,18 @@ from repro.core.ensemble import (
     EnsembleMemberResult,
     MemberPlan,
     execute_member,
+    execute_member_group,
     plan_member,
+    plan_structure_key,
 )
+from repro.core.execution import make_engine
 
 __all__ = [
     "ExecutorStrategy",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "FusedExecutor",
     "available_executors",
     "get_executor",
     "plan_members",
@@ -170,10 +187,69 @@ class ProcessExecutor(ExecutorStrategy):
                 pass
 
 
+class FusedExecutor(ExecutorStrategy):
+    """Execute plans as cross-member stacked batches, one per signature group.
+
+    Members whose circuits share a *structure signature* (qubit counts and
+    ansatz shape; parameters excluded) differ only in continuous payloads, so
+    each group's whole compression sweep collapses into member-stacked
+    contractions (:func:`~repro.core.ensemble.execute_member_group`): one
+    engine build, one member-batched circuit walk, and one stacked
+    expectation per level instead of one full dispatch per member.  Shot
+    noise is drawn per member from each plan's own RNG, so scores are
+    bit-identical to the serial strategy.
+
+    Engine strategies without an exact stacked sweep (the shot-based
+    statevector engine) run the plain per-member loop instead -- same
+    results, no fusion.
+    """
+
+    name = "fused"
+
+    #: Engine strategies whose exact sweeps support cross-member stacking
+    #: (the statevector engine consumes RNG *during* evolution, so its exact
+    #: probabilities cannot be separated from its noise).
+    FUSABLE_BACKENDS = ("analytic", "density_matrix")
+
+    def run(self, normalized_data: np.ndarray, plans: Sequence[MemberPlan],
+            config: QuorumConfig) -> List[EnsembleMemberResult]:
+        if config.backend not in self.FUSABLE_BACKENDS:
+            logger.info(
+                "backend %r has no exact member-batched sweep; the fused "
+                "executor is running its members individually",
+                config.backend,
+            )
+            return [execute_member(normalized_data, plan, config)
+                    for plan in plans]
+        groups: Dict[Tuple, List[int]] = {}
+        for position, plan in enumerate(plans):
+            groups.setdefault(plan_structure_key(plan), []).append(position)
+        # One engine serves every group: the noise model and walker are built
+        # once per ensemble instead of once per member.  The engine's own RNG
+        # is never consumed (exact sweeps only), so sharing it is safe.
+        engine = make_engine(
+            config.backend, config.shots, noisy=config.noisy,
+            gate_level_encoding=config.gate_level_encoding,
+            num_qubits=config.num_qubits,
+            simulation_backend=config.simulation_backend,
+            compile_circuits=config.compile_circuits,
+        )
+        results: List[Optional[EnsembleMemberResult]] = [None] * len(plans)
+        for indices in groups.values():
+            group = execute_member_group(
+                normalized_data, [plans[i] for i in indices], config,
+                engine=engine,
+            )
+            for index, result in zip(indices, group):
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+
 _EXECUTORS: Dict[str, Callable[[], ExecutorStrategy]] = {
     SerialExecutor.name: SerialExecutor,
     ThreadExecutor.name: ThreadExecutor,
     ProcessExecutor.name: ProcessExecutor,
+    FusedExecutor.name: FusedExecutor,
 }
 
 
@@ -231,7 +307,15 @@ def run_ensemble_members(normalized_data: np.ndarray, config: QuorumConfig,
                             bucket_size=bucket_size)
 
     plans = build_plans()
-    if config.n_jobs <= 1 or len(plans) <= 1:
+    if config.wants_fused_members and len(plans) > 1:
+        # Fusion is in-process and needs no worker pool, so it is selected
+        # regardless of n_jobs (QuorumConfig.fused_members=True also forces
+        # it under any executor setting).
+        name = FusedExecutor.name
+    elif (config.n_jobs <= 1 or len(plans) <= 1
+          or config.executor == FusedExecutor.name):
+        # executor="fused" with fused_members=False runs the per-member
+        # serial reference.
         name = SerialExecutor.name
     elif config.executor == "auto":
         name = ProcessExecutor.name

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.bucketing import BucketAssignment
 
 __all__ = [
+    "BucketStatistics",
     "bucket_deviations",
     "bucket_statistics",
     "reference_deviations",
@@ -26,9 +27,52 @@ __all__ = [
 _MIN_STD = 1e-12
 
 
+@dataclass(frozen=True, eq=False)
+class BucketStatistics:
+    """Frozen per-bucket moments with the degenerate-bucket mask hoisted.
+
+    ``live`` marks buckets whose standard deviation is resolvable
+    (``stds >= 1e-12``); degenerate buckets contribute zero deviation.  The
+    mask is computed once here instead of being re-derived from ``stds`` by
+    every scoring call -- fit-time deviations, frozen serving references, and
+    replay all share the same mask by construction.
+
+    Unpacks and indexes like the legacy ``(means, stds)`` tuple
+    (``means, stds = statistics``), so persisted-artifact readers and older
+    call sites keep working unchanged.
+    """
+
+    means: np.ndarray
+    stds: np.ndarray
+    live: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        means = np.asarray(self.means, dtype=float).ravel()
+        stds = np.asarray(self.stds, dtype=float).ravel()
+        if means.shape != stds.shape:
+            raise ValueError("means and stds must have the same length")
+        object.__setattr__(self, "means", means)
+        object.__setattr__(self, "stds", stds)
+        object.__setattr__(self, "live", stds >= _MIN_STD)
+
+    @property
+    def num_buckets(self) -> int:
+        return int(self.means.shape[0])
+
+    # Tuple compatibility: behave as the 2-tuple ``(means, stds)``.
+    def __iter__(self):
+        return iter((self.means, self.stds))
+
+    def __getitem__(self, index):
+        return (self.means, self.stds)[index]
+
+    def __len__(self) -> int:
+        return 2
+
+
 def bucket_statistics(p1_values: np.ndarray, buckets: BucketAssignment
-                      ) -> Tuple[np.ndarray, np.ndarray]:
-    """Per-bucket ``(means, stds)`` of ``p1_values``.
+                      ) -> BucketStatistics:
+    """Per-bucket :class:`BucketStatistics` (means, stds, live mask).
 
     These are the *reference statistics* a serving artifact freezes at fit
     time: a previously unseen sample is later scored against them with
@@ -46,20 +90,21 @@ def bucket_statistics(p1_values: np.ndarray, buckets: BucketAssignment
         values = p1_values[np.asarray(bucket, dtype=int)]
         means[position] = values.mean()
         stds[position] = values.std()
-    return means, stds
+    return BucketStatistics(means=means, stds=stds)
 
 
 def bucket_deviations(p1_values: np.ndarray, buckets: BucketAssignment,
-                      statistics: Optional[Tuple[np.ndarray, np.ndarray]] = None
+                      statistics: Optional[BucketStatistics] = None
                       ) -> np.ndarray:
     """Absolute per-sample z-scores of ``p1_values`` within their buckets.
 
     Buckets whose standard deviation vanishes (e.g. all-identical outputs)
-    contribute zero for every member, since no sample deviates from the rest.
-    ``statistics`` accepts the precomputed output of :func:`bucket_statistics`
-    for the same ``(p1_values, buckets)`` pair so callers that need both (the
-    ensemble executor records reference statistics for serving) do not compute
-    the bucket moments twice.
+    contribute zero for every member, since no sample deviates from the rest;
+    the degenerate set comes from the statistics' precomputed ``live`` mask.
+    ``statistics`` accepts the output of :func:`bucket_statistics` (or a
+    legacy ``(means, stds)`` tuple) for the same ``(p1_values, buckets)``
+    pair so callers that need both (the ensemble executor records reference
+    statistics for serving) do not compute the bucket moments twice.
     """
     p1_values = np.asarray(p1_values, dtype=float).ravel()
     if buckets.num_samples != p1_values.shape[0]:
@@ -69,10 +114,13 @@ def bucket_deviations(p1_values: np.ndarray, buckets: BucketAssignment,
         )
     if statistics is None:
         statistics = bucket_statistics(p1_values, buckets)
-    means, stds = statistics
+    elif not isinstance(statistics, BucketStatistics):
+        means, stds = statistics
+        statistics = BucketStatistics(means=means, stds=stds)
+    means, stds, live = statistics.means, statistics.stds, statistics.live
     deviations = np.zeros_like(p1_values)
     for position, bucket in enumerate(buckets.buckets):
-        if stds[position] < _MIN_STD:
+        if not live[position]:
             continue
         indices = np.asarray(bucket, dtype=int)
         deviations[indices] = (np.abs(p1_values[indices] - means[position])
@@ -81,7 +129,8 @@ def bucket_deviations(p1_values: np.ndarray, buckets: BucketAssignment,
 
 
 def reference_deviations(p1_values: np.ndarray, means: np.ndarray,
-                         stds: np.ndarray) -> np.ndarray:
+                         stds: np.ndarray,
+                         live: Optional[np.ndarray] = None) -> np.ndarray:
     """Deviations of (possibly unseen) samples against frozen bucket statistics.
 
     At fit time a sample belongs to exactly one random bucket and contributes
@@ -89,7 +138,8 @@ def reference_deviations(p1_values: np.ndarray, means: np.ndarray,
     its deviation is the expectation of that rule under a uniformly random
     bucket assignment: the mean over buckets of ``|p1 - mean_b| / std_b``, with
     degenerate buckets (vanishing std) contributing zero exactly as they do in
-    :func:`bucket_deviations`.
+    :func:`bucket_deviations`.  ``live`` accepts the precomputed mask from a
+    :class:`BucketStatistics` so hot serving paths skip re-deriving it.
     """
     p1_values = np.asarray(p1_values, dtype=float).ravel()
     means = np.asarray(means, dtype=float).ravel()
@@ -98,7 +148,12 @@ def reference_deviations(p1_values: np.ndarray, means: np.ndarray,
         raise ValueError("means and stds must have the same length")
     if means.size == 0:
         raise ValueError("reference statistics cannot be empty")
-    live = stds >= _MIN_STD
+    if live is None:
+        live = stds >= _MIN_STD
+    else:
+        live = np.asarray(live, dtype=bool).ravel()
+        if live.shape != stds.shape:
+            raise ValueError("live mask must match the statistics length")
     if not np.any(live):
         return np.zeros_like(p1_values)
     scores = np.abs(p1_values[:, None] - means[None, live]) / stds[None, live]

@@ -66,6 +66,12 @@ class ExperimentSettings:
         Execute compiled operator programs (default) or the gate-by-gate
         interpreted reference paths; defaults to the ``QUORUM_COMPILE``
         environment variable (set it to ``0`` to interpret).
+    fused_members:
+        Cross-member fused execution (``True``/``False``/``None`` = follow
+        the executor choice); defaults to the ``QUORUM_FUSED_MEMBERS``
+        environment variable (``1`` forces fusion on, ``0`` off, unset
+        leaves it to the executor), mirroring the other execution knobs so
+        the benchmark harness and CI can sweep it without editing modules.
     """
 
     ensemble_groups: int = 60
@@ -81,6 +87,11 @@ class ExperimentSettings:
         default_factory=lambda: int(os.environ.get("QUORUM_N_JOBS", "1")))
     compile_circuits: bool = field(
         default_factory=lambda: os.environ.get("QUORUM_COMPILE", "1") != "0")
+    fused_members: Optional[bool] = field(
+        default_factory=lambda: (
+            None if os.environ.get("QUORUM_FUSED_MEMBERS") in (None, "")
+            else os.environ.get("QUORUM_FUSED_MEMBERS") != "0"
+        ))
 
     def quorum_config(self, dataset_name: str, **overrides: object) -> QuorumConfig:
         """Base Quorum config for ``dataset_name`` (Table I bucket probability)."""
@@ -94,6 +105,7 @@ class ExperimentSettings:
             executor=self.executor,
             n_jobs=self.n_jobs,
             compile_circuits=self.compile_circuits,
+            fused_members=self.fused_members,
         )
         return base.with_overrides(**overrides) if overrides else base
 

@@ -25,6 +25,7 @@ from repro.core.execution import (
     StatevectorEngine,
 )
 from repro.core.parallel import (
+    FusedExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -48,12 +49,13 @@ def make_batch(num_samples=12, num_qubits=3, seed=0):
 class TestExecutorRegistry:
     def test_all_strategies_registered(self):
         assert set(available_executors()) == {"auto", "serial", "threads",
-                                              "processes"}
+                                              "processes", "fused"}
 
     def test_get_executor_resolves_each(self):
         assert isinstance(get_executor("serial"), SerialExecutor)
         assert isinstance(get_executor("threads"), ThreadExecutor)
         assert isinstance(get_executor("processes"), ProcessExecutor)
+        assert isinstance(get_executor("fused"), FusedExecutor)
 
     def test_unknown_executor_raises(self):
         with pytest.raises(ValueError, match="unknown executor"):
@@ -88,6 +90,62 @@ class TestExecutorDeterminism:
                                       noisy=True, executor=executor, n_jobs=2)
             scores[executor] = detector.fit(data).anomaly_scores()
         assert np.array_equal(scores["serial"], scores["threads"])
+
+    @pytest.mark.parametrize("shots", [None, 4096])
+    def test_fused_scores_identical_to_serial(self, shots):
+        data = toy_data()
+        serial = QuorumDetector(ensemble_groups=4, shots=shots, seed=42,
+                                executor="serial").fit(data)
+        fused = QuorumDetector(ensemble_groups=4, shots=shots, seed=42,
+                               executor="fused").fit(data)
+        forced = QuorumDetector(ensemble_groups=4, shots=shots, seed=42,
+                                fused_members=True).fit(data)
+        assert np.array_equal(serial.anomaly_scores(), fused.anomaly_scores())
+        assert np.array_equal(serial.anomaly_scores(), forced.anomaly_scores())
+
+    def test_fused_noisy_scores_and_rng_streams_bitwise(self):
+        """Fused vs serial on the noisy path: scores AND the post-run member
+        RNG streams must match bit for bit (the fused path draws shot noise
+        from each member's own restored generator in member-major order)."""
+        from repro.core.parallel import derive_member_seeds, run_ensemble_members
+
+        # run_ensemble_members takes normalized rows (squared subsets <= 1).
+        data = toy_data(num_samples=16, num_features=4) * 0.4
+        seeds = derive_member_seeds(9, 3)
+        base = dict(ensemble_groups=3, shots=256, seed=9, num_qubits=2,
+                    backend="density_matrix", noisy=True)
+        serial_results, serial_plans = run_ensemble_members(
+            data, QuorumConfig(**base, executor="serial"), seeds,
+            return_plans=True)
+        fused_results, fused_plans = run_ensemble_members(
+            data, QuorumConfig(**base, executor="fused"), seeds,
+            return_plans=True)
+        for serial_result, fused_result in zip(serial_results, fused_results):
+            assert np.array_equal(serial_result.deviations,
+                                  fused_result.deviations)
+            for level in serial_result.bucket_statistics:
+                for side in (0, 1):
+                    assert np.array_equal(
+                        serial_result.bucket_statistics[level][side],
+                        fused_result.bucket_statistics[level][side])
+        for serial_plan, fused_plan in zip(serial_plans, fused_plans):
+            assert (serial_plan.rng.bit_generator.state
+                    == fused_plan.rng.bit_generator.state)
+
+    def test_fused_statevector_falls_back_per_member(self):
+        data = toy_data(num_samples=12, num_features=4)
+        base = dict(ensemble_groups=2, shots=128, seed=9, num_qubits=2,
+                    backend="statevector")
+        serial = QuorumDetector(**base, executor="serial").fit(data)
+        fused = QuorumDetector(**base, executor="fused").fit(data)
+        assert np.array_equal(serial.anomaly_scores(), fused.anomaly_scores())
+
+    def test_no_fused_members_disables_fusion(self):
+        config = QuorumConfig(executor="fused", fused_members=False)
+        assert not config.wants_fused_members
+        assert QuorumConfig(executor="fused").wants_fused_members
+        assert QuorumConfig(fused_members=True).wants_fused_members
+        assert not QuorumConfig().wants_fused_members
 
     def test_auto_matches_explicit_processes(self):
         data = toy_data()

@@ -7,6 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.bucketing import BucketAssignment, assign_buckets
 from repro.core.scoring import (
     AnomalyScores,
+    BucketStatistics,
     bucket_deviations,
     bucket_statistics,
     reference_deviations,
@@ -72,6 +73,45 @@ class TestBucketStatistics:
         reused = bucket_deviations(p1, buckets,
                                    statistics=bucket_statistics(p1, buckets))
         assert np.array_equal(plain, reused)
+
+    def test_statistics_hoist_degenerate_bucket_mask(self):
+        buckets = BucketAssignment(buckets=((0, 1), (2, 3)))
+        p1 = np.array([0.1, 0.3, 0.2, 0.2])  # second bucket is degenerate
+        statistics = bucket_statistics(p1, buckets)
+        assert isinstance(statistics, BucketStatistics)
+        assert statistics.live.tolist() == [True, False]
+        assert statistics.num_buckets == 2
+        # Tuple compatibility: unpacking and indexing see (means, stds).
+        means, stds = statistics
+        assert means is statistics.means and stds is statistics.stds
+        assert statistics[0] is statistics.means
+        assert statistics[1] is statistics.stds
+        assert len(statistics) == 2
+
+    def test_legacy_tuple_statistics_still_accepted_bitwise(self):
+        rng = np.random.default_rng(7)
+        p1 = rng.uniform(0, 0.5, size=24)
+        buckets = assign_buckets(24, 6, np.random.default_rng(2))
+        statistics = bucket_statistics(p1, buckets)
+        legacy = bucket_deviations(
+            p1, buckets, statistics=(statistics.means, statistics.stds))
+        assert np.array_equal(legacy, bucket_deviations(p1, buckets))
+
+    def test_mask_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="live mask"):
+            reference_deviations(np.zeros(2), np.zeros(3), np.ones(3),
+                                 live=np.ones(2, dtype=bool))
+
+    def test_precomputed_mask_reproduces_reference_deviations_bitwise(self):
+        rng = np.random.default_rng(11)
+        p1 = rng.uniform(0, 0.5, size=40)
+        buckets = assign_buckets(40, 8, rng)
+        statistics = bucket_statistics(p1, buckets)
+        probes = rng.uniform(0, 1, size=9)
+        plain = reference_deviations(probes, statistics.means, statistics.stds)
+        masked = reference_deviations(probes, statistics.means,
+                                      statistics.stds, live=statistics.live)
+        assert np.array_equal(plain, masked)
 
 
 class TestReferenceDeviations:

@@ -1,0 +1,245 @@
+"""Hypothesis property tests for the member-stacked batch primitives.
+
+Every stacked kernel added for ensemble-wide fused execution must agree with
+the per-member loop it replaces to ``<= 1e-10`` on the ``complex128`` backend
+(single precision on ``numpy-float32``), across random group sizes, batch
+sizes, and qubit counts:
+
+* :meth:`~repro.quantum.backend.SimulationBackend.apply_compiled_unitary_member_batch`
+  vs one :meth:`apply_unitary_batch` per member;
+* :meth:`~repro.quantum.backend.SimulationBackend.apply_compiled_superoperator_member_batch`
+  over a compiled :class:`~repro.quantum.compiler.MemberStackedProgram` vs one
+  :meth:`apply_compiled_superoperator_batch` per member program;
+* :meth:`~repro.quantum.backend.SimulationBackend.observable_expectation_density_member_batch`
+  vs one :meth:`observable_expectation_density_batch` per member;
+* :meth:`~repro.quantum.simulator.BatchedDensityMatrixSimulator.evolve_member_batch`
+  vs one :meth:`evolve_batch` per member (plus its declared
+  :class:`~repro.quantum.simulator.IncompatibleMemberBatch` fallbacks).
+
+The member circuit families are drawn from the same population the fused
+executor stacks in production: random autoencoder ansatzes of one register
+size, which share a structure signature and differ only in rotation angles.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.ansatz import RandomAutoencoderAnsatz
+from repro.algorithms.autoencoder import build_autoencoder_prefix
+from repro.core.ensemble import batch_amplitudes
+from repro.quantum.backend import get_simulation_backend
+from repro.quantum.compiler import CircuitCompiler, structure_signature
+from repro.quantum.noise import NoiseModel, QuantumError, depolarizing_kraus
+from repro.quantum.simulator import (
+    BatchedDensityMatrixSimulator,
+    IncompatibleMemberBatch,
+)
+
+#: (backend name, tolerance): the float32 variant computes in complex64.
+BACKENDS = [("numpy", 1e-10), ("numpy-float32", 2e-4)]
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def member_ansatzes(rng, members, num_qubits):
+    """Random ansatzes of one register size: a structure-signature group."""
+    return [RandomAutoencoderAnsatz(num_qubits,
+                                    seed=int(rng.integers(1_000_000)))
+            for _ in range(members)]
+
+
+def member_encoder_circuits(ansatzes):
+    return [ansatz.encoder_circuit(list(range(ansatz.num_qubits)))
+            for ansatz in ansatzes]
+
+
+def random_state_stack(rng, members, batch, num_qubits):
+    dim = 2 ** num_qubits
+    states = (rng.normal(size=(members, batch, dim))
+              + 1j * rng.normal(size=(members, batch, dim)))
+    return states / np.linalg.norm(states, axis=-1, keepdims=True)
+
+
+def random_density_stack(rng, members, batch, num_qubits):
+    dim = 2 ** num_qubits
+    factors = (rng.normal(size=(members, batch, dim, dim))
+               + 1j * rng.normal(size=(members, batch, dim, dim)))
+    rhos = np.matmul(factors, factors.conj().transpose(0, 1, 3, 2))
+    traces = np.einsum("mbii->mb", rhos).real
+    return rhos / traces[..., None, None]
+
+
+def random_hermitians(rng, members, num_qubits):
+    dim = 2 ** num_qubits
+    raw = (rng.normal(size=(members, dim, dim))
+           + 1j * rng.normal(size=(members, dim, dim)))
+    return raw + raw.conj().transpose(0, 2, 1)
+
+
+def depolarizing_model():
+    return (
+        NoiseModel()
+        .add_all_single_qubit_error(QuantumError.from_kraus(
+            depolarizing_kraus(0.02)))
+        .add_all_two_qubit_error(QuantumError.from_kraus(
+            depolarizing_kraus(0.05, 2)))
+    )
+
+
+class TestAnsatzFamiliesShareStructure:
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_equal_register_ansatzes_form_one_signature_group(self, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(2, 4))
+        circuits = member_encoder_circuits(
+            member_ansatzes(rng, int(rng.integers(2, 5)), num_qubits))
+        signatures = {structure_signature(circuit) for circuit in circuits}
+        assert len(signatures) == 1
+
+
+@pytest.mark.parametrize("backend_name,tolerance", BACKENDS)
+class TestUnitaryMemberBatch:
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_stacked_unitaries_match_per_member_loop(self, backend_name,
+                                                     tolerance, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(1, 4))
+        members = int(rng.integers(1, 5))
+        batch = int(rng.integers(1, 6))
+        ansatzes = member_ansatzes(rng, members, num_qubits)
+        states = random_state_stack(rng, members, batch, num_qubits)
+
+        backend = get_simulation_backend(backend_name)
+        compiler = CircuitCompiler()
+        unitaries = compiler.member_stacked_unitary(
+            member_encoder_circuits(ansatzes), backend)
+        stacked = backend.apply_compiled_unitary_member_batch(
+            backend.as_states(states.reshape(members * batch, -1))
+                   .reshape(members, batch, -1),
+            unitaries)
+
+        assert stacked.shape == states.shape
+        for member in range(members):
+            reference = backend.apply_unitary_batch(states[member],
+                                                    unitaries[member])
+            assert np.allclose(stacked[member], reference, atol=tolerance)
+
+    def test_mismatched_stacks_raise(self, backend_name, tolerance):
+        backend = get_simulation_backend(backend_name)
+        states = random_state_stack(np.random.default_rng(0), 3, 2, 2)
+        unitaries = np.stack([np.eye(4, dtype=complex)] * 2)
+        with pytest.raises(ValueError):
+            backend.apply_compiled_unitary_member_batch(states, unitaries)
+
+
+@pytest.mark.parametrize("backend_name,tolerance", BACKENDS)
+class TestSuperoperatorMemberBatch:
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_stacked_program_matches_per_member_programs(self, backend_name,
+                                                         tolerance, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(2, 4))
+        members = int(rng.integers(1, 4))
+        batch = int(rng.integers(1, 5))
+        circuits = member_encoder_circuits(
+            member_ansatzes(rng, members, num_qubits))
+        noise = depolarizing_model() if rng.random() < 0.7 else None
+        rhos = random_density_stack(rng, members, batch, num_qubits)
+
+        backend = get_simulation_backend(backend_name)
+        compiler = CircuitCompiler()
+        program = compiler.member_stacked_channel_program(circuits, noise,
+                                                          backend)
+        stacked = backend.apply_compiled_superoperator_member_batch(
+            rhos, program)
+
+        assert stacked.shape == rhos.shape
+        for member, circuit in enumerate(circuits):
+            serial = compiler.channel_program(circuit, noise, backend)
+            reference = backend.apply_compiled_superoperator_batch(
+                rhos[member], serial)
+            assert np.allclose(stacked[member], reference, atol=tolerance)
+
+
+@pytest.mark.parametrize("backend_name,tolerance", BACKENDS)
+class TestExpectationMemberBatch:
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_stacked_expectations_match_per_member_loop(self, backend_name,
+                                                        tolerance, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(1, 4))
+        members = int(rng.integers(1, 5))
+        batch = int(rng.integers(1, 6))
+        rhos = random_density_stack(rng, members, batch, num_qubits)
+        observables = random_hermitians(rng, members, num_qubits)
+
+        backend = get_simulation_backend(backend_name)
+        stacked = backend.observable_expectation_density_member_batch(
+            rhos, observables)
+
+        assert stacked.shape == (members, batch)
+        for member in range(members):
+            reference = backend.observable_expectation_density_batch(
+                rhos[member], observables[member])
+            assert np.allclose(stacked[member], reference, atol=tolerance)
+
+
+class TestEvolveMemberBatch:
+    def _member_prefixes(self, rng, members, samples, num_qubits):
+        """Per-member prefix circuit lists over shared random sample rows."""
+        values = rng.uniform(0.05, 1.0 / np.sqrt(2 ** num_qubits - 1),
+                             size=(samples, 2 ** num_qubits - 1))
+        amplitudes = batch_amplitudes(values, num_qubits)
+        ansatzes = member_ansatzes(rng, members, num_qubits)
+        return [
+            [build_autoencoder_prefix(row, ansatz, gate_level_encoding=True)
+             for row in amplitudes]
+            for ansatz in ansatzes
+        ]
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=8, deadline=None)
+    def test_member_walk_matches_per_member_walks(self, seed):
+        rng = np.random.default_rng(seed)
+        members = int(rng.integers(1, 4))
+        samples = int(rng.integers(1, 4))
+        num_qubits = 2
+        member_prefixes = self._member_prefixes(rng, members, samples,
+                                                num_qubits)
+        noise = depolarizing_model() if rng.random() < 0.7 else None
+
+        walker = BatchedDensityMatrixSimulator(noise_model=noise)
+        stacked = walker.evolve_member_batch(member_prefixes)
+
+        assert stacked.shape[:2] == (members, samples)
+        for member, prefixes in enumerate(member_prefixes):
+            reference = walker.evolve_batch(prefixes)
+            assert np.allclose(stacked[member], reference, atol=1e-10)
+
+    def test_interpreted_mode_raises_incompatible(self):
+        rng = np.random.default_rng(3)
+        member_prefixes = self._member_prefixes(rng, 2, 2, 2)
+        walker = BatchedDensityMatrixSimulator(compile_programs=False)
+        with pytest.raises(IncompatibleMemberBatch):
+            walker.evolve_member_batch(member_prefixes)
+
+    def test_oversize_sample_batch_raises_incompatible(self):
+        rng = np.random.default_rng(5)
+        member_prefixes = self._member_prefixes(rng, 2, 3, 2)
+        walker = BatchedDensityMatrixSimulator()
+        walker.MAX_FLAT_ELEMENTS = 2 * 16  # two 4x4 densities per chunk
+        with pytest.raises(IncompatibleMemberBatch):
+            walker.evolve_member_batch(member_prefixes)
+
+    def test_structural_divergence_raises_incompatible(self):
+        rng = np.random.default_rng(7)
+        diverged = self._member_prefixes(rng, 1, 2, 2)[0]
+        diverged[1].instructions = diverged[1].instructions[:-1]
+        walker = BatchedDensityMatrixSimulator()
+        with pytest.raises(IncompatibleMemberBatch):
+            walker.evolve_member_batch([diverged])

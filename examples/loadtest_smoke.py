@@ -1,0 +1,90 @@
+"""Replica-fleet smoke test: ``fit`` -> ``loadtest --replicas 2`` -> report.
+
+Run with::
+
+    PYTHONPATH=src python examples/loadtest_smoke.py
+
+Fits a small ensemble, persists it, then runs the real ``quorum-repro
+loadtest`` CLI in a subprocess: two ``serve`` replicas on ephemeral ports
+behind the round-robin proxy, a short closed-loop concurrency sweep, and a
+JSON report.  Asserts the report is well-formed (throughput, latency
+percentiles, per-replica request distribution, 1->2 scale-out efficiency,
+batching suggestion) and that every replica subprocess exited cleanly.
+
+CI runs this script as the fleet smoke test, so it fails loudly (non-zero
+exit) on any loadtest, proxy, or replica-lifecycle regression.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import QuorumDetector
+from repro.serving import save_model
+
+
+def main() -> int:
+    rng = np.random.default_rng(12)
+    data = rng.normal(size=(16, 4))
+    detector = QuorumDetector(ensemble_groups=2, seed=5, shots=256)
+    detector.fit(data)
+
+    with tempfile.TemporaryDirectory() as workdir:
+        model_path = save_model(detector, Path(workdir) / "model.json")
+        report_path = Path(workdir) / "loadtest.json"
+        print("== quorum-repro loadtest: 2 replicas, short sweep ==")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "loadtest",
+             "--model", str(model_path),
+             "--replicas", "2", "--concurrency", "2", "4",
+             "--duration", "0.6", "--warmup", "0.15",
+             "--samples-per-request", "2",
+             "--report", str(report_path)],
+            timeout=600)
+        assert completed.returncode == 0, \
+            f"loadtest exited {completed.returncode}"
+
+        report = json.loads(report_path.read_text())
+
+    # Well-formed report: every documented section is present and sane.
+    assert report["version"] == 1
+    assert report["config"]["replicas"] == 2
+    # 1 batch window x {1, 2} replicas x 2 concurrency levels = 4 runs.
+    assert len(report["runs"]) == 4
+    for run in report["runs"]:
+        assert run["requests"] > 0, run
+        assert run["errors"] == 0, run
+        assert run["throughput_rps"] > 0, run
+        assert {"p50", "p95", "p99"} <= set(run["latency_ms"]), run
+        assert sum(run["per_replica_requests"].values()) >= run["requests"]
+    fleet_runs = [run for run in report["runs"] if run["replicas"] == 2]
+    assert all(count > 0
+               for run in fleet_runs
+               for count in run["per_replica_requests"].values()), \
+        "round-robin left a replica idle"
+
+    scale_out = report["scale_out"]
+    assert scale_out["fleet_replicas"] == 2
+    assert scale_out["throughput_fleet_rps"] > 0
+    assert 0.0 < scale_out["efficiency"] <= 1.5  # sanity, not a perf gate
+
+    suggestion = report["suggestion"]
+    assert suggestion["max_batch_samples"] >= 32
+    assert suggestion["batch_window_ms"] in report["config"][
+        "batch_windows_ms"]
+
+    exits = report["replica_exits"]
+    assert exits["clean"], f"replica exit codes: {exits['exit_codes']}"
+
+    print(f"OK: {len(report['runs'])} runs, scale-out efficiency "
+          f"{scale_out['efficiency']:.0%}, all "
+          f"{len(exits['exit_codes'])} replica processes exited 0")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,8 @@ Installed as the ``quorum-repro`` console script::
     quorum-repro serve --model a.json --models canary=b.json    # multi-model
     quorum-repro jobs submit --server http://127.0.0.1:8765 \\
         --kind replay_dataset --dataset letter --wait           # async job
+    quorum-repro loadtest --model model.json --replicas 2 \\
+        --concurrency 4 8 16 --report loadtest.json             # fleet perf
 
 Every command prints GitHub-flavoured markdown so output can be pasted straight
 into issues or EXPERIMENTS.md.
@@ -151,6 +153,47 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
 
+    loadtest = subparsers.add_parser(
+        "loadtest",
+        help="measure a serve replica fleet under closed-loop load")
+    loadtest.add_argument("--model", type=str, required=True, metavar="PATH",
+                          help="model bundle every replica serves")
+    loadtest.add_argument("--replicas", type=int, default=1,
+                          help="how many serve subprocesses to fan requests "
+                               "across (K>1 also measures a 1-replica "
+                               "baseline for scale-out efficiency)")
+    loadtest.add_argument("--concurrency", type=int, nargs="+", default=[8],
+                          metavar="N",
+                          help="closed-loop worker counts to sweep")
+    loadtest.add_argument("--duration", type=float, default=2.0,
+                          metavar="SECONDS",
+                          help="measured window per (window, replicas, "
+                               "concurrency) combination")
+    loadtest.add_argument("--warmup", type=float, default=0.25,
+                          metavar="SECONDS",
+                          help="excluded warmup ahead of each measurement")
+    loadtest.add_argument("--mode", choices=("reference", "replay"),
+                          default="reference",
+                          help="'reference' sends synthetic probes; 'replay' "
+                               "sends the training set (pass --dataset/--csv) "
+                               "and doubles as a determinism check")
+    loadtest.add_argument("--samples-per-request", type=int, default=4,
+                          help="probe samples per request in reference mode")
+    loadtest.add_argument("--batch-window-ms", type=float, nargs="+",
+                          default=[2.0], metavar="MS",
+                          help="replica micro-batch windows to sweep")
+    loadtest.add_argument("--max-batch-samples", type=int, default=512,
+                          help="replica micro-batch sample budget")
+    loadtest.add_argument("--seed", type=int, default=0,
+                          help="probe-generation seed (reference mode)")
+    loadtest.add_argument("--no-baseline", action="store_true",
+                          help="skip the 1-replica baseline sweep (and the "
+                               "scale-out efficiency it enables)")
+    loadtest.add_argument("--report", type=str, default=None, metavar="PATH",
+                          help="write the full JSON report here "
+                               "('-' for stdout)")
+    _add_data_arguments(loadtest, required=False)
+
     jobs = subparsers.add_parser(
         "jobs", help="drive async jobs on a running `quorum-repro serve`")
     jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
@@ -274,8 +317,9 @@ def _resolve_jobs(args: argparse.Namespace) -> int:
     return 1
 
 
-def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
-    group = parser.add_mutually_exclusive_group(required=True)
+def _add_data_arguments(parser: argparse.ArgumentParser,
+                        required: bool = True) -> None:
+    group = parser.add_mutually_exclusive_group(required=required)
     group.add_argument("--dataset", choices=available_datasets(),
                        help="one of the Table I datasets")
     group.add_argument("--csv", type=str, help="path to a CSV file")
@@ -533,6 +577,88 @@ def _jobs_api(server: str, path: str, payload: Optional[dict] = None,
         return json.load(response)
 
 
+def _command_loadtest(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.serving.artifact import ArtifactError
+    from repro.serving.loadtest import run_loadtest
+
+    replay_samples = None
+    if args.mode == "replay":
+        if not (args.dataset or args.csv):
+            print("replay mode sends the training set: pass --dataset or "
+                  "--csv", file=sys.stderr)
+            return 2
+        dataset = _load_data_checked(args)
+        if dataset is None:
+            return 2
+        replay_samples = dataset.features_only()
+    try:
+        report = run_loadtest(
+            args.model,
+            replicas=args.replicas,
+            concurrencies=args.concurrency,
+            duration_s=args.duration,
+            mode=args.mode,
+            samples_per_request=args.samples_per_request,
+            batch_windows_ms=args.batch_window_ms,
+            max_batch_samples=args.max_batch_samples,
+            warmup_s=args.warmup,
+            seed=args.seed,
+            replay_samples=replay_samples,
+            single_replica_baseline=not args.no_baseline)
+    except (ArtifactError, ValueError, RuntimeError) as error:
+        print(f"loadtest failed: {error}", file=sys.stderr)
+        return 2
+    _print_loadtest_summary(report)
+    if args.report:
+        payload = json.dumps(report, indent=2, sort_keys=True)
+        if args.report == "-":
+            print(payload)
+        else:
+            Path(args.report).write_text(payload + "\n", encoding="utf-8")
+            print(f"report written to {args.report}")
+    if not report["replica_exits"]["clean"]:
+        print("warning: replica(s) exited non-zero: "
+              f"{report['replica_exits']['exit_codes']}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _print_loadtest_summary(report: dict) -> None:
+    rows = []
+    for run in report["runs"]:
+        latency = run["latency_ms"]
+        rows.append((
+            str(run["replicas"]),
+            f"{run['batch_window_ms']:g}",
+            str(run["concurrency"]),
+            str(run["requests"]),
+            str(run["errors"]),
+            f"{run['throughput_rps']:.1f}",
+            f"{latency['p50']:.1f}",
+            f"{latency['p95']:.1f}",
+            f"{latency['p99']:.1f}",
+        ))
+    print(markdown_table(
+        ["replicas", "window ms", "conc", "requests", "errors", "rps",
+         "p50 ms", "p95 ms", "p99 ms"], rows))
+    scale_out = report["scale_out"]
+    if scale_out is not None:
+        print(f"\nscale-out 1->{scale_out['fleet_replicas']}: "
+              f"{scale_out['throughput_single_rps']:.1f} -> "
+              f"{scale_out['throughput_fleet_rps']:.1f} rps "
+              f"(speedup {scale_out['speedup']:.2f}x, "
+              f"efficiency {scale_out['efficiency']:.0%})")
+    suggestion = report["suggestion"]
+    print(f"suggested batching: --batch-window-ms "
+          f"{suggestion['batch_window_ms']:g} --max-batch-samples "
+          f"{suggestion['max_batch_samples']} (knee at concurrency "
+          f"{suggestion['knee_concurrency']}, "
+          f"{suggestion['peak_throughput_rps']:.1f} rps)")
+
+
 def _command_jobs(args: argparse.Namespace) -> int:
     import json
     import time
@@ -632,6 +758,7 @@ _COMMANDS = {
     "fit": _command_fit,
     "score": _command_score,
     "serve": _command_serve,
+    "loadtest": _command_loadtest,
     "jobs": _command_jobs,
 }
 

@@ -23,6 +23,14 @@ is the score-many half:
 * :mod:`repro.serving.server` -- the stdlib-only ``quorum-repro serve``
   HTTP service fronting all of the above under ``/v1/`` (legacy ``/score``,
   ``/healthz``, ``/model`` kept as deprecated aliases); see ``docs/API.md``.
+* :mod:`repro.serving.proxy` -- :class:`RoundRobinProxy`: a request-level
+  round-robin HTTP proxy fanning one client-facing port across K replica
+  backends, with health checks, failover, and per-replica request counts.
+* :mod:`repro.serving.loadtest` -- closed-loop load generation
+  (:func:`run_closed_loop`), subprocess replica fleets
+  (:class:`ReplicaFleet`), and the ``quorum-repro loadtest`` orchestrator
+  (:func:`run_loadtest`) producing saturation curves, 1->K scale-out
+  efficiency, and knee-derived batching suggestions.
 """
 
 from repro.serving.artifact import (
@@ -38,6 +46,11 @@ from repro.serving.artifact import (
     save_model,
 )
 from repro.serving.jobs import Job, JobManager
+from repro.serving.loadtest import (
+    ReplicaFleet,
+    run_closed_loop,
+    run_loadtest,
+)
 from repro.serving.models import (
     ERROR_STATUS,
     JOB_KINDS,
@@ -53,6 +66,7 @@ from repro.serving.models import (
     SessionCreateRequest,
     SessionInfo,
 )
+from repro.serving.proxy import ProxyError, RoundRobinProxy
 from repro.serving.registry import ModelRegistry, RegisteredModel
 from repro.serving.scorer import SCORING_MODES, OnlineScorer, ScoreResult
 from repro.serving.server import (
@@ -100,4 +114,9 @@ __all__ = [
     "QuorumHTTPServer",
     "build_server",
     "run_server",
+    "ProxyError",
+    "RoundRobinProxy",
+    "ReplicaFleet",
+    "run_closed_loop",
+    "run_loadtest",
 ]

@@ -1,0 +1,524 @@
+"""Closed-loop load testing of one ``serve`` process or a replica fleet.
+
+The ROADMAP's "millions of users" story needs numbers, not adjectives.  This
+module is the measuring instrument, stdlib + numpy only:
+
+* :func:`run_closed_loop` -- a pool of N concurrent **closed-loop** workers
+  (each issues its next request only after the previous one completed, the
+  standard saturation-measurement discipline) over persistent HTTP
+  connections, capturing per-request latency and errors and reducing them to
+  throughput + p50/p95/p99.
+* :class:`ReplicaFleet` -- spawns K real ``quorum-repro serve`` subprocesses
+  on ephemeral ports (scraping the bound port from the startup line) and
+  tears them down deterministically; every replica loads the same frozen
+  artifact, which is exactly the shared-nothing state a fleet needs.
+* :func:`run_loadtest` -- the orchestrator behind the ``quorum-repro
+  loadtest`` CLI verb: sweeps concurrency levels (and optionally
+  ``--batch-window-ms`` values) against a 1-replica baseline and the
+  K-replica fleet behind a :class:`~repro.serving.proxy.RoundRobinProxy`,
+  records the saturation curve into a JSON report, computes the 1->K
+  scale-out efficiency, and derives batching suggestions from the measured
+  saturation knee (:func:`find_knee` / :func:`suggest_batching`).
+
+Everything is CI-safe by construction: ephemeral ports, bounded startup
+waits, and subprocess cleanup in ``finally`` (the integration-test style of
+runtime-server projects).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.serving.artifact import ModelArtifact, load_model
+from repro.serving.proxy import RoundRobinProxy
+
+__all__ = [
+    "percentile",
+    "summarize_latencies",
+    "run_closed_loop",
+    "ReplicaFleet",
+    "find_knee",
+    "suggest_batching",
+    "run_loadtest",
+    "REPORT_VERSION",
+]
+
+#: Schema marker of the JSON report produced by :func:`run_loadtest`.
+REPORT_VERSION = 1
+
+#: Marginal-throughput gain below which added concurrency has saturated the
+#: service: the knee of the saturation curve.
+KNEE_GAIN_THRESHOLD = 0.10
+
+#: Bounds on the auto-suggested micro-batch sample budget.
+MIN_SUGGESTED_BATCH = 32
+MAX_SUGGESTED_BATCH = 4096
+
+
+# --------------------------------------------------------------------- metrics
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted sequence."""
+    if not sorted_values:
+        raise ValueError("cannot take a percentile of no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile {q} outside [0, 100]")
+    position = (len(sorted_values) - 1) * q / 100.0
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return (sorted_values[lower] * (1.0 - fraction)
+            + sorted_values[upper] * fraction)
+
+
+def summarize_latencies(latencies_s: Sequence[float]) -> Dict[str, float]:
+    """``{mean, p50, p95, p99, max}`` in milliseconds."""
+    ordered = sorted(latencies_s)
+    if not ordered:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "mean": sum(ordered) / len(ordered) * 1e3,
+        "p50": percentile(ordered, 50.0) * 1e3,
+        "p95": percentile(ordered, 95.0) * 1e3,
+        "p99": percentile(ordered, 99.0) * 1e3,
+        "max": ordered[-1] * 1e3,
+    }
+
+
+# ----------------------------------------------------------- closed-loop pool
+class _WorkerStats:
+    __slots__ = ("latencies", "errors", "last_completion")
+
+    def __init__(self) -> None:
+        self.latencies: List[float] = []
+        self.errors = 0
+        self.last_completion = 0.0
+
+
+def run_closed_loop(base_url: str, path: str, body: bytes, *,
+                    concurrency: int, duration_s: float,
+                    warmup_s: float = 0.0, method: str = "POST",
+                    timeout_s: float = 120.0) -> Dict[str, object]:
+    """Drive ``method path`` with N closed-loop workers for ``duration_s``.
+
+    Workers reuse one persistent connection each (reconnecting on failure)
+    and only requests *started* after the warmup window count.  Returns a
+    run record: request/error counts, throughput, and the latency summary.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be at least 1")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    host, _, port = base_url.split("//", 1)[-1].rstrip("/").rpartition(":")
+    headers = {"Content-Type": "application/json"}
+    start_event = threading.Event()
+    clock_box: Dict[str, float] = {}
+    stats = [_WorkerStats() for _ in range(concurrency)]
+
+    def worker(my_stats: _WorkerStats) -> None:
+        connection = http.client.HTTPConnection(host, int(port),
+                                                timeout=timeout_s)
+        start_event.wait()
+        measure_start = clock_box["measure_start"]
+        deadline = clock_box["deadline"]
+        try:
+            while True:
+                begin = time.perf_counter()
+                if begin >= deadline:
+                    return
+                measured = begin >= measure_start
+                try:
+                    connection.request(method, path, body=body,
+                                       headers=headers)
+                    response = connection.getresponse()
+                    response.read()
+                    ok = 200 <= response.status < 300
+                except (OSError, http.client.HTTPException):
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        host, int(port), timeout=timeout_s)
+                    if measured:
+                        my_stats.errors += 1
+                    continue
+                end = time.perf_counter()
+                if not measured:
+                    continue
+                if ok:
+                    my_stats.latencies.append(end - begin)
+                    my_stats.last_completion = end
+                else:
+                    my_stats.errors += 1
+        finally:
+            connection.close()
+
+    threads = [threading.Thread(target=worker, args=(stat,), daemon=True)
+               for stat in stats]
+    for thread in threads:
+        thread.start()
+    start = time.perf_counter()
+    clock_box["measure_start"] = start + warmup_s
+    clock_box["deadline"] = start + warmup_s + duration_s
+    start_event.set()
+    for thread in threads:
+        thread.join(timeout=warmup_s + duration_s + timeout_s + 30.0)
+
+    latencies = [value for stat in stats for value in stat.latencies]
+    errors = sum(stat.errors for stat in stats)
+    last = max((stat.last_completion for stat in stats), default=0.0)
+    window = max(last - clock_box["measure_start"], 1e-9)
+    return {
+        "concurrency": concurrency,
+        "duration_s": round(window, 4),
+        "requests": len(latencies),
+        "errors": errors,
+        "throughput_rps": (len(latencies) / window) if latencies else 0.0,
+        "latency_ms": summarize_latencies(latencies),
+    }
+
+
+# -------------------------------------------------------------- replica fleet
+class ReplicaFleet:
+    """K real ``quorum-repro serve`` subprocesses on ephemeral ports.
+
+    Every replica serves the same frozen model artifact -- the shared-nothing
+    scale-out unit.  ``start`` scrapes each replica's bound port from the
+    CLI's ``serving ... on http://host:port`` startup line; ``close`` sends
+    SIGTERM and reaps (killing only on a missed shutdown deadline), returning
+    the exit codes so callers can assert clean shutdown.
+    """
+
+    def __init__(self, model_path: Union[str, Path], replicas: int = 1, *,
+                 batch_window_ms: float = 2.0, max_batch_samples: int = 512,
+                 host: str = "127.0.0.1",
+                 startup_timeout_s: float = 120.0) -> None:
+        if replicas < 1:
+            raise ValueError("a fleet needs at least one replica")
+        self.model_path = Path(model_path)
+        self.replicas = int(replicas)
+        self.batch_window_ms = float(batch_window_ms)
+        self.max_batch_samples = int(max_batch_samples)
+        self.host = host
+        self.startup_timeout_s = float(startup_timeout_s)
+        self._processes: List[subprocess.Popen] = []
+        self._addresses: List[Tuple[str, int]] = []
+
+    @property
+    def addresses(self) -> List[Tuple[str, int]]:
+        return list(self._addresses)
+
+    @staticmethod
+    def _environment() -> Dict[str, str]:
+        """The parent's environment with the repro package importable."""
+        import repro
+
+        package_root = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (package_root if not existing
+                             else os.pathsep.join([package_root, existing]))
+        return env
+
+    def _spawn_one(self) -> Tuple[subprocess.Popen, Tuple[str, int]]:
+        command = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--model", str(self.model_path),
+            "--host", self.host, "--port", "0",
+            "--batch-window-ms", str(self.batch_window_ms),
+            "--max-batch-samples", str(self.max_batch_samples),
+        ]
+        process = subprocess.Popen(command, stdout=subprocess.PIPE,
+                                   text=True, env=self._environment())
+        line = self._readline_bounded(process)
+        if " on http://" not in line:
+            self._reap(process)
+            raise RuntimeError(
+                f"replica did not report a bound port (got {line!r}, "
+                f"exit code {process.returncode})")
+        address = line.rsplit(" on http://", 1)[1].strip()
+        host, _, port = address.rpartition(":")
+        return process, (host, int(port))
+
+    def _readline_bounded(self, process: subprocess.Popen) -> str:
+        """One stdout line within the startup deadline (kill on overrun)."""
+        box: Dict[str, str] = {}
+
+        def read() -> None:
+            box["line"] = process.stdout.readline()
+
+        thread = threading.Thread(target=read, daemon=True)
+        thread.start()
+        thread.join(self.startup_timeout_s)
+        if thread.is_alive():
+            self._reap(process)
+            raise RuntimeError(
+                f"replica startup exceeded {self.startup_timeout_s:.0f}s")
+        return box.get("line", "")
+
+    @staticmethod
+    def _reap(process: subprocess.Popen) -> None:
+        process.kill()
+        process.wait(timeout=10.0)
+        if process.stdout is not None:
+            process.stdout.close()
+
+    def start(self) -> "ReplicaFleet":
+        if self._processes:
+            raise RuntimeError("the fleet is already started")
+        try:
+            for _ in range(self.replicas):
+                process, address = self._spawn_one()
+                self._processes.append(process)
+                self._addresses.append(address)
+        except Exception:
+            self.close()
+            raise
+        return self
+
+    def close(self) -> List[int]:
+        """Terminate every replica; returns their exit codes (0 = clean)."""
+        exit_codes: List[int] = []
+        for process in self._processes:
+            try:
+                process.terminate()
+                try:
+                    process.wait(timeout=15.0)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait(timeout=10.0)
+            finally:
+                if process.stdout is not None:
+                    process.stdout.close()
+            exit_codes.append(process.returncode)
+        self._processes = []
+        self._addresses = []
+        return exit_codes
+
+    def __enter__(self) -> "ReplicaFleet":
+        if not self._processes:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# --------------------------------------------------- knee + batch suggestions
+def find_knee(points: Sequence[Tuple[int, float]]) -> Tuple[int, float]:
+    """The saturation knee of ``[(concurrency, throughput)]`` (ascending).
+
+    Walking the curve in concurrency order, the knee is the last point before
+    the marginal throughput gain drops below :data:`KNEE_GAIN_THRESHOLD`
+    (additional closed-loop clients now only add queueing latency).  A curve
+    that never flattens returns its last point.
+    """
+    if not points:
+        raise ValueError("cannot find the knee of an empty curve")
+    knee = points[0]
+    for previous, current in zip(points, points[1:]):
+        _, previous_tp = previous
+        _, current_tp = current
+        if previous_tp > 0 and (current_tp / previous_tp - 1.0
+                                ) < KNEE_GAIN_THRESHOLD:
+            return previous
+        knee = current
+    return knee
+
+
+def _next_power_of_two(value: int) -> int:
+    return 1 << max(int(value) - 1, 0).bit_length() if value > 1 else 1
+
+
+def suggest_batching(runs: Sequence[Dict[str, object]],
+                     samples_per_request: int) -> Dict[str, object]:
+    """Derive batching knobs from measured saturation curves.
+
+    For the largest fleet in ``runs``, each swept ``batch_window_ms`` value
+    yields one saturation curve; the window whose knee throughput is highest
+    wins.  The suggested ``max_batch_samples`` is the sample volume in
+    flight at the knee (knee concurrency x samples per request, rounded up
+    to a power of two) -- a smaller budget would split saturated batches,
+    a much larger one only adds queueing.
+    """
+    fleet = max(int(run["replicas"]) for run in runs)
+    best: Optional[Dict[str, object]] = None
+    for window in sorted({float(run["batch_window_ms"]) for run in runs}):
+        curve = sorted(
+            (int(run["concurrency"]), float(run["throughput_rps"]))
+            for run in runs
+            if int(run["replicas"]) == fleet
+            and float(run["batch_window_ms"]) == window)
+        if not curve:
+            continue
+        knee_concurrency, knee_throughput = find_knee(curve)
+        if best is None or knee_throughput > best["peak_throughput_rps"]:
+            best = {
+                "knee_concurrency": knee_concurrency,
+                "batch_window_ms": window,
+                "peak_throughput_rps": knee_throughput,
+            }
+    assert best is not None  # runs is non-empty by contract
+    in_flight = int(best["knee_concurrency"]) * int(samples_per_request)
+    best["max_batch_samples"] = min(
+        max(_next_power_of_two(in_flight), MIN_SUGGESTED_BATCH),
+        MAX_SUGGESTED_BATCH)
+    return best
+
+
+# ---------------------------------------------------------------- orchestrator
+def _fetch_json(url: str, timeout_s: float = 30.0) -> dict:
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return json.load(response)
+
+
+def run_loadtest(model_path: Union[str, Path], *,
+                 replicas: int = 1,
+                 concurrencies: Sequence[int] = (8,),
+                 duration_s: float = 2.0,
+                 mode: str = "reference",
+                 samples_per_request: int = 4,
+                 batch_windows_ms: Sequence[float] = (2.0,),
+                 max_batch_samples: int = 512,
+                 warmup_s: float = 0.25,
+                 seed: int = 0,
+                 replay_samples: Optional[np.ndarray] = None,
+                 single_replica_baseline: bool = True,
+                 request_timeout_s: float = 120.0) -> Dict[str, object]:
+    """Measure a replica fleet under closed-loop load; return the report.
+
+    Spawns a 1-replica baseline (when ``single_replica_baseline`` and
+    ``replicas > 1``) and the K-replica fleet behind an in-process
+    round-robin proxy, sweeps every ``(batch_window_ms, concurrency)``
+    combination for ``duration_s`` each, and reduces the measurements to a
+    JSON-serializable report: the saturation curve, per-replica request
+    distribution, 1->K scale-out efficiency, and knee-derived batching
+    suggestions.
+    """
+    if mode not in ("reference", "replay"):
+        raise ValueError(f"unknown loadtest mode {mode!r}")
+    artifact: ModelArtifact = load_model(model_path)
+    if mode == "replay":
+        if replay_samples is None:
+            raise ValueError("replay mode needs the training set "
+                             "(replay_samples)")
+        samples = np.asarray(replay_samples, dtype=float)
+        if samples.shape[0] != artifact.num_samples:
+            raise ValueError(
+                f"replay mode requires the full training set of "
+                f"{artifact.num_samples} samples (got {samples.shape[0]})")
+    else:
+        rng = np.random.default_rng(seed)
+        samples = rng.normal(size=(int(samples_per_request),
+                                   artifact.num_features))
+    request_samples = samples.shape[0]
+    body = json.dumps({"samples": samples.tolist(),
+                       "mode": mode}).encode("utf-8")
+
+    concurrencies = sorted({int(value) for value in concurrencies})
+    if not concurrencies or concurrencies[0] < 1:
+        raise ValueError("concurrencies must be positive integers")
+    batch_windows_ms = sorted({float(value) for value in batch_windows_ms})
+    replica_counts = [replicas]
+    if single_replica_baseline and replicas > 1:
+        replica_counts = [1, replicas]
+
+    runs: List[Dict[str, object]] = []
+    exit_codes: List[int] = []
+    for window in batch_windows_ms:
+        for count in replica_counts:
+            fleet = ReplicaFleet(model_path, count, batch_window_ms=window,
+                                 max_batch_samples=max_batch_samples)
+            try:
+                fleet.start()
+                with RoundRobinProxy(fleet.addresses) as proxy:
+                    health = proxy.check_backends()
+                    unhealthy = [address for address, ok in health.items()
+                                 if not ok]
+                    if unhealthy:
+                        raise RuntimeError(
+                            f"replicas failed their health check: {unhealthy}")
+                    liveness = _fetch_json(proxy.base_url + "/v1/healthz")
+                    score_path = (f"/v1/models/{liveness['default_model']}"
+                                  f"/score")
+                    for concurrency in concurrencies:
+                        before = proxy.request_counts()
+                        result = run_closed_loop(
+                            proxy.base_url, score_path, body,
+                            concurrency=concurrency, duration_s=duration_s,
+                            warmup_s=warmup_s, timeout_s=request_timeout_s)
+                        after = proxy.request_counts()
+                        result.update({
+                            "replicas": count,
+                            "batch_window_ms": window,
+                            "per_replica_requests": {
+                                address: after[address] - before[address]
+                                for address in after},
+                        })
+                        runs.append(result)
+            finally:
+                exit_codes.extend(fleet.close())
+
+    report: Dict[str, object] = {
+        "version": REPORT_VERSION,
+        "generated_at": time.time(),
+        "config": {
+            "model_path": str(model_path),
+            "replicas": replicas,
+            "concurrencies": concurrencies,
+            "duration_s": duration_s,
+            "warmup_s": warmup_s,
+            "mode": mode,
+            "samples_per_request": request_samples,
+            "batch_windows_ms": batch_windows_ms,
+            "max_batch_samples": max_batch_samples,
+            "seed": seed,
+        },
+        "runs": runs,
+        "scale_out": _scale_out(runs, replicas),
+        "suggestion": suggest_batching(runs, request_samples),
+        "replica_exits": {
+            "exit_codes": exit_codes,
+            "clean": all(code == 0 for code in exit_codes),
+        },
+    }
+    return report
+
+
+def _scale_out(runs: Sequence[Dict[str, object]],
+               replicas: int) -> Optional[Dict[str, object]]:
+    """1->K efficiency at the heaviest measured load, when both were run."""
+    if replicas <= 1:
+        return None
+    single = [run for run in runs if int(run["replicas"]) == 1]
+    fleet = [run for run in runs if int(run["replicas"]) == replicas]
+    if not single or not fleet:
+        return None
+
+    def best(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
+        peak = max(int(run["concurrency"]) for run in records)
+        candidates = [run for run in records
+                      if int(run["concurrency"]) == peak]
+        return max(candidates, key=lambda run: float(run["throughput_rps"]))
+
+    single_best, fleet_best = best(single), best(fleet)
+    single_tp = float(single_best["throughput_rps"])
+    fleet_tp = float(fleet_best["throughput_rps"])
+    return {
+        "baseline_replicas": 1,
+        "fleet_replicas": replicas,
+        "concurrency": int(fleet_best["concurrency"]),
+        "throughput_single_rps": single_tp,
+        "throughput_fleet_rps": fleet_tp,
+        "speedup": (fleet_tp / single_tp) if single_tp > 0 else 0.0,
+        "efficiency": (fleet_tp / (replicas * single_tp)
+                       if single_tp > 0 else 0.0),
+    }

@@ -1,0 +1,396 @@
+"""Round-robin HTTP proxy fanning requests across replica ``serve`` processes.
+
+The model artifact bundle is exactly the state a shared-nothing replica fleet
+needs: every ``quorum-repro serve`` process loads the same frozen artifact and
+answers identically (replay mode bitwise), so a fleet of K replicas behind a
+request-level round-robin proxy scales reference-mode throughput without any
+coordination between processes.
+
+:class:`RoundRobinProxy` is that proxy, stdlib-only and deliberately tiny:
+
+* **request-level** balancing -- each HTTP request on a client connection is
+  forwarded to the next backend in rotation (not connection-level pinning),
+  so even one keep-alive load generator exercises every replica;
+* per-backend **request counters** (the loadtest harness reads them to report
+  per-replica distribution);
+* **health checks** via ``HEAD /v1/healthz`` (what real load balancers send;
+  the server grew ``do_HEAD`` support for exactly this);
+* **failover** -- a backend that refuses or drops a connection is retried on
+  the next replica in rotation; only when every backend fails does the client
+  see a synthesized ``502`` with the standard error envelope.
+
+Framing relies on the invariant the server upholds: every response carries a
+``Content-Length`` (no chunked encoding).  Responses without one are streamed
+until backend EOF and the connection pair is closed.
+
+The proxy is embeddable (the ``loadtest`` harness runs it in-process so the
+counters are directly readable) and usable standalone::
+
+    proxy = RoundRobinProxy([(host1, port1), (host2, port2)]).start()
+    ... point clients at proxy.base_url ...
+    proxy.close()
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["RoundRobinProxy", "ProxyError"]
+
+#: Upper bound on one request/response head (status line + headers).
+MAX_HEAD_BYTES = 64 * 1024
+
+#: Socket timeout for backend connects and reads; generous because scoring a
+#: large coalesced batch can legitimately take a while.
+BACKEND_TIMEOUT_S = 300.0
+
+#: Synthesized when every backend fails for one request (proxy-level code;
+#: the server-side codes live in repro.serving.models.ERROR_STATUS).
+_BAD_GATEWAY_CODE = "bad_gateway"
+
+
+class ProxyError(RuntimeError):
+    """Lifecycle errors of the proxy itself (bad backend spec, double start)."""
+
+
+def _parse_backend(spec: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    if isinstance(spec, tuple):
+        host, port = spec
+        return str(host), int(port)
+    text = spec
+    if "//" in text:  # accept http://host:port URLs as written by `serve`
+        text = text.split("//", 1)[1]
+    host, separator, port = text.rstrip("/").rpartition(":")
+    if not separator or not port.isdigit():
+        raise ProxyError(f"backend spec {spec!r} is not host:port")
+    return host, int(port)
+
+
+class _SocketReader:
+    """Minimal buffered reader over a socket (head + exact-length bodies)."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buffer = b""
+
+    def read_head(self) -> Optional[bytes]:
+        """One message head up to and including the blank line.
+
+        Returns ``None`` on clean EOF before any byte (client done with the
+        connection); raises :class:`ConnectionError` on EOF mid-head.
+        """
+        while b"\r\n\r\n" not in self._buffer:
+            if len(self._buffer) > MAX_HEAD_BYTES:
+                raise ConnectionError("message head exceeds the size bound")
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                if self._buffer:
+                    raise ConnectionError("EOF inside a message head")
+                return None
+            self._buffer += chunk
+        head, _, self._buffer = self._buffer.partition(b"\r\n\r\n")
+        return head + b"\r\n\r\n"
+
+    def read_exact(self, length: int) -> bytes:
+        """Exactly ``length`` body bytes; raises ConnectionError on EOF."""
+        while len(self._buffer) < length:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError(
+                    f"EOF after {len(self._buffer)} of {length} body bytes")
+            self._buffer += chunk
+        body, self._buffer = self._buffer[:length], self._buffer[length:]
+        return body
+
+    def read_to_eof(self) -> bytes:
+        chunks = [self._buffer]
+        self._buffer = b""
+        while True:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                return b"".join(chunks)
+            chunks.append(chunk)
+
+
+def _parse_head(head: bytes) -> Tuple[str, Dict[str, str]]:
+    """``(first_line, {lowercase header: value})`` from a raw head."""
+    lines = head.decode("latin-1").split("\r\n")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if separator:
+            headers[name.strip().lower()] = value.strip()
+    return lines[0], headers
+
+
+def _content_length(headers: Dict[str, str]) -> Optional[int]:
+    value = headers.get("content-length")
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise ConnectionError(f"unparsable Content-Length {value!r}")
+
+
+class _Backend:
+    """One replica: address, health, and a served-request counter."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.requests = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def connect(self, timeout_s: float) -> socket.socket:
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+
+class RoundRobinProxy:
+    """Request-level round-robin HTTP proxy over a fixed backend list."""
+
+    def __init__(self, backends: Sequence[Union[str, Tuple[str, int]]],
+                 host: str = "127.0.0.1", port: int = 0,
+                 backend_timeout_s: float = BACKEND_TIMEOUT_S) -> None:
+        if not backends:
+            raise ProxyError("a proxy needs at least one backend")
+        self._backends = [_Backend(*_parse_backend(spec)) for spec in backends]
+        self._listen_host = host
+        self._listen_port = port
+        self._backend_timeout_s = float(backend_timeout_s)
+        self._rotation = 0
+        self._lock = threading.Lock()
+        self._closed = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+
+    # --------------------------------------------------------------- lifecycle
+    def start(self) -> "RoundRobinProxy":
+        if self._listener is not None:
+            raise ProxyError("the proxy is already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._listen_host, self._listen_port))
+        listener.listen(128)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="quorum-proxy", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._listener is None:
+            raise ProxyError("the proxy is not started")
+        host, port = self._listener.getsockname()[:2]
+        return host, port
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        self._closed.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "RoundRobinProxy":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- observation
+    def request_counts(self) -> Dict[str, int]:
+        """``{"host:port": requests proxied}`` per backend (monotonic)."""
+        with self._lock:
+            return {backend.address: backend.requests
+                    for backend in self._backends}
+
+    def backend_addresses(self) -> List[str]:
+        return [backend.address for backend in self._backends]
+
+    def check_backends(self, timeout_s: float = 5.0) -> Dict[str, bool]:
+        """``HEAD /v1/healthz`` against every backend -> liveness map."""
+        results: Dict[str, bool] = {}
+        for backend in self._backends:
+            results[backend.address] = self._probe(backend, timeout_s)
+        return results
+
+    @staticmethod
+    def _probe(backend: _Backend, timeout_s: float) -> bool:
+        probe = (f"HEAD /v1/healthz HTTP/1.1\r\n"
+                 f"Host: {backend.address}\r\n"
+                 f"Connection: close\r\n\r\n").encode("latin-1")
+        try:
+            with socket.create_connection((backend.host, backend.port),
+                                          timeout=timeout_s) as sock:
+                sock.sendall(probe)
+                head = _SocketReader(sock).read_head()
+        except OSError:
+            return False
+        if head is None:
+            return False
+        status_line, _ = _parse_head(head)
+        parts = status_line.split()
+        return len(parts) >= 2 and parts[1] == "200"
+
+    # -------------------------------------------------------------- data plane
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closed.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(target=self._serve_client, args=(client,),
+                             daemon=True).start()
+
+    def _next_rotation(self) -> int:
+        with self._lock:
+            index = self._rotation
+            self._rotation = (self._rotation + 1) % len(self._backends)
+            return index
+
+    def _serve_client(self, client: socket.socket) -> None:
+        client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        reader = _SocketReader(client)
+        # One persistent connection per backend, owned by this client thread
+        # (request-level rotation would otherwise interleave two clients'
+        # requests on one backend socket).
+        connections: Dict[int, Tuple[socket.socket, _SocketReader]] = {}
+        try:
+            while not self._closed.is_set():
+                try:
+                    head = reader.read_head()
+                except (ConnectionError, OSError):
+                    return
+                if head is None:
+                    return
+                request_line, headers = _parse_head(head)
+                method = request_line.split(" ", 1)[0].upper()
+                try:
+                    length = _content_length(headers) or 0
+                    body = reader.read_exact(length) if length else b""
+                except (ConnectionError, OSError):
+                    return  # client died mid-body; nothing to answer
+                keep_alive = self._forward(client, connections, method,
+                                           head, body)
+                client_closing = (headers.get("connection", "").lower()
+                                  == "close"
+                                  or request_line.endswith("HTTP/1.0"))
+                if client_closing or not keep_alive:
+                    return
+        finally:
+            for sock, _ in connections.values():
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def _forward(self, client: socket.socket,
+                 connections: Dict[int, Tuple[socket.socket, _SocketReader]],
+                 method: str, head: bytes, body: bytes) -> bool:
+        """Proxy one request; returns False when the client pair must close."""
+        start = self._next_rotation()
+        for offset in range(len(self._backends)):
+            index = (start + offset) % len(self._backends)
+            backend = self._backends[index]
+            # A pooled connection may have been closed by the backend since
+            # its last use; retry such a failure once on a fresh socket
+            # before moving to the next replica.
+            for _attempt in range(2):
+                try:
+                    if index not in connections:
+                        sock = backend.connect(self._backend_timeout_s)
+                        connections[index] = (sock, _SocketReader(sock))
+                    sock, backend_reader = connections[index]
+                    sock.sendall(head + body)
+                    response, backend_alive = self._read_response(
+                        backend_reader, method)
+                except (OSError, ConnectionError):
+                    self._drop(connections, index)
+                    continue
+                if not backend_alive:
+                    self._drop(connections, index)
+                with self._lock:
+                    backend.requests += 1
+                try:
+                    client.sendall(response)
+                except OSError:
+                    return False  # client went away; stop this pair
+                return True
+        return self._send_bad_gateway(client, method)
+
+    @staticmethod
+    def _drop(connections: Dict[int, Tuple[socket.socket, _SocketReader]],
+              index: int) -> None:
+        entry = connections.pop(index, None)
+        if entry is not None:
+            try:
+                entry[0].close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _read_response(reader: _SocketReader, method: str
+                       ) -> Tuple[bytes, bool]:
+        """One full response off a backend; ``(bytes, backend reusable?)``."""
+        head = reader.read_head()
+        if head is None:
+            raise ConnectionError("backend closed before responding")
+        status_line, headers = _parse_head(head)
+        length = _content_length(headers)
+        status = status_line.split()
+        code = int(status[1]) if len(status) >= 2 and status[1].isdigit() else 0
+        # HEAD responses and 1xx/204/304 carry headers only, regardless of
+        # the Content-Length the server advertises for parity with GET.
+        if method == "HEAD" or code < 200 or code in (204, 304):
+            body = b""
+        elif length is None:
+            # No framing information: stream until EOF, then retire the pair.
+            return head + reader.read_to_eof(), False
+        else:
+            body = reader.read_exact(length)
+        reusable = (headers.get("connection", "").lower() != "close"
+                    and not status_line.startswith("HTTP/1.0"))
+        return head + body, reusable
+
+    def _send_bad_gateway(self, client: socket.socket, method: str) -> bool:
+        payload = json.dumps({"error": {
+            "code": _BAD_GATEWAY_CODE,
+            "message": "no backend replica accepted the request",
+            "detail": {"backends": self.backend_addresses()},
+        }}).encode("utf-8")
+        head = ("HTTP/1.1 502 Bad Gateway\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n").encode("latin-1")
+        try:
+            client.sendall(head + (b"" if method == "HEAD" else payload))
+        except OSError:
+            pass
+        return False

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import re
+import sys
 import threading
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -120,6 +121,23 @@ class QuorumHTTPServer(ThreadingHTTPServer):
         """The default model's scorer (pre-/v1 compatibility accessor)."""
         return self.runtime.default_scorer()
 
+    def handle_error(self, request, client_address) -> None:
+        """Clients that hang up are routine, not tracebacks.
+
+        A peer may reset the connection while we are still *reading* its
+        request (the write side is already guarded in ``_Handler._dispatch``);
+        the stock implementation prints a full traceback for that, which under
+        concurrent load buries real errors in noise.
+        """
+        error = sys.exc_info()[1]
+        if isinstance(error, (BrokenPipeError, ConnectionResetError)):
+            if not self.quiet:
+                sys.stderr.write(
+                    f"client {client_address} disconnected: "
+                    f"{type(error).__name__}\n")
+            return
+        super().handle_error(request, client_address)
+
     def shutdown(self) -> None:  # pragma: no cover - exercised via clients
         self.runtime.drain()
         super().shutdown()
@@ -165,6 +183,25 @@ _ROUTES = (
 class _Handler(BaseHTTPRequestHandler):
     server: QuorumHTTPServer
 
+    #: Persistent connections: every response carries a Content-Length, so
+    #: keep-alive framing is always unambiguous.  HTTP/1.0 (the inherited
+    #: default) forced a fresh TCP handshake per request, which dominates
+    #: small-request latency under closed-loop load.
+    protocol_version = "HTTP/1.1"
+
+    #: TCP_NODELAY.  Responses are written as two small segments (headers,
+    #: then body); with Nagle on, the body segment waits for the ACK of the
+    #: headers, and on a keep-alive connection the client's delayed ACK turns
+    #: that into a ~40 ms stall per request (HTTP/1.0 masked it because the
+    #: immediate FIN flushed the send buffer).  The loadtest harness flushed
+    #: this out: without it, keep-alive measured *slower* than reconnecting.
+    disable_nagle_algorithm = True
+
+    #: Set per request by :meth:`_dispatch`; HEAD sends headers only.
+    _head_only = False
+    #: Whether the request body was fully consumed (keep-alive hygiene).
+    _body_consumed = True
+
     # ------------------------------------------------------------------ plumbing
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.server.quiet:
@@ -178,8 +215,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
+        if self._body_left_unread():
+            # Answering without draining the declared body (413, unknown
+            # path, ...) forces a close; advertise it so keep-alive clients
+            # don't queue a second request on a doomed connection.
+            self.send_header("Connection", "close")
         self.end_headers()
-        self.wfile.write(body)
+        if not self._head_only:
+            self.wfile.write(body)
 
     def _send_error_envelope(self, error: ApiError,
                              extra_headers: Optional[Dict[str, str]] = None
@@ -199,15 +242,40 @@ class _Handler(BaseHTTPRequestHandler):
             raise ApiError("payload_too_large",
                            f"request body exceeds {MAX_BODY_BYTES} bytes",
                            detail={"content_length": length})
-        raw = self.rfile.read(length)
+        # A socket read may return fewer bytes than asked for (slow clients,
+        # small TCP windows); loop until the declared length or EOF instead of
+        # truncating the payload into a spurious JSON parse error.
+        raw = bytearray()
+        while len(raw) < length:
+            chunk = self.rfile.read(length - len(raw))
+            if not chunk:
+                raise ApiError(
+                    "bad_request",
+                    f"request body truncated: Content-Length declared "
+                    f"{length} bytes but the connection delivered only "
+                    f"{len(raw)}")
+            raw.extend(chunk)
+        self._body_consumed = True
         try:
-            return json.loads(raw.decode("utf-8"))
+            return json.loads(bytes(raw).decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError) as error:
             raise ApiError("bad_request", f"invalid JSON body: {error}")
+
+    def _body_left_unread(self) -> bool:
+        """True when the request declared a body this handler never read."""
+        if self._body_consumed:
+            return False
+        try:
+            return int(self.headers.get("Content-Length", "0") or "0") > 0
+        except ValueError:
+            return True
 
     # ------------------------------------------------------------------- router
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("GET")
+
+    def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("HEAD")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("POST")
@@ -217,40 +285,63 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         path = urlsplit(self.path).path
+        # HEAD is GET with the response body suppressed -- same routing, same
+        # status and headers (load balancers and the replica proxy probe
+        # liveness with HEAD /v1/healthz).
+        self._head_only = method == "HEAD"
+        lookup = "GET" if method == "HEAD" else method
+        self._body_consumed = False
         extra_headers: Dict[str, str] = {}
         try:
-            if self.server.runtime.draining:
-                raise ApiError("shutting_down",
-                               "the server is shutting down; retry against "
-                               "another replica")
-            for pattern, methods, legacy in _ROUTES:
-                match = pattern.match(path)
-                if match is None:
-                    continue
-                if legacy:
-                    extra_headers["Deprecation"] = "true"
-                    extra_headers["Link"] = (
-                        f'<{_LEGACY_SUCCESSORS[path]}>; '
-                        'rel="successor-version"')
-                handler = methods.get(method)
-                if handler is None:
-                    extra_headers["Allow"] = ", ".join(sorted(methods))
-                    raise ApiError(
-                        "method_not_allowed",
-                        f"{method} is not supported on {path}; allowed: "
-                        f"{sorted(methods)}")
-                status, payload = getattr(self, handler)(*match.groups())
-                self._send_json(status, payload, extra_headers)
-                return
-            raise ApiError("not_found",
-                           f"unknown path {path!r}; the API lives under "
-                           f"/{API_VERSION}/ (see docs/API.md)")
-        except ApiError as error:
-            self._send_error_envelope(error, extra_headers)
-        except Exception as error:  # pragma: no cover - defensive backstop
-            self._send_error_envelope(ApiError(
-                "internal", f"unhandled server error: "
-                f"{type(error).__name__}: {error}"))
+            try:
+                if self.server.runtime.draining:
+                    raise ApiError("shutting_down",
+                                   "the server is shutting down; retry against "
+                                   "another replica")
+                for pattern, methods, legacy in _ROUTES:
+                    match = pattern.match(path)
+                    if match is None:
+                        continue
+                    if legacy:
+                        extra_headers["Deprecation"] = "true"
+                        extra_headers["Link"] = (
+                            f'<{_LEGACY_SUCCESSORS[path]}>; '
+                            'rel="successor-version"')
+                    handler = methods.get(lookup)
+                    if handler is None:
+                        extra_headers["Allow"] = ", ".join(sorted(methods))
+                        raise ApiError(
+                            "method_not_allowed",
+                            f"{method} is not supported on {path}; allowed: "
+                            f"{sorted(methods)}")
+                    status, payload = getattr(self, handler)(*match.groups())
+                    self._send_json(status, payload, extra_headers)
+                    return
+                raise ApiError("not_found",
+                               f"unknown path {path!r}; the API lives under "
+                               f"/{API_VERSION}/ (see docs/API.md)")
+            except ApiError as error:
+                self._send_error_envelope(error, extra_headers)
+            except Exception as error:  # pragma: no cover - defensive backstop
+                self._send_error_envelope(ApiError(
+                    "internal", f"unhandled server error: "
+                    f"{type(error).__name__}: {error}"))
+        except (BrokenPipeError, ConnectionResetError) as error:
+            # The client went away mid-request (timeout, kill, reset).  There
+            # is nobody left to answer: log one line and NEVER write a second
+            # response at the dead socket -- the generic backstop above would
+            # otherwise traceback trying exactly that.
+            self.close_connection = True
+            if not self.server.quiet:
+                sys.stderr.write(
+                    f"client {self.client_address} disconnected during "
+                    f"{method} {path}: {type(error).__name__}\n")
+        finally:
+            if self._body_left_unread():
+                # The handler answered without draining the declared body
+                # (413, unknown path, ...); the unread bytes would be parsed
+                # as the next request on a keep-alive connection.
+                self.close_connection = True
 
     # ----------------------------------------------------------------- helpers
     @property

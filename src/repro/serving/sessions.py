@@ -158,17 +158,43 @@ class SessionManager:
                         timeout=timeout_s)
         except (TypeError, ValueError) as error:
             raise ApiError("bad_request", str(error)) from None
-        with self._lock:
-            session.requests += 1
-            session.last_used_at = self._clock()
+        self._commit_use(session, count_request=True)
         return result
 
     def touch(self, session_id: str) -> Session:
         """Refresh a session's idle timer without scoring."""
         session = self.get(session_id)
-        with self._lock:
-            session.last_used_at = self._clock()
+        self._commit_use(session, count_request=False)
         return session
+
+    def _commit_use(self, session: Session, count_request: bool) -> None:
+        """Record a use, re-validating liveness under ONE lock acquisition.
+
+        Between :meth:`get` and this commit the session may have been GC'd by
+        a concurrent access (or by the clock itself while a slow score ran).
+        Mutating the stale record would resurrect a tombstoned session --
+        a dedicated session could keep scoring (and advancing its sticky
+        RNGs) after clients were already told it expired.  Re-check
+        membership and expiry atomically; a session that died mid-flight
+        answers ``session_expired``.
+        """
+        with self._lock:
+            self._gc_locked()
+            live = self._sessions.get(session.session_id)
+            if live is not session:
+                if session.session_id in self._tombstones:
+                    raise ApiError(
+                        "session_expired",
+                        f"session {session.session_id} expired while the "
+                        f"request was in flight",
+                        detail={"session_id": session.session_id})
+                raise ApiError(
+                    "session_not_found",
+                    f"session {session.session_id} was closed while the "
+                    f"request was in flight")
+            if count_request:
+                session.requests += 1
+            session.last_used_at = self._clock()
 
     # -------------------------------------------------------------- lifecycle
     def close_session(self, session_id: str) -> Session:

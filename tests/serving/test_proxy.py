@@ -1,0 +1,172 @@
+"""Round-robin proxy: balancing, health, failover, and score fidelity."""
+
+import http.client
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.detector import QuorumDetector
+from repro.serving.artifact import save_model
+from repro.serving.proxy import ProxyError, RoundRobinProxy, _parse_backend
+from repro.serving.server import build_server
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    """Two in-process replica servers over one shared artifact, plus a proxy."""
+    rng = np.random.default_rng(7)
+    data = rng.normal(size=(24, 4))
+    detector = QuorumDetector(ensemble_groups=3, seed=11, shots=512)
+    detector.fit(data)
+    path = save_model(detector, tmp_path_factory.mktemp("model") / "m.json")
+    servers, threads = [], []
+    for _ in range(2):
+        server = build_server(path, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append(server)
+        threads.append(thread)
+    addresses = [server.server_address[:2] for server in servers]
+    proxy = RoundRobinProxy(addresses).start()
+    yield {
+        "proxy": proxy,
+        "data": data,
+        "detector": detector,
+        "addresses": [f"{host}:{port}" for host, port in addresses],
+        "default_id": servers[0].runtime.registry.default_id(),
+    }
+    proxy.close()
+    for server, thread in zip(servers, threads):
+        server.shutdown()
+        server.server_close()
+        server.runtime.close()
+        thread.join(timeout=10)
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestBackendSpecs:
+    def test_accepts_tuples_strings_and_urls(self):
+        assert _parse_backend(("localhost", 8000)) == ("localhost", 8000)
+        assert _parse_backend("localhost:8000") == ("localhost", 8000)
+        assert _parse_backend("http://127.0.0.1:8765") == ("127.0.0.1", 8765)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ProxyError):
+            _parse_backend("no-port-here")
+        with pytest.raises(ProxyError):
+            RoundRobinProxy([])
+
+
+class TestBalancing:
+    def test_round_robin_splits_one_keepalive_connection(self, fleet):
+        """Request-level rotation: one client connection uses both replicas."""
+        proxy = fleet["proxy"]
+        host, port = proxy.address
+        before = proxy.request_counts()
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            for _ in range(6):
+                connection.request("GET", "/v1/healthz")
+                response = connection.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            connection.close()
+        after = proxy.request_counts()
+        deltas = {address: after[address] - before[address]
+                  for address in after}
+        assert sorted(deltas.values()) == [3, 3]
+        assert set(deltas) == set(fleet["addresses"])
+
+    def test_head_through_proxy(self, fleet):
+        host, port = fleet["proxy"].address
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            connection.request("HEAD", "/v1/healthz")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.read() == b""
+            assert int(response.headers["Content-Length"]) > 0
+        finally:
+            connection.close()
+
+    def test_scoring_through_proxy(self, fleet):
+        proxy, data = fleet["proxy"], fleet["data"]
+        body = json.dumps({"samples": data[:3].tolist()}).encode()
+        request = urllib.request.Request(
+            f"{proxy.base_url}/v1/models/{fleet['default_id']}/score",
+            data=body, headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=60) as response:
+            payload = json.load(response)
+        assert len(payload["scores"]) == 3
+
+    def test_replay_bitwise_identical_through_proxy(self, fleet):
+        """The fleet answers replay mode bitwise like a single process."""
+        proxy, data = fleet["proxy"], fleet["data"]
+        expected = fleet["detector"].anomaly_scores()
+        url = f"{proxy.base_url}/v1/models/{fleet['default_id']}/score"
+        for _ in range(2):  # rotation lands on each replica once
+            request = urllib.request.Request(
+                url, data=json.dumps({"samples": data.tolist(),
+                                      "mode": "replay"}).encode(),
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=120) as response:
+                payload = json.load(response)
+            assert np.array_equal(np.asarray(payload["scores"]), expected)
+
+    def test_error_envelopes_pass_through(self, fleet):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(fleet["proxy"].base_url + "/v1/nowhere",
+                                   timeout=30)
+        assert excinfo.value.code == 404
+        envelope = json.loads(excinfo.value.read())
+        assert envelope["error"]["code"] == "not_found"
+
+
+class TestHealthAndFailover:
+    def test_check_backends_reports_liveness(self, fleet):
+        health = fleet["proxy"].check_backends()
+        assert health == {address: True for address in fleet["addresses"]}
+
+    def test_check_backends_flags_dead_replica(self, fleet):
+        dead = f"127.0.0.1:{_free_port()}"
+        probe = RoundRobinProxy([fleet["addresses"][0], dead])
+        health = probe.check_backends(timeout_s=2.0)
+        assert health[fleet["addresses"][0]] is True
+        assert health[dead] is False
+
+    def test_failover_skips_dead_replica(self, fleet):
+        """A dead backend in rotation is transparent to clients."""
+        dead = ("127.0.0.1", _free_port())
+        live = fleet["addresses"][0]
+        with RoundRobinProxy([dead, live]) as proxy:
+            for _ in range(4):  # rotation starts on the dead one twice
+                with urllib.request.urlopen(proxy.base_url + "/v1/healthz",
+                                            timeout=30) as response:
+                    assert response.status == 200
+            assert proxy.request_counts()[live] == 4
+
+    def test_all_dead_backends_synthesize_502(self):
+        with RoundRobinProxy([("127.0.0.1", _free_port())],
+                             backend_timeout_s=2.0) as proxy:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(proxy.base_url + "/v1/healthz",
+                                       timeout=30)
+            assert excinfo.value.code == 502
+            envelope = json.loads(excinfo.value.read())
+            assert envelope["error"]["code"] == "bad_gateway"
+            assert envelope["error"]["detail"]["backends"]
+
+    def test_double_start_refused(self, fleet):
+        with pytest.raises(ProxyError):
+            fleet["proxy"].start()

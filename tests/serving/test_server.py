@@ -1,7 +1,11 @@
 """HTTP-service tests driven through a real socket with stdlib clients only."""
 
+import contextlib
 import http.client
+import io
 import json
+import socket
+import struct
 import threading
 import time
 import urllib.error
@@ -513,3 +517,194 @@ class TestDraining:
             server.shutdown()
             server.server_close()
             thread.join(timeout=10)
+
+
+def _host_port(served_model):
+    host, port = served_model["base"].removeprefix("http://").rsplit(":", 1)
+    return host, int(port)
+
+
+def _raw_connection(served_model):
+    sock = socket.create_connection(_host_port(served_model), timeout=30)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+def _read_response_bytes(sock):
+    chunks = []
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        blob = b"".join(chunks)
+        if b"\r\n\r\n" in blob:
+            head, _, rest = blob.partition(b"\r\n\r\n")
+            for line in head.decode("latin-1").split("\r\n")[1:]:
+                if line.lower().startswith("content-length:"):
+                    length = int(line.split(":", 1)[1])
+                    if len(rest) >= length:
+                        return blob
+    return b"".join(chunks)
+
+
+class TestHTTPRobustness:
+    """Regressions for the bugs a load generator hits immediately: short
+    reads, truncated bodies, client disconnects, HEAD, and keep-alive."""
+
+    def test_dribbled_body_is_reassembled(self, served_model):
+        """A body trickling in across many small sends scores normally."""
+        data = served_model["data"]
+        body = json.dumps({"samples": data[:2].tolist()}).encode()
+        head = (f"POST /score HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode()
+        sock = _raw_connection(served_model)
+        try:
+            sock.sendall(head)
+            for start in range(0, len(body), 7):
+                sock.sendall(body[start:start + 7])
+                time.sleep(0.002)
+            response = _read_response_bytes(sock)
+        finally:
+            sock.close()
+        assert b" 200 " in response.split(b"\r\n", 1)[0]
+        payload = json.loads(response.partition(b"\r\n\r\n")[2])
+        assert len(payload["scores"]) == 2
+
+    def test_truncated_body_is_distinct_400(self, served_model):
+        """EOF before Content-Length names the truncation, not 'bad JSON'."""
+        body = json.dumps({"samples": [[0.0] * 5] * 4}).encode()
+        head = (f"POST /score HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n").encode()
+        sock = _raw_connection(served_model)
+        try:
+            sock.sendall(head + body[:10])
+            sock.shutdown(socket.SHUT_WR)  # EOF with most of the body owed
+            response = _read_response_bytes(sock)
+        finally:
+            sock.close()
+        assert b" 400 " in response.split(b"\r\n", 1)[0]
+        payload = json.loads(response.partition(b"\r\n\r\n")[2])
+        assert payload["error"]["code"] == "bad_request"
+        assert "truncated" in payload["error"]["message"]
+        assert str(len(body)) in payload["error"]["message"]
+
+    def test_client_disconnect_is_quiet_and_survivable(self, tmp_path):
+        """A client resetting mid-request: one log line, no traceback, and
+        the server keeps answering."""
+        rng = np.random.default_rng(17)
+        data = rng.normal(size=(12, 3))
+        detector = QuorumDetector(ensemble_groups=2, seed=4, shots=128)
+        detector.fit(data)
+        path = save_model(detector, tmp_path / "m.json")
+        server = build_server(path, port=0, quiet=False)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        captured = io.StringIO()
+        try:
+            body = json.dumps({"samples": data[:4].tolist()}).encode()
+            request = (f"POST /score HTTP/1.1\r\nHost: x\r\n"
+                       f"Content-Type: application/json\r\n"
+                       f"Content-Length: {len(body)}\r\n\r\n"
+                       ).encode() + body
+            with contextlib.redirect_stderr(captured):
+                sock = socket.create_connection((host, port), timeout=30)
+                sock.sendall(request)
+                # RST instead of FIN: the response write hits a dead socket.
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+                sock.close()
+                deadline = time.monotonic() + 10
+                while ("disconnected" not in captured.getvalue()
+                       and time.monotonic() < deadline):
+                    time.sleep(0.02)
+            status, payload, _ = _get(f"http://{host}:{port}/v1/healthz")
+        finally:
+            server.shutdown()
+            server.server_close()
+            server.runtime.close()
+            thread.join(timeout=10)
+        stderr = captured.getvalue()
+        assert "Traceback" not in stderr
+        assert "disconnected" in stderr
+        assert status == 200 and payload["status"] == "ok"
+
+    def test_head_matches_get_across_routes(self, served_model):
+        """HEAD == GET minus the body, byte-identical framing headers."""
+        host, port = _host_port(served_model)
+        for route in ("/v1/healthz", "/healthz", "/v1/models", "/model",
+                      "/v1/jobs", "/v1/sessions"):
+            get_status, _, get_headers = _get(served_model["base"] + route)
+            connection = http.client.HTTPConnection(host, port, timeout=30)
+            try:
+                connection.request("HEAD", route)
+                response = connection.getresponse()
+                assert response.status == get_status, route
+                assert response.read() == b"", route
+                assert (response.headers["Content-Length"]
+                        == get_headers["Content-Length"]), route
+                assert response.headers["Content-Type"] == "application/json"
+            finally:
+                connection.close()
+
+    def test_head_errors_suppress_body_too(self, served_model):
+        host, port = _host_port(served_model)
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            connection.request("HEAD", "/nope")
+            response = connection.getresponse()
+            assert response.status == 404
+            assert response.read() == b""
+            assert int(response.headers["Content-Length"]) > 0
+            # POST-only route: HEAD routes like GET and reports 405.
+            connection.request("HEAD", "/score")
+            response = connection.getresponse()
+            assert response.status == 405
+            assert response.headers["Allow"] == "POST"
+            assert response.read() == b""
+        finally:
+            connection.close()
+
+    def test_keepalive_reuses_one_connection(self, served_model):
+        """HTTP/1.1 default: several requests ride one TCP connection."""
+        host, port = _host_port(served_model)
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            connection.request("GET", "/v1/healthz")
+            response = connection.getresponse()
+            assert response.version == 11
+            assert not response.will_close
+            response.read()
+            first_socket = connection.sock
+            data = served_model["data"]
+            connection.request(
+                "POST", "/score",
+                body=json.dumps({"samples": data[:1].tolist()}).encode(),
+                headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            assert response.status == 200
+            response.read()
+            assert connection.sock is first_socket  # no reconnect happened
+        finally:
+            connection.close()
+
+    def test_unread_body_closes_keepalive_connection(self, served_model):
+        """A 413 leaves the body unread; the server must advertise and
+        perform a close instead of parsing those bytes as a request."""
+        host, port = _host_port(served_model)
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            connection.putrequest("POST", "/v1/jobs")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 413
+            assert response.will_close  # Connection: close advertised
+            response.read()
+        finally:
+            connection.close()

@@ -1,5 +1,7 @@
 """SessionManager: dedicated-mode determinism, batch mode, TTL expiry."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -202,3 +204,84 @@ class TestLifecycleAndExpiry:
         with pytest.raises(ApiError) as excinfo:
             manager.create(SessionCreateRequest())
         assert excinfo.value.code == "shutting_down"
+
+
+class TestMidFlightExpiry:
+    """A session that dies while a request is in flight must not be mutated
+    afterwards: the commit re-validates membership under one lock."""
+
+    def test_expiring_mid_score_is_410_and_not_resurrected(
+            self, bundle, registry, monkeypatch):
+        fake = [1000.0]
+        manager = SessionManager(registry, default_ttl_s=60.0,
+                                 clock=lambda: fake[0])
+        session = manager.create(SessionCreateRequest(mode="dedicated"))
+        entry = registry.get("m")
+        real_score = entry.scorer.score_stateful
+
+        def slow_score(samples, rngs, mode="reference"):
+            # The TTL elapses while the scorer is busy: by commit time the
+            # session has expired (a GC on any other code path would
+            # tombstone it identically).
+            result = real_score(samples, rngs, mode=mode)
+            fake[0] += 61.0
+            return result
+
+        monkeypatch.setattr(entry.scorer, "score_stateful", slow_score)
+        probe = _toy_data(samples=2, seed=71).tolist()
+        with pytest.raises(ApiError) as excinfo:
+            manager.score(session.session_id, ScoreRequest(samples=probe))
+        assert excinfo.value.code == "session_expired"
+        assert excinfo.value.http_status == 410
+        assert session.requests == 0  # the dead record was not mutated
+
+        with pytest.raises(ApiError) as again:  # still tombstoned
+            manager.get(session.session_id)
+        assert again.value.code == "session_expired"
+
+    def test_touch_after_mid_flight_expiry_is_410(self, registry):
+        fake = [1000.0]
+        manager = SessionManager(registry, default_ttl_s=60.0,
+                                 clock=lambda: fake[0])
+        session = manager.create(SessionCreateRequest())
+        live = manager.get(session.session_id)
+        fake[0] += 61.0  # expires between lookup and commit
+        with pytest.raises(ApiError) as excinfo:
+            manager._commit_use(live, count_request=False)
+        assert excinfo.value.code == "session_expired"
+
+    def test_closed_mid_score_is_404_not_mutated(self, bundle, registry,
+                                                 monkeypatch):
+        """An explicit close that wins the race answers session_not_found."""
+        manager = SessionManager(registry)
+        session = manager.create(SessionCreateRequest(mode="dedicated"))
+        entry = registry.get("m")
+        real_score = entry.scorer.score_stateful
+        started, release = threading.Event(), threading.Event()
+
+        def blocking_score(samples, rngs, mode="reference"):
+            started.set()
+            assert release.wait(timeout=30)
+            return real_score(samples, rngs, mode=mode)
+
+        monkeypatch.setattr(entry.scorer, "score_stateful", blocking_score)
+        probe = _toy_data(samples=2, seed=73).tolist()
+        outcome = {}
+
+        def run():
+            try:
+                manager.score(session.session_id,
+                              ScoreRequest(samples=probe))
+                outcome["error"] = None
+            except ApiError as error:
+                outcome["error"] = error
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        assert started.wait(timeout=30)
+        manager.close_session(session.session_id)
+        release.set()
+        thread.join(timeout=60)
+        assert outcome["error"] is not None
+        assert outcome["error"].code == "session_not_found"
+        assert session.requests == 0

@@ -404,3 +404,61 @@ class TestFlagPlumbing:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["detect", "--dataset", "letter",
                                        "--executor", "distributed"])
+
+
+class TestLoadtestCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["loadtest", "--model", "m.json"])
+        assert args.replicas == 1
+        assert args.concurrency == [8]
+        assert args.mode == "reference"
+        assert args.batch_window_ms == [2.0]
+        assert args.report is None
+
+    def test_parser_accepts_sweeps(self):
+        args = build_parser().parse_args(
+            ["loadtest", "--model", "m.json", "--replicas", "2",
+             "--concurrency", "2", "4", "8", "--batch-window-ms", "1", "4",
+             "--duration", "0.5", "--report", "-"])
+        assert args.concurrency == [2, 4, 8]
+        assert args.batch_window_ms == [1.0, 4.0]
+
+    def test_model_flag_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadtest"])
+
+    def test_replay_without_data_is_exit_2(self, capsys):
+        exit_code = main(["loadtest", "--model", "m.json", "--mode",
+                          "replay"])
+        assert exit_code == 2
+        assert "--dataset or --csv" in capsys.readouterr().err
+
+    def test_missing_model_is_exit_2(self, tmp_path, capsys):
+        exit_code = main(["loadtest", "--model",
+                          str(tmp_path / "ghost.json"), "--duration", "0.2"])
+        assert exit_code == 2
+        assert "loadtest failed" in capsys.readouterr().err
+
+    def test_small_run_writes_report(self, tmp_path, capsys):
+        rng = np.random.default_rng(6)
+        dataset = Dataset("toy", rng.normal(size=(14, 3)),
+                          np.zeros(14, dtype=int))
+        csv_path = save_dataset_csv(dataset, tmp_path / "toy.csv")
+        model_path = tmp_path / "model.json"
+        assert main(["fit", "--csv", str(csv_path), "--save-model",
+                     str(model_path), "--ensembles", "1", "--shots", "64",
+                     "--seed", "1"]) == 0
+        capsys.readouterr()
+        report_path = tmp_path / "report.json"
+        exit_code = main(["loadtest", "--model", str(model_path),
+                          "--concurrency", "2", "--duration", "0.4",
+                          "--warmup", "0.1", "--samples-per-request", "2",
+                          "--report", str(report_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "| replicas |" in out
+        assert "suggested batching" in out
+        import json as json_module
+        report = json_module.loads(report_path.read_text())
+        assert report["runs"][0]["requests"] > 0
+        assert report["replica_exits"]["clean"] is True

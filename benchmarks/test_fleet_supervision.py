@@ -1,0 +1,83 @@
+"""Fleet self-healing benchmark: SIGKILL-to-recovered wall-clock time.
+
+One crash/heal cycle against a real 2-replica fleet under the supervisor's
+health loop: the timed section starts at the SIGKILL and ends when the fleet
+is back to full strength (crash detected, backoff elapsed, replica respawned,
+startup probe passed, re-admitted to the proxy rotation).  Fleet startup and
+teardown stay outside the timing.  The recovery time is dominated by the
+policy knobs (health interval, backoff base) plus one replica cold start, so
+a regression here means detection, respawn, or admission got slower.
+
+Not tracked in BENCH_baseline.json: recovery time is policy-bound, not
+hot-path-bound, so the printed number is informational.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from _harness import run_once
+
+from repro.core.detector import QuorumDetector
+from repro.serving.artifact import save_model
+from repro.serving.faults import FaultInjector
+from repro.serving.supervisor import FleetSupervisor, SupervisorPolicy
+
+MEMBERS = 4
+TRAIN_SAMPLES = 32
+FEATURES = 4
+
+REPLICAS = 2
+POLICY = SupervisorPolicy(health_interval_s=0.25, probe_timeout_s=1.0,
+                          eject_after=2, readmit_after=2,
+                          backoff_base_s=0.3, backoff_max_s=2.0)
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory):
+    rng = np.random.default_rng(41)
+    detector = QuorumDetector(ensemble_groups=MEMBERS, seed=43, shots=512)
+    detector.fit(rng.normal(size=(TRAIN_SAMPLES, FEATURES)))
+    return save_model(detector,
+                      tmp_path_factory.mktemp("supervision") / "m.json")
+
+
+def _kill_and_heal(supervisor):
+    """The timed section: one SIGKILL-to-full-strength recovery."""
+    started = time.monotonic()
+    victim = supervisor.status()["slots"][0]
+    FaultInjector().kill(victim["pid"])
+    # First wait for the crash to be *detected* (the slot leaves healthy);
+    # only then is "back to full strength" a real recovery, not stale state.
+    deadline = time.monotonic() + 30.0
+    while supervisor.healthy_count() >= REPLICAS:
+        assert time.monotonic() < deadline, supervisor.status()
+        time.sleep(0.02)
+    assert supervisor.wait_for_healthy(REPLICAS, timeout_s=60.0,
+                                       poll_s=0.05), supervisor.status()
+    status = supervisor.status()
+    status["recovery_s"] = time.monotonic() - started
+    return status
+
+
+def test_sigkill_recovery_time(benchmark, model_path):
+    supervisor = FleetSupervisor(model_path, replicas=REPLICAS,
+                                 policy=POLICY, batch_window_ms=1.0)
+    try:
+        supervisor.start()
+        supervisor.start_health_loop()
+        assert supervisor.wait_for_healthy(REPLICAS, timeout_s=120.0), \
+            supervisor.status()
+        status = run_once(benchmark, _kill_and_heal, supervisor)
+    finally:
+        exit_codes = supervisor.close()
+
+    recovered = status["slots"][0]
+    print(f"\n[Supervision] {REPLICAS} replicas, SIGKILL slot 0: healed in "
+          f"{status['recovery_s']:.2f} s "
+          f"(health interval {POLICY.health_interval_s} s, backoff base "
+          f"{POLICY.backoff_base_s} s + one replica cold start)")
+    assert status["healthy"] == REPLICAS
+    assert recovered["restarts"] >= 1
+    # The survivor drained cleanly; the respawned replica drained cleanly.
+    assert exit_codes == [0] * REPLICAS

@@ -1,0 +1,151 @@
+"""Self-healing fleet smoke test: SIGKILL a replica, watch the fleet heal.
+
+Run with::
+
+    PYTHONPATH=src python examples/fleet_chaos_smoke.py
+
+Fits a small ensemble, starts a :class:`FleetSupervisor` with three real
+``quorum-repro serve`` replica subprocesses behind the round-robin proxy,
+and then misbehaves on purpose:
+
+1. scores the training set through the proxy (``mode="replay"``);
+2. SIGKILLs one replica while idempotent GET load is running;
+3. waits for the supervisor to detect the crash, back off, respawn, and
+   converge back to 3 healthy replicas;
+4. re-scores and asserts **bitwise** parity -- replica churn must never
+   change what the model computes;
+5. drains the fleet and asserts every surviving replica exited 0.
+
+CI runs this script as the chaos smoke test, so it fails loudly (non-zero
+exit) on any supervisor, proxy-failover, or drain regression.
+"""
+
+import json
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro import QuorumDetector
+from repro.serving import FleetSupervisor, SupervisorPolicy, save_model
+from repro.serving.faults import FaultInjector
+
+
+def _get_json(url):
+    with urllib.request.urlopen(url, timeout=15.0) as response:
+        return json.load(response)
+
+
+def _post_json(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request, timeout=60.0) as response:
+        return json.load(response)
+
+
+def main() -> int:
+    rng = np.random.default_rng(29)
+    data = rng.normal(size=(20, 4))
+    detector = QuorumDetector(ensemble_groups=2, seed=9, shots=256)
+    detector.fit(data)
+
+    policy = SupervisorPolicy(health_interval_s=0.25, probe_timeout_s=1.0,
+                              eject_after=2, readmit_after=2,
+                              backoff_base_s=0.3, backoff_max_s=2.0)
+    ok = errors = 0
+    counter_lock = threading.Lock()
+    stop = threading.Event()
+
+    with tempfile.TemporaryDirectory() as workdir:
+        model_path = save_model(detector, Path(workdir) / "model.json")
+        supervisor = FleetSupervisor(model_path, replicas=3, policy=policy,
+                                     backend_timeout_s=5.0,
+                                     batch_window_ms=1.0)
+        print("== fleet chaos smoke: 3 replicas, SIGKILL one, self-heal ==")
+        supervisor.start()
+        supervisor.start_health_loop()
+        assert supervisor.wait_for_healthy(3, timeout_s=120.0), \
+            supervisor.status()
+        base_url = "http://%s:%d" % supervisor.proxy.address
+        print(f"fleet healthy behind {base_url}")
+
+        def pound():
+            nonlocal ok, errors
+            while not stop.is_set():
+                try:
+                    healthy = _get_json(base_url + "/v1/healthz")
+                    good = healthy.get("status") == "ok"
+                except Exception:  # noqa: BLE001 - counted, not masked
+                    good = False
+                with counter_lock:
+                    if good:
+                        ok += 1
+                    else:
+                        errors += 1
+
+        try:
+            default_model = _get_json(base_url + "/v1/healthz")[
+                "default_model"]
+            score_url = f"{base_url}/v1/models/{default_model}/score"
+            payload = {"samples": data.tolist(), "mode": "replay"}
+            before = _post_json(score_url, payload)["scores"]
+
+            workers = [threading.Thread(target=pound, daemon=True)
+                       for _ in range(4)]
+            for worker in workers:
+                worker.start()
+            time.sleep(1.0)
+
+            victim = supervisor.status()["slots"][0]
+            print(f"SIGKILL replica slot 0 (pid {victim['pid']})")
+            FaultInjector().kill(victim["pid"])
+
+            # Wait for detection (the slot leaves healthy) before waiting
+            # for recovery, or stale pre-tick state would satisfy the wait.
+            deadline = time.monotonic() + 30.0
+            while supervisor.healthy_count() >= 3:
+                assert time.monotonic() < deadline, supervisor.status()
+                time.sleep(0.05)
+            assert supervisor.wait_for_healthy(3, timeout_s=60.0), \
+                supervisor.status()
+            time.sleep(1.0)
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=30.0)
+
+            recovered = supervisor.status()["slots"][0]
+            assert recovered["restarts"] >= 1, recovered
+            assert recovered["pid"] != victim["pid"], recovered
+            print(f"fleet healed: slot 0 respawned as pid "
+                  f"{recovered['pid']} after "
+                  f"{recovered['restarts']} restart(s)")
+
+            after = _post_json(score_url, payload)["scores"]
+            assert after == before, "replica churn changed the scores"
+            print("bitwise replay parity through the healed fleet: OK")
+
+            total = ok + errors
+            rate = ok / total if total else 1.0
+            assert total > 50, f"load generator barely ran ({total} requests)"
+            assert rate >= 0.99, \
+                f"success rate {rate:.2%} ({errors}/{total} failed)"
+            print(f"idempotent load during the crash: {ok}/{total} OK "
+                  f"({rate:.2%})")
+        finally:
+            stop.set()
+            exit_codes = supervisor.close()
+
+    dirty = [code for code in exit_codes if code != 0]
+    assert not dirty, f"replicas exited non-zero on drain: {dirty}"
+    print(f"OK: fleet healed after SIGKILL; all {len(exit_codes)} surviving "
+          f"replicas drained with exit 0")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

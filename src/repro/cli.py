@@ -16,6 +16,8 @@ Installed as the ``quorum-repro`` console script::
         --kind replay_dataset --dataset letter --wait           # async job
     quorum-repro loadtest --model model.json --replicas 2 \\
         --concurrency 4 8 16 --report loadtest.json             # fleet perf
+    quorum-repro fleet --model model.json --replicas 3          # self-healing
+
 
 Every command prints GitHub-flavoured markdown so output can be pasted straight
 into issues or EXPERIMENTS.md.
@@ -152,6 +154,60 @@ def build_parser() -> argparse.ArgumentParser:
                        help="idle TTL of /v1/sessions")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
+    serve.add_argument("--debug-hooks", action="store_true",
+                       help="enable /v1/_debug fault-injection hooks "
+                            "(chaos testing only; never in production)")
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="run a self-healing replica fleet behind a round-robin proxy")
+    fleet.add_argument("--model", type=str, required=True, metavar="PATH",
+                       help="model bundle every replica serves")
+    fleet.add_argument("--replicas", type=int, default=2,
+                       help="how many serve subprocesses to supervise")
+    fleet.add_argument("--host", type=str, default="127.0.0.1",
+                       help="proxy listen host (replicas bind loopback)")
+    fleet.add_argument("--port", type=int, default=0,
+                       help="proxy TCP port; 0 binds an ephemeral port "
+                            "(printed on startup)")
+    fleet.add_argument("--target-rps", type=float, default=None,
+                       help="size the fleet for this request rate instead of "
+                            "--replicas (needs --per-replica-rps)")
+    fleet.add_argument("--per-replica-rps", type=float, default=None,
+                       help="measured single-replica capacity (the loadtest "
+                            "saturation knee) used with --target-rps")
+    fleet.add_argument("--max-batch-samples", type=int, default=512,
+                       help="per-replica micro-batch sample budget")
+    fleet.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help="per-replica micro-batch coalescing window")
+    fleet.add_argument("--health-interval", type=float, default=1.0,
+                       metavar="SECONDS", help="health-loop cadence")
+    fleet.add_argument("--probe-timeout", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="health-probe timeout (bounds hang detection)")
+    fleet.add_argument("--eject-after", type=int, default=3,
+                       help="consecutive probe failures before a replica "
+                            "leaves the rotation")
+    fleet.add_argument("--readmit-after", type=int, default=2,
+                       help="consecutive probe successes before an ejected "
+                            "replica returns")
+    fleet.add_argument("--backoff-base", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="first restart delay after a crash (doubles per "
+                            "consecutive crash)")
+    fleet.add_argument("--backoff-max", type=float, default=30.0,
+                       metavar="SECONDS", help="restart-delay ceiling")
+    fleet.add_argument("--crash-loop-threshold", type=int, default=3,
+                       help="crashes within the window that park a replica")
+    fleet.add_argument("--crash-loop-window", type=float, default=30.0,
+                       metavar="SECONDS", help="crash-loop detection window")
+    fleet.add_argument("--status-interval", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="print a machine-readable JSON status line this "
+                            "often (0 disables)")
+    fleet.add_argument("--debug-hooks", action="store_true",
+                       help="start replicas with /v1/_debug fault-injection "
+                            "hooks enabled (chaos testing only)")
 
     loadtest = subparsers.add_parser(
         "loadtest",
@@ -551,7 +607,12 @@ def _command_serve(args: argparse.Namespace) -> int:
             job_workers=args.job_workers,
             job_ttl_s=args.job_ttl,
             session_ttl_s=args.session_ttl,
+            debug_hooks=args.debug_hooks,
         )
+    except KeyboardInterrupt:
+        # SIGTERM landed before run_server's own handler could (mid-boot
+        # drain from a supervisor): still a clean, deliberate shutdown.
+        return 0
     except ApiError as error:
         # Registry load failures (bad bundle, duplicate id).
         print(f"cannot load model: {error.message}", file=sys.stderr)
@@ -560,6 +621,81 @@ def _command_serve(args: argparse.Namespace) -> int:
         # Invalid batching/worker/TTL flags or malformed --models specs.
         print(f"cannot start server: {error}", file=sys.stderr)
         return 2
+
+
+def _command_fleet(args: argparse.Namespace) -> int:
+    import json
+    import signal
+    import time
+
+    from repro.serving.supervisor import FleetSupervisor, SupervisorPolicy
+
+    def _terminate(signum, frame):  # noqa: ARG001 - signal API
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    if (args.target_rps is None) != (args.per_replica_rps is None):
+        print("--target-rps and --per-replica-rps go together",
+              file=sys.stderr)
+        return 2
+    try:
+        policy = SupervisorPolicy(
+            health_interval_s=args.health_interval,
+            probe_timeout_s=args.probe_timeout,
+            eject_after=args.eject_after,
+            readmit_after=args.readmit_after,
+            backoff_base_s=args.backoff_base,
+            backoff_max_s=args.backoff_max,
+            crash_loop_threshold=args.crash_loop_threshold,
+            crash_loop_window_s=args.crash_loop_window)
+        supervisor = FleetSupervisor(
+            args.model, replicas=args.replicas, policy=policy,
+            proxy_host=args.host, proxy_port=args.port,
+            batch_window_ms=args.batch_window_ms,
+            max_batch_samples=args.max_batch_samples,
+            debug_hooks=args.debug_hooks)
+    except ValueError as error:
+        print(f"cannot configure fleet: {error}", file=sys.stderr)
+        return 2
+    try:
+        try:
+            supervisor.start()
+        except OSError as error:
+            print(f"cannot start fleet: {error}", file=sys.stderr)
+            return 2
+        status = supervisor.status()
+        if not any(slot["alive"] for slot in status["slots"]):
+            # Every initial spawn failed outright (bad model path, broken
+            # env): fail fast with the diagnosis instead of crash-looping.
+            reasons = {slot["last_transition_reason"]
+                       for slot in status["slots"]}
+            print("cannot start fleet: no replica came up: "
+                  + "; ".join(sorted(reasons)), file=sys.stderr)
+            return 2
+        if args.target_rps is not None:
+            chosen = supervisor.autoscale_to_target(args.target_rps,
+                                                    args.per_replica_rps)
+            print(f"autoscaled to {chosen} replicas for "
+                  f"{args.target_rps:.0f} rps", flush=True)
+        supervisor.start_health_loop()
+        host, port = supervisor.proxy.address
+        print(f"fleet serving {args.model} with {supervisor.target_replicas} "
+              f"replicas on http://{host}:{port}", flush=True)
+        while True:
+            time.sleep(args.status_interval if args.status_interval > 0
+                       else 3600.0)
+            if args.status_interval > 0:
+                print(json.dumps(supervisor.status(), sort_keys=True),
+                      flush=True)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        exit_codes = supervisor.close()
+        dirty = [code for code in exit_codes if code != 0]
+        if dirty:
+            print(f"warning: replica(s) exited non-zero on shutdown: "
+                  f"{dirty}", file=sys.stderr)
+    return 0
 
 
 def _jobs_api(server: str, path: str, payload: Optional[dict] = None,
@@ -758,6 +894,7 @@ _COMMANDS = {
     "fit": _command_fit,
     "score": _command_score,
     "serve": _command_serve,
+    "fleet": _command_fleet,
     "loadtest": _command_loadtest,
     "jobs": _command_jobs,
 }

@@ -28,9 +28,18 @@ is the score-many half:
   backends, with health checks, failover, and per-replica request counts.
 * :mod:`repro.serving.loadtest` -- closed-loop load generation
   (:func:`run_closed_loop`), subprocess replica fleets
-  (:class:`ReplicaFleet`), and the ``quorum-repro loadtest`` orchestrator
-  (:func:`run_loadtest`) producing saturation curves, 1->K scale-out
-  efficiency, and knee-derived batching suggestions.
+  (:class:`ReplicaFleet` over :class:`ReplicaProcess` handles), and the
+  ``quorum-repro loadtest`` orchestrator (:func:`run_loadtest`) producing
+  saturation curves, 1->K scale-out efficiency, and knee-derived batching
+  suggestions.
+* :mod:`repro.serving.supervisor` -- :class:`FleetSupervisor`: the
+  self-healing control loop behind ``quorum-repro fleet`` (health-based
+  eject/re-admit, crash restarts with backoff + circuit breaker, graceful
+  drain on scale-in, machine-readable status).
+* :mod:`repro.serving.faults` -- :class:`FaultInjector` and
+  :class:`ChaosGate`: process signals, connection-refused and mid-response
+  network faults, and the server's delay hook -- the chaos-suite toolkit
+  that proves the supervisor's recovery paths.
 """
 
 from repro.serving.artifact import (
@@ -45,11 +54,15 @@ from repro.serving.artifact import (
     load_model,
     save_model,
 )
+from repro.serving.faults import ChaosGate, FaultInjector
 from repro.serving.jobs import Job, JobManager
 from repro.serving.loadtest import (
     ReplicaFleet,
+    ReplicaProcess,
+    ReplicaSpawnError,
     run_closed_loop,
     run_loadtest,
+    spawn_replica,
 )
 from repro.serving.models import (
     ERROR_STATUS,
@@ -76,6 +89,12 @@ from repro.serving.server import (
     run_server,
 )
 from repro.serving.sessions import Session, SessionManager
+from repro.serving.supervisor import (
+    REPLICA_STATES,
+    FleetSupervisor,
+    ReplicaSlot,
+    SupervisorPolicy,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -117,6 +136,15 @@ __all__ = [
     "ProxyError",
     "RoundRobinProxy",
     "ReplicaFleet",
+    "ReplicaProcess",
+    "ReplicaSpawnError",
+    "spawn_replica",
     "run_closed_loop",
     "run_loadtest",
+    "REPLICA_STATES",
+    "FleetSupervisor",
+    "ReplicaSlot",
+    "SupervisorPolicy",
+    "ChaosGate",
+    "FaultInjector",
 ]

@@ -1,0 +1,297 @@
+"""Fault injection for the fleet: the disturbance half of the chaos suite.
+
+In the spirit of characterizing a system by deliberately disturbing it, this
+module provides the faults the supervisor must survive -- each one mapping to
+a recovery path in :mod:`repro.serving.supervisor`:
+
+* :class:`FaultInjector` delivers **process faults** (SIGKILL = crash,
+  SIGSTOP = hang, SIGCONT = recovery) to a replica by pid or
+  :class:`~repro.serving.loadtest.ReplicaProcess`, and drives the server's
+  ``/v1/_debug/delay`` hook (enabled with ``debug_hooks=True``) to make a
+  replica **slow** without stopping it.
+
+* :class:`ChaosGate` is a tiny TCP forwarder placed *between* the proxy and
+  one replica to inject **network faults** the process itself cannot fake:
+
+  - ``refuse()`` closes the listening socket, so new connects are genuinely
+    refused (``ECONNREFUSED``, not a reset) -- the fault behind the proxy's
+    idempotent connect-refused failover;
+  - ``cut_responses(after_bytes)`` relays each backend response only up to a
+    byte budget and then severs the pair -- the mid-response-disconnect that
+    must surface as a synthesized ``502``, never a truncated body;
+  - ``restore()`` rebinds the same port and resumes transparent forwarding.
+
+Everything is stdlib-only and self-cleaning (daemon pump threads, sockets
+closed on :meth:`ChaosGate.close`), so chaos tests stay CI-safe.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import socket
+import threading
+from typing import List, Optional, Tuple, Union
+
+__all__ = ["ChaosGate", "FaultInjector"]
+
+#: Forwarding modes of a :class:`ChaosGate`.
+_PASS = "pass"
+_REFUSE = "refuse"
+_CUT = "cut"
+
+
+class ChaosGate:
+    """A TCP forwarder to one backend that can misbehave on command.
+
+    Sits between the proxy and a replica: the proxy is given the *gate's*
+    address as the backend, so network faults can be injected and removed
+    without touching the replica process::
+
+        gate = ChaosGate(replica_host, replica_port).start()
+        proxy.add_backend(gate.address)
+        gate.refuse()            # new connects -> ECONNREFUSED
+        gate.restore()           # transparent again, same port
+        gate.cut_responses(64)   # responses die after 64 bytes
+    """
+
+    def __init__(self, backend_host: str, backend_port: int,
+                 host: str = "127.0.0.1", port: int = 0,
+                 connect_timeout_s: float = 10.0) -> None:
+        self.backend_host = backend_host
+        self.backend_port = int(backend_port)
+        self._host = host
+        self._port = int(port)  # pinned after the first bind
+        self._connect_timeout_s = float(connect_timeout_s)
+        self._mode = _PASS
+        self._cut_after = 0
+        self._lock = threading.Lock()
+        self._closed = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._pairs: List[Tuple[socket.socket, socket.socket]] = []
+
+    # ---------------------------------------------------------------- lifecycle
+    def start(self) -> "ChaosGate":
+        with self._lock:
+            if self._listener is not None:
+                raise RuntimeError("the gate is already started")
+            self._bind_locked()
+        return self
+
+    def _bind_locked(self) -> None:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(64)
+        self._port = listener.getsockname()[1]  # pin the ephemeral port
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, args=(listener,),
+            name="chaos-gate", daemon=True)
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._port == 0:
+            raise RuntimeError("the gate is not started")
+        return self._host, self._port
+
+    def close(self) -> None:
+        self._closed.set()
+        with self._lock:
+            self._close_listener_locked()
+            pairs, self._pairs = self._pairs, []
+        for pair in pairs:
+            for sock in pair:
+                self._quietly_close(sock)
+
+    def _close_listener_locked(self) -> None:
+        if self._listener is not None:
+            try:
+                # Wake a thread blocked in accept() (close() alone does not).
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._quietly_close(self._listener)
+            self._listener = None
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+
+    # -------------------------------------------------------------------- modes
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    def refuse(self) -> None:
+        """New connections are refused (the listener is closed).
+
+        Existing pairs keep forwarding -- exactly like a process whose port
+        went away between the proxy's keep-alive requests.
+        """
+        with self._lock:
+            self._mode = _REFUSE
+            self._close_listener_locked()
+
+    def cut_responses(self, after_bytes: int = 64) -> None:
+        """Each backend response is severed after ``after_bytes`` bytes.
+
+        ``after_bytes`` must be small enough to bite inside the response
+        (head + body) you expect; the default cuts inside any scoring
+        response's headers.  Applies to pairs created from now on.
+        """
+        if after_bytes < 0:
+            raise ValueError("after_bytes cannot be negative")
+        with self._lock:
+            if self._listener is None and not self._closed.is_set():
+                self._bind_locked()
+            self._mode = _CUT
+            self._cut_after = int(after_bytes)
+
+    def restore(self) -> None:
+        """Back to transparent forwarding (rebinding the same port)."""
+        with self._lock:
+            if self._closed.is_set():
+                raise RuntimeError("the gate is closed")
+            self._mode = _PASS
+            if self._listener is None:
+                self._bind_locked()
+
+    # ------------------------------------------------------------------- pumps
+    def _accept_loop(self, listener: socket.socket) -> None:
+        while not self._closed.is_set():
+            try:
+                client, _ = listener.accept()
+            except OSError:
+                return  # listener closed (refuse() or close())
+            try:
+                backend = socket.create_connection(
+                    (self.backend_host, self.backend_port),
+                    timeout=self._connect_timeout_s)
+            except OSError:
+                self._quietly_close(client)
+                continue
+            backend.settimeout(None)
+            client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            backend.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self._pairs.append((client, backend))
+            threading.Thread(target=self._pump, args=(client, backend, False),
+                             daemon=True).start()
+            threading.Thread(target=self._pump, args=(backend, client, True),
+                             daemon=True).start()
+
+    def _pump(self, source: socket.socket, sink: socket.socket,
+              is_response: bool) -> None:
+        """Relay one direction; in cut mode the response side is bounded."""
+        relayed = 0
+        try:
+            while not self._closed.is_set():
+                budget = 65536
+                if is_response and self._mode == _CUT:
+                    budget = max(1, self._cut_after - relayed)
+                chunk = source.recv(budget)
+                if not chunk:
+                    break
+                sink.sendall(chunk)
+                relayed += len(chunk)
+                if (is_response and self._mode == _CUT
+                        and relayed >= self._cut_after):
+                    break  # sever mid-response
+        except OSError:
+            pass
+        finally:
+            # Half-close is useless to an HTTP pair mid-message: drop both.
+            self._quietly_close(source)
+            self._quietly_close(sink)
+
+    @staticmethod
+    def _quietly_close(sock: socket.socket) -> None:
+        # shutdown() before close(): the peer pump thread blocked in recv()
+        # on this socket holds a kernel reference, so a bare close() would
+        # neither send the FIN nor wake that thread -- the client would wait
+        # for an EOF that never comes.
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+class FaultInjector:
+    """Process- and latency-level faults against fleet replicas.
+
+    Signals take a pid or anything with a ``pid`` attribute (a
+    :class:`~repro.serving.loadtest.ReplicaProcess`); the delay hook takes
+    the replica's ``host:port`` (requires the server to run with
+    ``debug_hooks=True``).
+    """
+
+    def __init__(self, timeout_s: float = 10.0) -> None:
+        self.timeout_s = float(timeout_s)
+
+    # ------------------------------------------------------------ process level
+    @staticmethod
+    def _pid(target: Union[int, object]) -> int:
+        if isinstance(target, int):
+            return target
+        pid = getattr(target, "pid", None)
+        if pid is None:
+            raise TypeError(f"cannot extract a pid from {target!r}")
+        return int(pid)
+
+    def kill(self, target: Union[int, object]) -> None:
+        """SIGKILL: the crash fault (no drain, no goodbye)."""
+        os.kill(self._pid(target), signal.SIGKILL)
+
+    def pause(self, target: Union[int, object]) -> None:
+        """SIGSTOP: the hang fault -- the process is alive but answers
+        nothing (its listen backlog still accepts connects, which is what
+        makes hangs nastier than crashes)."""
+        os.kill(self._pid(target), signal.SIGSTOP)
+
+    def resume(self, target: Union[int, object]) -> None:
+        """SIGCONT: recovery from :meth:`pause`."""
+        os.kill(self._pid(target), signal.SIGCONT)
+
+    # ------------------------------------------------------------ latency level
+    def set_delay(self, address: str, delay_s: float) -> float:
+        """Make every request to the replica at ``address`` sleep
+        ``delay_s`` seconds (0 clears); returns the applied value."""
+        payload = json.dumps({"delay_s": delay_s})
+        status, body = self._request(address, "POST", "/v1/_debug/delay",
+                                     payload)
+        if status != 200:
+            raise RuntimeError(
+                f"delay hook on {address} answered {status}: {body!r} "
+                f"(is the replica running with debug hooks enabled?)")
+        return float(json.loads(body)["delay_s"])
+
+    def clear_delay(self, address: str) -> None:
+        self.set_delay(address, 0.0)
+
+    def get_delay(self, address: str) -> float:
+        status, body = self._request(address, "GET", "/v1/_debug/delay")
+        if status != 200:
+            raise RuntimeError(
+                f"delay hook on {address} answered {status}: {body!r}")
+        return float(json.loads(body)["delay_s"])
+
+    def _request(self, address: str, method: str, path: str,
+                 body: Optional[str] = None) -> Tuple[int, bytes]:
+        host, _, port = address.rpartition(":")
+        connection = http.client.HTTPConnection(host, int(port),
+                                                timeout=self.timeout_s)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()

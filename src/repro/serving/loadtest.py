@@ -27,16 +27,18 @@ runtime-server projects).
 
 from __future__ import annotations
 
+import collections
 import http.client
 import json
 import os
+import signal
 import subprocess
 import sys
 import threading
 import time
 import urllib.request
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -47,6 +49,9 @@ __all__ = [
     "percentile",
     "summarize_latencies",
     "run_closed_loop",
+    "ReplicaProcess",
+    "ReplicaSpawnError",
+    "spawn_replica",
     "ReplicaFleet",
     "find_knee",
     "suggest_batching",
@@ -56,6 +61,9 @@ __all__ = [
 
 #: Schema marker of the JSON report produced by :func:`run_loadtest`.
 REPORT_VERSION = 1
+
+#: How many trailing stderr lines each replica keeps for post-mortems.
+STDERR_TAIL_LINES = 40
 
 #: Marginal-throughput gain below which added concurrency has saturated the
 #: service: the knee of the saturation curve.
@@ -187,20 +195,255 @@ def run_closed_loop(base_url: str, path: str, body: bytes, *,
 
 
 # -------------------------------------------------------------- replica fleet
+class ReplicaSpawnError(RuntimeError):
+    """A replica failed to come up.
+
+    Distinguishes *crashed on boot* (``exit_code`` is set and ``stderr_tail``
+    carries the subprocess's last stderr lines) from *slow start* (neither is
+    set; the startup deadline simply elapsed) -- the fleet supervisor feeds
+    the former into its crash-loop circuit breaker.
+    """
+
+    def __init__(self, message: str, exit_code: Optional[int] = None,
+                 stderr_tail: str = "") -> None:
+        super().__init__(message)
+        self.exit_code = exit_code
+        self.stderr_tail = stderr_tail
+
+
+def _replica_environment() -> Dict[str, str]:
+    """The parent's environment with the repro package importable."""
+    import repro
+
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (package_root if not existing
+                         else os.pathsep.join([package_root, existing]))
+    return env
+
+
+class ReplicaProcess:
+    """One live ``quorum-repro serve`` subprocess plus its watchdog readers.
+
+    Owns the pipes: a daemon thread drains stdout (so a chatty server can
+    never fill the pipe and stall) and another keeps a bounded tail of
+    stderr for post-mortems.  Use :func:`spawn_replica` to create one.
+    """
+
+    def __init__(self, process: subprocess.Popen, host: str,
+                 port: int) -> None:
+        self.process = process
+        self.host = host
+        self.port = int(port)
+        self._stderr_tail: Deque[str] = collections.deque(
+            maxlen=STDERR_TAIL_LINES)
+        self._readers: List[threading.Thread] = []
+        for stream, sink in ((process.stdout, None),
+                             (process.stderr, self._stderr_tail)):
+            if stream is None:
+                continue
+            thread = threading.Thread(target=self._pump,
+                                      args=(stream, sink), daemon=True)
+            thread.start()
+            self._readers.append(thread)
+
+    @staticmethod
+    def _pump(stream, sink: Optional[Deque[str]]) -> None:
+        try:
+            for line in stream:
+                if sink is not None:
+                    sink.append(line.rstrip("\n"))
+        except (OSError, ValueError):
+            pass  # pipe closed during reaping
+
+    # ------------------------------------------------------------- observation
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def poll(self) -> Optional[int]:
+        """The exit code if the replica has died, else ``None``."""
+        return self.process.poll()
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def stderr_tail(self) -> str:
+        """The last captured stderr lines (joined), for diagnostics."""
+        return "\n".join(self._stderr_tail)
+
+    def exit_summary(self) -> Dict[str, object]:
+        """``{"exit_code", "stderr_tail"}`` for a dead (or dying) replica."""
+        return {"exit_code": self.process.poll(),
+                "stderr_tail": self.stderr_tail()}
+
+    # --------------------------------------------------------------- lifecycle
+    def send_signal(self, signum: int) -> None:
+        """Deliver a signal (SIGSTOP/SIGCONT/SIGKILL...) to the replica."""
+        self.process.send_signal(signum)
+
+    def terminate(self) -> None:
+        self.process.terminate()
+
+    def kill(self) -> None:
+        self.process.kill()
+
+    def wait(self, timeout_s: Optional[float] = None) -> int:
+        return self.process.wait(timeout=timeout_s)
+
+    def close(self, term_timeout_s: float = 15.0,
+              kill_timeout_s: float = 10.0) -> int:
+        """Graceful stop: SIGTERM, bounded wait, then SIGKILL; returns the
+        exit code.
+
+        SIGTERM triggers the server's drain path (finish in-flight requests,
+        then exit 0); SIGKILL is the backstop for a wedged process.  A
+        SIGSTOP-ped replica cannot run its SIGTERM handler, so it is resumed
+        first -- otherwise "close a hung replica" would always escalate to
+        SIGKILL and report a dirty exit for a process that was merely paused.
+        """
+        try:
+            if self.alive:
+                try:
+                    self.process.send_signal(signal.SIGCONT)
+                except (OSError, ProcessLookupError):
+                    pass
+                self.process.terminate()
+                try:
+                    self.process.wait(timeout=term_timeout_s)
+                except subprocess.TimeoutExpired:
+                    self.process.kill()
+                    self.process.wait(timeout=kill_timeout_s)
+            else:
+                self.process.wait(timeout=kill_timeout_s)
+        finally:
+            for stream in (self.process.stdout, self.process.stderr):
+                if stream is not None:
+                    try:
+                        stream.close()
+                    except OSError:
+                        pass
+            for thread in self._readers:
+                thread.join(timeout=5.0)
+        return self.process.returncode
+
+
+def spawn_replica(model_path: Union[str, Path], *,
+                  host: str = "127.0.0.1",
+                  batch_window_ms: float = 2.0,
+                  max_batch_samples: int = 512,
+                  startup_timeout_s: float = 120.0,
+                  debug_hooks: bool = False,
+                  extra_args: Sequence[str] = ()) -> ReplicaProcess:
+    """Spawn one ``quorum-repro serve`` subprocess on an ephemeral port.
+
+    Scrapes the bound port from the CLI's ``serving ... on http://host:port``
+    startup line.  A replica that dies *before* printing it is reported
+    immediately -- :class:`ReplicaSpawnError` carries the exit code and the
+    stderr tail -- instead of burning the whole startup deadline, so callers
+    can distinguish "crashed on boot" from "slow start".
+    """
+    command = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--model", str(model_path),
+        "--host", host, "--port", "0",
+        "--batch-window-ms", str(batch_window_ms),
+        "--max-batch-samples", str(max_batch_samples),
+    ]
+    if debug_hooks:
+        command.append("--debug-hooks")
+    command.extend(extra_args)
+    process = subprocess.Popen(command, stdout=subprocess.PIPE,
+                               stderr=subprocess.PIPE, text=True,
+                               env=_replica_environment())
+    stderr_tail: Deque[str] = collections.deque(maxlen=STDERR_TAIL_LINES)
+    stderr_thread = threading.Thread(
+        target=ReplicaProcess._pump, args=(process.stderr, stderr_tail),
+        daemon=True)
+    stderr_thread.start()
+
+    box: Dict[str, str] = {}
+
+    def read_startup_line() -> None:
+        box["line"] = process.stdout.readline()
+
+    reader = threading.Thread(target=read_startup_line, daemon=True)
+    reader.start()
+
+    def fail(message: str, exit_code: Optional[int] = None
+             ) -> ReplicaSpawnError:
+        if process.poll() is None:
+            process.kill()
+        try:
+            process.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            pass
+        stderr_thread.join(timeout=5.0)
+        for stream in (process.stdout, process.stderr):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        tail = "\n".join(stderr_tail)
+        suffix = f"; stderr tail:\n{tail}" if tail else ""
+        return ReplicaSpawnError(message + suffix, exit_code=exit_code,
+                                 stderr_tail=tail)
+
+    deadline = time.monotonic() + startup_timeout_s
+    while True:
+        reader.join(timeout=0.05)
+        if not reader.is_alive():
+            break
+        exit_code = process.poll()
+        if exit_code is not None:
+            # Crashed on boot: readline will deliver EOF momentarily; give
+            # it a beat so a raced startup line is not misreported.
+            reader.join(timeout=1.0)
+            if box.get("line", "").strip():
+                break
+            raise fail(f"replica crashed on boot with exit code {exit_code}",
+                       exit_code=exit_code)
+        if time.monotonic() >= deadline:
+            raise fail(f"replica startup exceeded {startup_timeout_s:.0f}s "
+                       f"(process still running: slow start, not a crash)")
+    line = box.get("line", "")
+    if " on http://" not in line:
+        # EOF (or garbage) on stdout: the process is dying or broken.  Give
+        # the exit code a moment to materialize -- it is the diagnosis.
+        try:
+            exit_code: Optional[int] = process.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            exit_code = process.poll()
+        raise fail(f"replica did not report a bound port (got {line!r}, "
+                   f"exit code {exit_code})", exit_code=exit_code)
+    address = line.rsplit(" on http://", 1)[1].strip()
+    bound_host, _, bound_port = address.rpartition(":")
+    return ReplicaProcess(process, bound_host, int(bound_port))
+
+
 class ReplicaFleet:
     """K real ``quorum-repro serve`` subprocesses on ephemeral ports.
 
     Every replica serves the same frozen model artifact -- the shared-nothing
-    scale-out unit.  ``start`` scrapes each replica's bound port from the
-    CLI's ``serving ... on http://host:port`` startup line; ``close`` sends
-    SIGTERM and reaps (killing only on a missed shutdown deadline), returning
-    the exit codes so callers can assert clean shutdown.
+    scale-out unit.  ``start`` spawns each replica via :func:`spawn_replica`;
+    ``close`` sends SIGTERM and reaps (killing only on a missed shutdown
+    deadline), returning the exit codes so callers can assert clean shutdown.
+    The fleet supervisor builds on the same :class:`ReplicaProcess` handles
+    for per-replica lifecycle control.
     """
 
     def __init__(self, model_path: Union[str, Path], replicas: int = 1, *,
                  batch_window_ms: float = 2.0, max_batch_samples: int = 512,
                  host: str = "127.0.0.1",
-                 startup_timeout_s: float = 120.0) -> None:
+                 startup_timeout_s: float = 120.0,
+                 debug_hooks: bool = False) -> None:
         if replicas < 1:
             raise ValueError("a fleet needs at least one replica")
         self.model_path = Path(model_path)
@@ -209,76 +452,33 @@ class ReplicaFleet:
         self.max_batch_samples = int(max_batch_samples)
         self.host = host
         self.startup_timeout_s = float(startup_timeout_s)
-        self._processes: List[subprocess.Popen] = []
-        self._addresses: List[Tuple[str, int]] = []
+        self.debug_hooks = bool(debug_hooks)
+        self._replicas: List[ReplicaProcess] = []
 
     @property
     def addresses(self) -> List[Tuple[str, int]]:
-        return list(self._addresses)
+        return [(replica.host, replica.port) for replica in self._replicas]
 
-    @staticmethod
-    def _environment() -> Dict[str, str]:
-        """The parent's environment with the repro package importable."""
-        import repro
+    @property
+    def handles(self) -> List[ReplicaProcess]:
+        """The live replica handles (for fault injection and supervision)."""
+        return list(self._replicas)
 
-        package_root = str(Path(repro.__file__).resolve().parents[1])
-        env = dict(os.environ)
-        existing = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = (package_root if not existing
-                             else os.pathsep.join([package_root, existing]))
-        return env
-
-    def _spawn_one(self) -> Tuple[subprocess.Popen, Tuple[str, int]]:
-        command = [
-            sys.executable, "-m", "repro.cli", "serve",
-            "--model", str(self.model_path),
-            "--host", self.host, "--port", "0",
-            "--batch-window-ms", str(self.batch_window_ms),
-            "--max-batch-samples", str(self.max_batch_samples),
-        ]
-        process = subprocess.Popen(command, stdout=subprocess.PIPE,
-                                   text=True, env=self._environment())
-        line = self._readline_bounded(process)
-        if " on http://" not in line:
-            self._reap(process)
-            raise RuntimeError(
-                f"replica did not report a bound port (got {line!r}, "
-                f"exit code {process.returncode})")
-        address = line.rsplit(" on http://", 1)[1].strip()
-        host, _, port = address.rpartition(":")
-        return process, (host, int(port))
-
-    def _readline_bounded(self, process: subprocess.Popen) -> str:
-        """One stdout line within the startup deadline (kill on overrun)."""
-        box: Dict[str, str] = {}
-
-        def read() -> None:
-            box["line"] = process.stdout.readline()
-
-        thread = threading.Thread(target=read, daemon=True)
-        thread.start()
-        thread.join(self.startup_timeout_s)
-        if thread.is_alive():
-            self._reap(process)
-            raise RuntimeError(
-                f"replica startup exceeded {self.startup_timeout_s:.0f}s")
-        return box.get("line", "")
-
-    @staticmethod
-    def _reap(process: subprocess.Popen) -> None:
-        process.kill()
-        process.wait(timeout=10.0)
-        if process.stdout is not None:
-            process.stdout.close()
+    def spawn_one(self) -> ReplicaProcess:
+        """One more replica with this fleet's settings (not yet tracked)."""
+        return spawn_replica(
+            self.model_path, host=self.host,
+            batch_window_ms=self.batch_window_ms,
+            max_batch_samples=self.max_batch_samples,
+            startup_timeout_s=self.startup_timeout_s,
+            debug_hooks=self.debug_hooks)
 
     def start(self) -> "ReplicaFleet":
-        if self._processes:
+        if self._replicas:
             raise RuntimeError("the fleet is already started")
         try:
             for _ in range(self.replicas):
-                process, address = self._spawn_one()
-                self._processes.append(process)
-                self._addresses.append(address)
+                self._replicas.append(self.spawn_one())
         except Exception:
             self.close()
             raise
@@ -286,25 +486,12 @@ class ReplicaFleet:
 
     def close(self) -> List[int]:
         """Terminate every replica; returns their exit codes (0 = clean)."""
-        exit_codes: List[int] = []
-        for process in self._processes:
-            try:
-                process.terminate()
-                try:
-                    process.wait(timeout=15.0)
-                except subprocess.TimeoutExpired:
-                    process.kill()
-                    process.wait(timeout=10.0)
-            finally:
-                if process.stdout is not None:
-                    process.stdout.close()
-            exit_codes.append(process.returncode)
-        self._processes = []
-        self._addresses = []
+        exit_codes = [replica.close() for replica in self._replicas]
+        self._replicas = []
         return exit_codes
 
     def __enter__(self) -> "ReplicaFleet":
-        if not self._processes:
+        if not self._replicas:
             self.start()
         return self
 

@@ -11,23 +11,48 @@ coordination between processes.
 * **request-level** balancing -- each HTTP request on a client connection is
   forwarded to the next backend in rotation (not connection-level pinning),
   so even one keep-alive load generator exercises every replica;
+* **dynamic membership** -- :meth:`add_backend` / :meth:`remove_backend`
+  mutate the rotation under the lock, so a supervisor can eject unhealthy
+  replicas and re-admit recovered ones without restarting the proxy.  A
+  removed backend's pooled connections are closed; requests already in
+  flight to it complete normally;
 * per-backend **request counters** (the loadtest harness reads them to report
-  per-replica distribution);
+  per-replica distribution; counters survive removal so history is stable);
 * **health checks** via ``HEAD /v1/healthz`` (what real load balancers send;
-  the server grew ``do_HEAD`` support for exactly this);
-* **failover** -- a backend that refuses or drops a connection is retried on
-  the next replica in rotation; only when every backend fails does the client
-  see a synthesized ``502`` with the standard error envelope.
+  the server grew ``do_HEAD`` support for exactly this) -- both over the
+  current membership (:meth:`check_backends`) and against an arbitrary
+  address (:meth:`probe`, what the fleet supervisor uses for ejected
+  replicas that are not in rotation);
+* **bounded failover** -- *idempotent* requests (GET/HEAD) that hit a
+  refused, dropped, or mid-response-dead backend are retried against the
+  next backend in rotation within a bounded retry budget.  Non-idempotent
+  requests (POST/DELETE/...) are **never** replayed after a connection
+  failure -- the backend may already have executed them -- and surface a
+  synthesized ``502`` instead.  The one exception for every method is a
+  backend answering ``503 shutting_down``: that response proves the request
+  was *not* executed, so the proxy transparently moves it to the next
+  backend (this is what makes supervisor-driven drain invisible to
+  clients).  A stale pooled connection (closed by the backend between
+  keep-alive requests) is always retried once on a fresh socket to the same
+  backend before counting as a failure.
+
+When the rotation is empty (every backend ejected) the proxy answers
+``503 no_healthy_backends`` with a ``Retry-After`` header -- distinct from
+``502 bad_gateway``, which means backends existed but none could serve the
+request.
 
 Framing relies on the invariant the server upholds: every response carries a
 ``Content-Length`` (no chunked encoding).  Responses without one are streamed
 until backend EOF and the connection pair is closed.
 
-The proxy is embeddable (the ``loadtest`` harness runs it in-process so the
-counters are directly readable) and usable standalone::
+The proxy is embeddable (the ``loadtest`` harness and the fleet supervisor
+run it in-process so the counters are directly readable) and usable
+standalone::
 
     proxy = RoundRobinProxy([(host1, port1), (host2, port2)]).start()
     ... point clients at proxy.base_url ...
+    proxy.add_backend((host3, port3))
+    proxy.remove_backend((host1, port1))
     proxy.close()
 """
 
@@ -47,9 +72,24 @@ MAX_HEAD_BYTES = 64 * 1024
 #: large coalesced batch can legitimately take a while.
 BACKEND_TIMEOUT_S = 300.0
 
+#: How many *additional* backends an idempotent request may be retried
+#: against after its first pick fails (the bounded retry budget).
+DEFAULT_RETRY_BUDGET = 2
+
+#: Methods that are safe to replay against another backend after a
+#: connection-level failure.
+_IDEMPOTENT_METHODS = frozenset({"GET", "HEAD"})
+
 #: Synthesized when every backend fails for one request (proxy-level code;
 #: the server-side codes live in repro.serving.models.ERROR_STATUS).
 _BAD_GATEWAY_CODE = "bad_gateway"
+
+#: Synthesized when the rotation is empty (every backend ejected).
+_NO_BACKENDS_CODE = "no_healthy_backends"
+
+#: Marker of a drain response body; the server's envelope always carries the
+#: stable code, so a substring check avoids parsing JSON on the hot path.
+_DRAINING_MARKER = b'"shutting_down"'
 
 
 class ProxyError(RuntimeError):
@@ -139,12 +179,11 @@ def _content_length(headers: Dict[str, str]) -> Optional[int]:
 
 
 class _Backend:
-    """One replica: address, health, and a served-request counter."""
+    """One replica: its address and connect helper."""
 
     def __init__(self, host: str, port: int) -> None:
         self.host = host
         self.port = port
-        self.requests = 0
 
     @property
     def address(self) -> str:
@@ -157,18 +196,31 @@ class _Backend:
         return sock
 
 
+#: One client thread's connection pool: ``address -> (socket, reader)``.
+_Pool = Dict[str, Tuple[socket.socket, _SocketReader]]
+
+
 class RoundRobinProxy:
-    """Request-level round-robin HTTP proxy over a fixed backend list."""
+    """Request-level round-robin HTTP proxy with dynamic backend membership."""
 
     def __init__(self, backends: Sequence[Union[str, Tuple[str, int]]],
                  host: str = "127.0.0.1", port: int = 0,
-                 backend_timeout_s: float = BACKEND_TIMEOUT_S) -> None:
-        if not backends:
+                 backend_timeout_s: float = BACKEND_TIMEOUT_S,
+                 retry_budget: int = DEFAULT_RETRY_BUDGET,
+                 allow_empty: bool = False) -> None:
+        if not backends and not allow_empty:
             raise ProxyError("a proxy needs at least one backend")
+        if retry_budget < 0:
+            raise ProxyError("retry_budget cannot be negative")
         self._backends = [_Backend(*_parse_backend(spec)) for spec in backends]
+        seen = {backend.address for backend in self._backends}
+        if len(seen) != len(self._backends):
+            raise ProxyError("duplicate backend addresses in the initial list")
+        self._counts: Dict[str, int] = {address: 0 for address in seen}
         self._listen_host = host
         self._listen_port = port
         self._backend_timeout_s = float(backend_timeout_s)
+        self._retry_budget = int(retry_budget)
         self._rotation = 0
         self._lock = threading.Lock()
         self._closed = threading.Event()
@@ -205,6 +257,12 @@ class RoundRobinProxy:
         self._closed.set()
         if self._listener is not None:
             try:
+                # close() alone does not wake a thread blocked in accept()
+                # on Linux; shutdown() does (the thread sees an OSError).
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
                 self._listener.close()
             except OSError:
                 pass
@@ -219,32 +277,79 @@ class RoundRobinProxy:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -------------------------------------------------------------- membership
+    def add_backend(self, spec: Union[str, Tuple[str, int]]) -> str:
+        """Admit a backend into the rotation; returns its ``host:port``.
+
+        Idempotent: adding an address already in rotation is a no-op.
+        """
+        backend = _Backend(*_parse_backend(spec))
+        with self._lock:
+            if all(existing.address != backend.address
+                   for existing in self._backends):
+                self._backends.append(backend)
+                self._counts.setdefault(backend.address, 0)
+        return backend.address
+
+    def remove_backend(self, spec: Union[str, Tuple[str, int]]) -> bool:
+        """Eject a backend from the rotation.
+
+        New requests stop routing to it immediately; requests already in
+        flight on a pooled connection complete, and each client thread
+        closes its pooled connection to the departed backend before picking
+        a target for its next request.  Returns whether the address was in
+        rotation.  Removing the last backend is allowed -- the proxy then
+        answers ``503 no_healthy_backends`` until a backend is re-admitted.
+        """
+        host, port = _parse_backend(spec)
+        address = f"{host}:{port}"
+        with self._lock:
+            before = len(self._backends)
+            self._backends = [backend for backend in self._backends
+                              if backend.address != address]
+            return len(self._backends) != before
+
+    def has_backend(self, spec: Union[str, Tuple[str, int]]) -> bool:
+        host, port = _parse_backend(spec)
+        address = f"{host}:{port}"
+        with self._lock:
+            return any(backend.address == address
+                       for backend in self._backends)
+
     # ------------------------------------------------------------- observation
     def request_counts(self) -> Dict[str, int]:
-        """``{"host:port": requests proxied}`` per backend (monotonic)."""
+        """``{"host:port": requests proxied}`` (monotonic; survives removal)."""
         with self._lock:
-            return {backend.address: backend.requests
-                    for backend in self._backends}
+            return dict(self._counts)
 
     def backend_addresses(self) -> List[str]:
-        return [backend.address for backend in self._backends]
+        with self._lock:
+            return [backend.address for backend in self._backends]
 
     def check_backends(self, timeout_s: float = 5.0) -> Dict[str, bool]:
-        """``HEAD /v1/healthz`` against every backend -> liveness map."""
-        results: Dict[str, bool] = {}
-        for backend in self._backends:
-            results[backend.address] = self._probe(backend, timeout_s)
-        return results
+        """``HEAD /v1/healthz`` against the current membership -> liveness."""
+        with self._lock:
+            snapshot = list(self._backends)
+        return {backend.address: self.probe((backend.host, backend.port),
+                                            timeout_s=timeout_s)
+                for backend in snapshot}
 
     @staticmethod
-    def _probe(backend: _Backend, timeout_s: float) -> bool:
-        probe = (f"HEAD /v1/healthz HTTP/1.1\r\n"
-                 f"Host: {backend.address}\r\n"
-                 f"Connection: close\r\n\r\n").encode("latin-1")
+    def probe(spec: Union[str, Tuple[str, int]],
+              timeout_s: float = 5.0) -> bool:
+        """``HEAD /v1/healthz`` against one address (need not be a member).
+
+        The fleet supervisor probes ejected replicas with this before
+        re-admitting them.
+        """
+        host, port = _parse_backend(spec)
+        request = (f"HEAD /v1/healthz HTTP/1.1\r\n"
+                   f"Host: {host}:{port}\r\n"
+                   f"Connection: close\r\n\r\n").encode("latin-1")
         try:
-            with socket.create_connection((backend.host, backend.port),
+            with socket.create_connection((host, port),
                                           timeout=timeout_s) as sock:
-                sock.sendall(probe)
+                sock.sendall(request)
                 head = _SocketReader(sock).read_head()
         except OSError:
             return False
@@ -268,8 +373,12 @@ class RoundRobinProxy:
     def _next_rotation(self) -> int:
         with self._lock:
             index = self._rotation
-            self._rotation = (self._rotation + 1) % len(self._backends)
+            self._rotation += 1
             return index
+
+    def _count(self, address: str) -> None:
+        with self._lock:
+            self._counts[address] = self._counts.get(address, 0) + 1
 
     def _serve_client(self, client: socket.socket) -> None:
         client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -277,7 +386,7 @@ class RoundRobinProxy:
         # One persistent connection per backend, owned by this client thread
         # (request-level rotation would otherwise interleave two clients'
         # requests on one backend socket).
-        connections: Dict[int, Tuple[socket.socket, _SocketReader]] = {}
+        pool: _Pool = {}
         try:
             while not self._closed.is_set():
                 try:
@@ -293,15 +402,14 @@ class RoundRobinProxy:
                     body = reader.read_exact(length) if length else b""
                 except (ConnectionError, OSError):
                     return  # client died mid-body; nothing to answer
-                keep_alive = self._forward(client, connections, method,
-                                           head, body)
+                keep_alive = self._forward(client, pool, method, head, body)
                 client_closing = (headers.get("connection", "").lower()
                                   == "close"
                                   or request_line.endswith("HTTP/1.0"))
                 if client_closing or not keep_alive:
                     return
         finally:
-            for sock, _ in connections.values():
+            for sock, _ in pool.values():
                 try:
                     sock.close()
                 except OSError:
@@ -311,54 +419,114 @@ class RoundRobinProxy:
             except OSError:
                 pass
 
-    def _forward(self, client: socket.socket,
-                 connections: Dict[int, Tuple[socket.socket, _SocketReader]],
-                 method: str, head: bytes, body: bytes) -> bool:
-        """Proxy one request; returns False when the client pair must close."""
-        start = self._next_rotation()
-        for offset in range(len(self._backends)):
-            index = (start + offset) % len(self._backends)
-            backend = self._backends[index]
-            # A pooled connection may have been closed by the backend since
-            # its last use; retry such a failure once on a fresh socket
-            # before moving to the next replica.
-            for _attempt in range(2):
-                try:
-                    if index not in connections:
-                        sock = backend.connect(self._backend_timeout_s)
-                        connections[index] = (sock, _SocketReader(sock))
-                    sock, backend_reader = connections[index]
-                    sock.sendall(head + body)
-                    response, backend_alive = self._read_response(
-                        backend_reader, method)
-                except (OSError, ConnectionError):
-                    self._drop(connections, index)
-                    continue
-                if not backend_alive:
-                    self._drop(connections, index)
-                with self._lock:
-                    backend.requests += 1
-                try:
-                    client.sendall(response)
-                except OSError:
-                    return False  # client went away; stop this pair
-                return True
-        return self._send_bad_gateway(client, method)
-
     @staticmethod
-    def _drop(connections: Dict[int, Tuple[socket.socket, _SocketReader]],
-              index: int) -> None:
-        entry = connections.pop(index, None)
+    def _drop(pool: _Pool, address: str) -> None:
+        entry = pool.pop(address, None)
         if entry is not None:
             try:
                 entry[0].close()
             except OSError:
                 pass
 
+    def _forward(self, client: socket.socket, pool: _Pool,
+                 method: str, head: bytes, body: bytes) -> bool:
+        """Proxy one request; returns False when the client pair must close."""
+        with self._lock:
+            snapshot = list(self._backends)
+        members = {backend.address for backend in snapshot}
+        # A backend removed from rotation must not keep a pooled connection
+        # alive: close ours before picking a target (in-flight requests on
+        # other client threads finish first -- each thread owns its pool).
+        for address in [pooled for pooled in pool if pooled not in members]:
+            self._drop(pool, address)
+        if not snapshot:
+            return self._send_synthesized(
+                client, method, 503, _NO_BACKENDS_CODE,
+                "every backend is out of rotation; retry shortly",
+                {"backends": []}, retry_after=True)
+        idempotent = method in _IDEMPOTENT_METHODS
+        attempts = min(len(snapshot), 1 + self._retry_budget)
+        start = self._next_rotation()
+        draining_response: Optional[bytes] = None
+        tried: List[str] = []
+        for offset in range(attempts):
+            backend = snapshot[(start + offset) % len(snapshot)]
+            tried.append(backend.address)
+            outcome, payload = self._attempt(pool, backend, method, head,
+                                             body)
+            if outcome == "ok":
+                self._count(backend.address)
+                return self._reply(client, payload)
+            if outcome == "draining":
+                # A 503 shutting_down proves the backend did NOT execute the
+                # request, so moving it to the next replica is safe for every
+                # method -- this is what makes graceful drain invisible.
+                draining_response = payload
+                continue
+            # Connection-level failure.  Idempotent requests keep walking the
+            # rotation; anything else must not be replayed (the backend may
+            # have executed it) and surfaces as a synthesized 502.
+            if not idempotent:
+                return self._send_synthesized(
+                    client, method, 502, _BAD_GATEWAY_CODE,
+                    f"backend {backend.address} failed and {method} is not "
+                    f"safe to retry",
+                    {"tried": tried, "request_sent": bool(payload),
+                     "backends": sorted(members)})
+        if draining_response is not None:
+            # Everything reachable was draining; relay the server's own 503
+            # (it carries the Retry-After header).
+            return self._reply(client, draining_response) and False
+        return self._send_synthesized(
+            client, method, 502, _BAD_GATEWAY_CODE,
+            "no backend replica accepted the request",
+            {"tried": tried, "backends": sorted(members)})
+
+    def _attempt(self, pool: _Pool, backend: _Backend, method: str,
+                 head: bytes, body: bytes) -> Tuple[str, object]:
+        """Try one backend; ``("ok"|"draining", response)`` or ``("failed",
+        request_sent)``.
+
+        A pooled connection may have been closed by the backend since its
+        last use (keep-alive race, replica restart); such a failure is
+        retried once on a fresh socket to the *same* backend before counting
+        as a failure.
+        """
+        address = backend.address
+        for _pass in range(2):
+            fresh = address not in pool
+            if fresh:
+                try:
+                    sock = backend.connect(self._backend_timeout_s)
+                except OSError:
+                    return "failed", False  # connect refused: nothing sent
+                pool[address] = (sock, _SocketReader(sock))
+            sock, reader = pool[address]
+            sent = False
+            try:
+                sock.sendall(head + body)
+                sent = True
+                response, status, reusable = self._read_response(reader,
+                                                                 method)
+            except (OSError, ConnectionError):
+                self._drop(pool, address)
+                if not fresh:
+                    continue  # stale pooled socket: retry on a fresh one
+                return "failed", sent
+            if status == 503 and _DRAINING_MARKER in response:
+                # The backend is draining; never queue another request on
+                # this connection.
+                self._drop(pool, address)
+                return "draining", response
+            if not reusable:
+                self._drop(pool, address)
+            return "ok", response
+        return "failed", False  # unreachable; loop always returns
+
     @staticmethod
     def _read_response(reader: _SocketReader, method: str
-                       ) -> Tuple[bytes, bool]:
-        """One full response off a backend; ``(bytes, backend reusable?)``."""
+                       ) -> Tuple[bytes, int, bool]:
+        """One full response; ``(bytes, status code, backend reusable?)``."""
         head = reader.read_head()
         if head is None:
             raise ConnectionError("backend closed before responding")
@@ -369,26 +537,39 @@ class RoundRobinProxy:
         # HEAD responses and 1xx/204/304 carry headers only, regardless of
         # the Content-Length the server advertises for parity with GET.
         if method == "HEAD" or code < 200 or code in (204, 304):
-            body = b""
+            payload = b""
         elif length is None:
             # No framing information: stream until EOF, then retire the pair.
-            return head + reader.read_to_eof(), False
+            return head + reader.read_to_eof(), code, False
         else:
-            body = reader.read_exact(length)
+            payload = reader.read_exact(length)
         reusable = (headers.get("connection", "").lower() != "close"
                     and not status_line.startswith("HTTP/1.0"))
-        return head + body, reusable
+        return head + payload, code, reusable
 
-    def _send_bad_gateway(self, client: socket.socket, method: str) -> bool:
+    @staticmethod
+    def _reply(client: socket.socket, response: bytes) -> bool:
+        try:
+            client.sendall(response)
+        except OSError:
+            return False  # client went away; stop this pair
+        return True
+
+    def _send_synthesized(self, client: socket.socket, method: str,
+                          status: int, code: str, message: str,
+                          detail: dict, retry_after: bool = False) -> bool:
+        reason = {502: "Bad Gateway", 503: "Service Unavailable"}.get(
+            status, "Error")
         payload = json.dumps({"error": {
-            "code": _BAD_GATEWAY_CODE,
-            "message": "no backend replica accepted the request",
-            "detail": {"backends": self.backend_addresses()},
+            "code": code,
+            "message": message,
+            "detail": detail,
         }}).encode("utf-8")
-        head = ("HTTP/1.1 502 Bad Gateway\r\n"
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
                 "Content-Type: application/json\r\n"
                 f"Content-Length: {len(payload)}\r\n"
-                "Connection: close\r\n\r\n").encode("latin-1")
+                + ("Retry-After: 1\r\n" if retry_after else "")
+                + "Connection: close\r\n\r\n").encode("latin-1")
         try:
             client.sendall(head + (b"" if method == "HEAD" else payload))
         except OSError:

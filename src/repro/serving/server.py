@@ -31,6 +31,7 @@ import json
 import re
 import sys
 import threading
+import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -71,6 +72,18 @@ SCORE_TIMEOUT_S = 300.0
 #: API version segment every current route lives under.
 API_VERSION = "v1"
 
+#: Seconds a graceful shutdown waits for in-flight requests before giving up
+#: (they would otherwise be severed when the process exits).  Generous: a
+#: request can legitimately sit in the scorer queue behind a large batch.
+DRAIN_TIMEOUT_S = 30.0
+
+#: What drain responses tell clients via ``Retry-After``: by then either the
+#: supervisor has removed this replica from rotation or a restart is up.
+RETRY_AFTER_S = 1
+
+#: Upper bound on the debug delay hook, so a typo cannot wedge a fleet.
+MAX_DEBUG_DELAY_S = 60.0
+
 
 class ServerRuntime:
     """The server's non-HTTP state: registry + job/session managers.
@@ -81,11 +94,16 @@ class ServerRuntime:
 
     def __init__(self, registry: ModelRegistry,
                  job_workers: int = 2, job_ttl_s: float = 900.0,
-                 session_ttl_s: float = 600.0) -> None:
+                 session_ttl_s: float = 600.0,
+                 debug_hooks: bool = False) -> None:
         self.registry = registry
         self.jobs = JobManager(registry, workers=job_workers, ttl_s=job_ttl_s)
         self.sessions = SessionManager(registry, default_ttl_s=session_ttl_s)
+        self.debug_hooks = bool(debug_hooks)
         self._draining = threading.Event()
+        self._idle = threading.Condition()
+        self._inflight = 0
+        self._delay_s = 0.0
 
     @property
     def draining(self) -> bool:
@@ -94,6 +112,47 @@ class ServerRuntime:
     def drain(self) -> None:
         """Stop accepting requests (everything answers 503 shutting_down)."""
         self._draining.set()
+
+    # ------------------------------------------------------- in-flight tracking
+    # The graceful-drain contract ("zero dropped in-flight requests on
+    # scale-in") needs the server to know when the last accepted request has
+    # been fully answered: drain() flips new arrivals to 503, wait_idle()
+    # holds the teardown until the counter returns to zero.
+    def request_started(self) -> None:
+        with self._idle:
+            self._inflight += 1
+
+    def request_finished(self) -> None:
+        with self._idle:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._idle.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        with self._idle:
+            return self._inflight
+
+    def wait_idle(self, timeout_s: Optional[float] = None) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        with self._idle:
+            return self._idle.wait_for(lambda: self._inflight <= 0,
+                                       timeout=timeout_s)
+
+    # ------------------------------------------------------------- debug hooks
+    def set_delay(self, seconds: float) -> float:
+        """Per-request artificial delay (fault injection; needs debug_hooks)."""
+        seconds = float(seconds)
+        if not (0.0 <= seconds <= MAX_DEBUG_DELAY_S):
+            raise ApiError(
+                "bad_request",
+                f"delay must be within [0, {MAX_DEBUG_DELAY_S:.0f}] seconds")
+        self._delay_s = seconds
+        return seconds
+
+    @property
+    def delay_s(self) -> float:
+        return self._delay_s
 
     def close(self) -> None:
         self.drain()
@@ -139,7 +198,9 @@ class QuorumHTTPServer(ThreadingHTTPServer):
         super().handle_error(request, client_address)
 
     def shutdown(self) -> None:  # pragma: no cover - exercised via clients
+        """Graceful stop: drain, finish in-flight requests, then tear down."""
         self.runtime.drain()
+        self.runtime.wait_idle(timeout_s=DRAIN_TIMEOUT_S)
         super().shutdown()
         self.runtime.close()
 
@@ -174,6 +235,10 @@ _ROUTES = (
      {"GET": "_v1_session_get", "DELETE": "_v1_session_close"}, False),
     (re.compile(r"^/v1/sessions/([^/]+)/score$"),
      {"POST": "_v1_session_score"}, False),
+    # Fault-injection hook, only live when the runtime was built with
+    # debug_hooks=True (404 otherwise, indistinguishable from absent).
+    (re.compile(r"^/v1/_debug/delay$"),
+     {"GET": "_v1_debug_delay_get", "POST": "_v1_debug_delay_set"}, False),
     (re.compile(r"^/score$"), {"POST": "_legacy_score"}, True),
     (re.compile(r"^/healthz$"), {"GET": "_legacy_health"}, True),
     (re.compile(r"^/model$"), {"GET": "_legacy_model"}, True),
@@ -292,12 +357,22 @@ class _Handler(BaseHTTPRequestHandler):
         lookup = "GET" if method == "HEAD" else method
         self._body_consumed = False
         extra_headers: Dict[str, str] = {}
+        runtime = self.server.runtime
+        runtime.request_started()
         try:
             try:
-                if self.server.runtime.draining:
+                if runtime.draining:
+                    # Not executed -- provably safe for the proxy to replay
+                    # against another replica (any method, even POST).
+                    extra_headers["Retry-After"] = str(RETRY_AFTER_S)
                     raise ApiError("shutting_down",
                                    "the server is shutting down; retry against "
                                    "another replica")
+                delay_s = runtime.delay_s
+                if delay_s > 0.0 and not path.startswith("/v1/_debug/"):
+                    # Slow-response fault injection; the hook itself stays
+                    # fast so the injector can always clear the delay.
+                    time.sleep(delay_s)
                 for pattern, methods, legacy in _ROUTES:
                     match = pattern.match(path)
                     if match is None:
@@ -337,6 +412,7 @@ class _Handler(BaseHTTPRequestHandler):
                     f"client {self.client_address} disconnected during "
                     f"{method} {path}: {type(error).__name__}\n")
         finally:
+            runtime.request_finished()
             if self._body_left_unread():
                 # The handler answered without draining the declared body
                 # (413, unknown path, ...); the unread bytes would be parsed
@@ -475,6 +551,30 @@ class _Handler(BaseHTTPRequestHandler):
         session = self.runtime.sessions.close_session(session_id)
         return 200, session.info().to_json()
 
+    # ------------------------------------------------------------- debug hooks
+    def _require_debug_hooks(self) -> None:
+        if not self.runtime.debug_hooks:
+            raise ApiError("not_found",
+                           "debug hooks are disabled on this server "
+                           "(start it with --debug-hooks to enable)")
+
+    def _v1_debug_delay_get(self):
+        self._require_debug_hooks()
+        return 200, {"delay_s": self.runtime.delay_s}
+
+    def _v1_debug_delay_set(self):
+        self._require_debug_hooks()
+        body = self._read_json_body()
+        if not isinstance(body, dict) or "delay_s" not in body:
+            raise ApiError("bad_request",
+                           'the body must be {"delay_s": <seconds>}')
+        try:
+            delay_s = self.runtime.set_delay(body["delay_s"])
+        except (TypeError, ValueError):
+            raise ApiError("bad_request",
+                           "delay_s must be a number of seconds") from None
+        return 200, {"delay_s": delay_s}
+
     # ------------------------------------------------------------ legacy routes
     # Deprecated aliases over the DEFAULT model, byte-compatible with the
     # original single-model server.  New functionality is /v1-only.
@@ -507,7 +607,8 @@ def build_server(model: Union[str, Path, ModelArtifact, OnlineScorer, None]
                  job_workers: int = 2,
                  job_ttl_s: float = 900.0,
                  session_ttl_s: float = 600.0,
-                 compiler: Optional[CircuitCompiler] = None
+                 compiler: Optional[CircuitCompiler] = None,
+                 debug_hooks: bool = False
                  ) -> QuorumHTTPServer:
     """Build (but do not start) a runtime server.
 
@@ -538,7 +639,8 @@ def build_server(model: Union[str, Path, ModelArtifact, OnlineScorer, None]
         raise ValueError("build_server needs at least one model "
                          "(model=... or models={...})")
     runtime = ServerRuntime(registry, job_workers=job_workers,
-                            job_ttl_s=job_ttl_s, session_ttl_s=session_ttl_s)
+                            job_ttl_s=job_ttl_s, session_ttl_s=session_ttl_s,
+                            debug_hooks=debug_hooks)
     return QuorumHTTPServer((host, port), runtime, quiet=quiet)
 
 
@@ -548,26 +650,38 @@ def run_server(model_path: Union[str, Path, None], host: str = "127.0.0.1",
                models: Optional[Dict[str, Union[str, Path]]] = None,
                job_workers: int = 2,
                job_ttl_s: float = 900.0,
-               session_ttl_s: float = 600.0) -> int:
+               session_ttl_s: float = 600.0,
+               debug_hooks: bool = False) -> int:
     """Load model(s) and serve until interrupted (the CLI entry point).
 
     Prints one ``serving ... on http://host:port`` line (flushed) before
     blocking, so wrappers that spawn the CLI can scrape the ephemeral port.
+
+    On interrupt (SIGTERM/SIGINT) the teardown is a graceful drain: new
+    requests answer ``503 shutting_down`` (with ``Retry-After``) while
+    in-flight ones run to completion before the process exits -- this is the
+    server half of the supervisor's zero-dropped-requests scale-in contract.
     """
     server = build_server(model_path, host=host, port=port, quiet=quiet,
                           scorer_kwargs=scorer_kwargs, models=models,
                           job_workers=job_workers, job_ttl_s=job_ttl_s,
-                          session_ttl_s=session_ttl_s)
+                          session_ttl_s=session_ttl_s,
+                          debug_hooks=debug_hooks)
     bound_host, bound_port = server.server_address[:2]
     served = model_path if model_path is not None \
         else ", ".join(server.runtime.registry.ids())
-    print(f"serving {served} on http://{bound_host}:{bound_port}",
-          flush=True)
     try:
+        # The print sits INSIDE the try: a supervisor that signals right
+        # after scraping this line must not land its interrupt in the
+        # unprotected gap between printing and serve_forever.
+        print(f"serving {served} on http://{bound_host}:{bound_port}",
+              flush=True)
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        server.runtime.drain()
+        server.runtime.wait_idle(timeout_s=DRAIN_TIMEOUT_S)
         server.server_close()
         server.runtime.close()
     return 0

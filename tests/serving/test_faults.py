@@ -1,0 +1,223 @@
+"""Fault-injection primitives: ChaosGate forwarding modes + FaultInjector.
+
+These are fast tier-1 tests of the *instruments* themselves (against a raw
+scripted backend and throwaway subprocesses); the chaos suite uses them
+against real fleets.
+"""
+
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.detector import QuorumDetector
+from repro.serving.artifact import save_model
+from repro.serving.faults import ChaosGate, FaultInjector
+from repro.serving.server import build_server
+
+_RESPONSE_BODY = b"x" * 100
+_RESPONSE = (b"HTTP/1.1 200 OK\r\n"
+             b"Content-Length: 100\r\n"
+             b"Connection: close\r\n\r\n" + _RESPONSE_BODY)
+
+
+class _OneShotBackend:
+    """Raw TCP backend: one fixed close-delimited response per connection."""
+
+    def __init__(self):
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self.address = self._listener.getsockname()
+        self.connections = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                client.settimeout(5.0)
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = client.recv(65536)
+                    if not chunk:
+                        break
+                    data += chunk
+                if data:
+                    client.sendall(_RESPONSE)
+            except OSError:
+                pass
+            finally:
+                client.close()
+
+    def close(self):
+        self._stop.set()
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+
+def _fetch_through(address, timeout=5.0):
+    """One GET through ``address``; returns every byte until EOF."""
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.sendall(b"GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        received = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            received.append(chunk)
+    return b"".join(received)
+
+
+@pytest.fixture()
+def backend():
+    server = _OneShotBackend()
+    yield server
+    server.close()
+
+
+@pytest.fixture()
+def gate(backend):
+    gate = ChaosGate(*backend.address).start()
+    yield gate
+    gate.close()
+
+
+class TestChaosGate:
+    def test_transparent_forwarding(self, backend, gate):
+        data = _fetch_through(gate.address)
+        assert data == _RESPONSE
+        assert backend.connections == 1
+        assert gate.mode == "pass"
+
+    def test_refuse_yields_econnrefused(self, backend, gate):
+        gate.refuse()
+        with pytest.raises(ConnectionRefusedError):
+            socket.create_connection(gate.address, timeout=2.0)
+        assert backend.connections == 0  # the fault never reaches the replica
+
+    def test_restore_rebinds_the_same_port(self, backend, gate):
+        port = gate.address[1]
+        gate.refuse()
+        gate.restore()
+        assert gate.address[1] == port  # fleet config stays valid
+        assert _fetch_through(gate.address) == _RESPONSE
+
+    def test_cut_severs_mid_response(self, backend, gate):
+        gate.cut_responses(after_bytes=40)
+        data = _fetch_through(gate.address)
+        assert 0 < len(data) <= 40  # headers announce 100 body bytes...
+        assert len(data) < len(_RESPONSE)  # ...but the stream dies early
+        gate.restore()
+        assert _fetch_through(gate.address) == _RESPONSE
+
+    def test_parameter_and_lifecycle_validation(self, backend, gate):
+        with pytest.raises(ValueError):
+            gate.cut_responses(after_bytes=-1)
+        with pytest.raises(RuntimeError):
+            gate.start()  # already started
+        with pytest.raises(RuntimeError):
+            ChaosGate(*backend.address).address  # not started
+        gate.close()
+        with pytest.raises(RuntimeError):
+            gate.restore()  # closed gates stay closed
+
+
+def _proc_state(pid):
+    with open(f"/proc/{pid}/stat") as handle:
+        return handle.read().split(")")[-1].split()[0]
+
+
+def _wait_state(pid, wanted, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if _proc_state(pid) in wanted:
+            return True
+        time.sleep(0.02)
+    return _proc_state(pid) in wanted
+
+
+class TestFaultInjectorSignals:
+    @pytest.fixture()
+    def victim(self):
+        process = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(120)"])
+        yield process
+        if process.poll() is None:
+            process.kill()
+        process.wait(timeout=10)
+
+    def test_pid_extraction(self, victim):
+        injector = FaultInjector()
+        assert injector._pid(victim.pid) == victim.pid
+        assert injector._pid(victim) == victim.pid  # duck-typed .pid
+        with pytest.raises(TypeError):
+            injector._pid("not a process")
+
+    def test_pause_resume_kill(self, victim):
+        injector = FaultInjector()
+        injector.pause(victim)
+        assert _wait_state(victim.pid, {"T"})  # stopped: the hang fault
+        injector.resume(victim)
+        assert _wait_state(victim.pid, {"S", "R"})
+        injector.kill(victim)
+        assert victim.wait(timeout=10) == -9
+
+
+class TestDelayHook:
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        rng = np.random.default_rng(7)
+        detector = QuorumDetector(ensemble_groups=2, seed=11, shots=256)
+        detector.fit(rng.normal(size=(20, 4)))
+        return str(save_model(detector,
+                              tmp_path_factory.mktemp("model") / "m.json"))
+
+    @pytest.fixture(scope="class")
+    def debug_address(self, model_path):
+        server = build_server(model_path, port=0, debug_hooks=True)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        server.runtime.close()
+        thread.join(timeout=10)
+
+    def test_set_get_clear_roundtrip(self, debug_address):
+        injector = FaultInjector()
+        assert injector.get_delay(debug_address) == 0.0
+        assert injector.set_delay(debug_address, 0.25) == 0.25
+        assert injector.get_delay(debug_address) == 0.25
+        injector.clear_delay(debug_address)
+        assert injector.get_delay(debug_address) == 0.0
+
+    def test_disabled_hook_is_a_clear_error(self, model_path):
+        server = build_server(model_path, port=0)  # debug hooks off
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            with pytest.raises(RuntimeError, match="debug hooks"):
+                FaultInjector().set_delay(f"{host}:{port}", 1.0)
+        finally:
+            server.shutdown()
+            server.server_close()
+            server.runtime.close()
+            thread.join(timeout=10)

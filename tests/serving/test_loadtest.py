@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 import urllib.request
 
 import numpy as np
@@ -12,10 +13,12 @@ from repro.serving.artifact import save_model
 from repro.serving.loadtest import (
     REPORT_VERSION,
     ReplicaFleet,
+    ReplicaSpawnError,
     find_knee,
     percentile,
     run_closed_loop,
     run_loadtest,
+    spawn_replica,
     suggest_batching,
     summarize_latencies,
 )
@@ -157,6 +160,53 @@ class TestReplicaFleet:
     def test_rejects_zero_replicas(self, model_path):
         with pytest.raises(ValueError):
             ReplicaFleet(model_path, replicas=0)
+
+
+class TestSpawnReplica:
+    def test_crash_on_boot_surfaces_immediately(self, tmp_path):
+        """A replica dying before the startup line reports its exit code and
+        stderr tail right away instead of burning the startup deadline."""
+        started = time.monotonic()
+        with pytest.raises(ReplicaSpawnError) as excinfo:
+            spawn_replica(tmp_path / "missing.json", startup_timeout_s=120.0)
+        elapsed = time.monotonic() - started
+        assert elapsed < 60.0  # early exit, not the 120 s deadline
+        error = excinfo.value
+        assert error.exit_code not in (None, 0)
+        assert "missing.json" in error.stderr_tail
+        assert str(error.exit_code) in str(error)
+
+    def test_replica_process_handle(self, model_path):
+        """The handle exposes pid/liveness/signals for the supervisor."""
+        replica = spawn_replica(model_path, batch_window_ms=1.0)
+        try:
+            assert replica.alive
+            assert replica.poll() is None
+            assert replica.pid > 0
+            host, port = replica.host, replica.port
+            assert replica.address == f"{host}:{port}"
+            url = f"http://{replica.address}/v1/healthz"
+            with urllib.request.urlopen(url, timeout=30) as response:
+                assert json.load(response)["status"] == "ok"
+            summary = replica.exit_summary()
+            assert summary["exit_code"] is None  # still running
+        finally:
+            exit_code = replica.close()
+        assert exit_code == 0  # SIGTERM drained cleanly
+        assert not replica.alive
+
+    def test_close_resumes_a_stopped_replica_first(self, model_path):
+        """SIGSTOP must not force close() to escalate to SIGKILL."""
+        import signal as signal_module
+
+        replica = spawn_replica(model_path, batch_window_ms=1.0)
+        try:
+            replica.send_signal(signal_module.SIGSTOP)
+        except BaseException:
+            replica.close()
+            raise
+        exit_code = replica.close(term_timeout_s=30.0)
+        assert exit_code == 0  # SIGCONT + SIGTERM, not a dirty SIGKILL
 
 
 class TestRunLoadtest:

@@ -37,6 +37,7 @@ def fleet(tmp_path_factory):
         "proxy": proxy,
         "data": data,
         "detector": detector,
+        "model_path": path,
         "addresses": [f"{host}:{port}" for host, port in addresses],
         "default_id": servers[0].runtime.registry.default_id(),
     }
@@ -170,3 +171,247 @@ class TestHealthAndFailover:
     def test_double_start_refused(self, fleet):
         with pytest.raises(ProxyError):
             fleet["proxy"].start()
+
+
+class _ScriptedBackend:
+    """A raw TCP 'replica' serving one scripted response per connection.
+
+    ``mode='oneshot'`` answers one well-formed keep-alive response and then
+    closes the connection (a replica restarted between keep-alive requests);
+    ``mode='cut'`` advertises a large Content-Length, sends a few body bytes,
+    and dies mid-response.
+    """
+
+    def __init__(self, mode="oneshot"):
+        self.mode = mode
+        self.connections = 0
+        self.listener = socket.socket()
+        self.listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(8)
+        self.port = self.listener.getsockname()[1]
+        self.address = f"127.0.0.1:{self.port}"
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self.listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                conn.settimeout(10.0)
+                head = b""
+                while b"\r\n\r\n" not in head:
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        break
+                    head += chunk
+                if self.mode == "cut":
+                    conn.sendall(b"HTTP/1.1 200 OK\r\n"
+                                 b"Content-Type: application/json\r\n"
+                                 b"Content-Length: 1000\r\n\r\n"
+                                 b'{"trunc')
+                else:
+                    body = b'{"status": "ok"}'
+                    conn.sendall(b"HTTP/1.1 200 OK\r\n"
+                                 b"Content-Type: application/json\r\n"
+                                 + b"Content-Length: %d\r\n\r\n" % len(body)
+                                 + body)
+            except OSError:
+                pass
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def close(self):
+        try:
+            self.listener.close()
+        except OSError:
+            pass
+
+
+class TestDynamicMembership:
+    def test_add_and_remove_under_rotation(self, fleet):
+        """Traffic follows membership changes on a live keep-alive client."""
+        first, second = fleet["addresses"]
+        with RoundRobinProxy([first, second]) as proxy:
+            host, port = proxy.address
+            connection = http.client.HTTPConnection(host, port, timeout=30)
+            try:
+                def burst(n):
+                    for _ in range(n):
+                        connection.request("GET", "/v1/healthz")
+                        response = connection.getresponse()
+                        assert response.status == 200
+                        response.read()
+
+                burst(2)  # one request each; pools a connection to both
+                assert proxy.remove_backend(first) is True
+                burst(4)  # the pooled connection to `first` must be pruned
+                counts = proxy.request_counts()
+                assert counts[first] == 1  # history survives removal
+                assert counts[second] == 5
+                proxy.add_backend(first)
+                burst(4)
+                assert proxy.request_counts()[first] == 3
+            finally:
+                connection.close()
+
+    def test_membership_mutators_are_idempotent(self, fleet):
+        first, second = fleet["addresses"]
+        proxy = RoundRobinProxy([first])
+        assert proxy.add_backend(second) == second
+        assert proxy.add_backend(second) == second  # no duplicate
+        assert proxy.backend_addresses() == [first, second]
+        assert proxy.has_backend(second)
+        assert proxy.remove_backend(second) is True
+        assert proxy.remove_backend(second) is False
+        assert not proxy.has_backend(second)
+
+    def test_empty_rotation_answers_distinct_503(self, fleet):
+        """All backends ejected: 503 no_healthy_backends (vs all-dead 502)."""
+        with RoundRobinProxy([fleet["addresses"][0]]) as proxy:
+            proxy.remove_backend(fleet["addresses"][0])
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(proxy.base_url + "/v1/healthz",
+                                       timeout=30)
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] is not None
+            envelope = json.loads(excinfo.value.read())
+            assert envelope["error"]["code"] == "no_healthy_backends"
+
+    def test_empty_initial_rotation_needs_allow_empty(self):
+        with pytest.raises(ProxyError):
+            RoundRobinProxy([])
+        proxy = RoundRobinProxy([], allow_empty=True)
+        assert proxy.backend_addresses() == []
+
+
+class TestFailoverEdges:
+    def test_backend_dying_mid_response_synthesizes_502(self):
+        """A mid-body disconnect must never surface as a truncated body."""
+        backend = _ScriptedBackend(mode="cut")
+        try:
+            with RoundRobinProxy([backend.address],
+                                 backend_timeout_s=5.0) as proxy:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(proxy.base_url + "/v1/healthz",
+                                           timeout=30)
+                assert excinfo.value.code == 502
+                envelope = json.loads(excinfo.value.read())
+                assert envelope["error"]["code"] == "bad_gateway"
+        finally:
+            backend.close()
+
+    def test_mid_response_death_fails_over_to_live_backend(self, fleet):
+        """With a healthy peer in rotation, the cut is invisible (GET)."""
+        backend = _ScriptedBackend(mode="cut")
+        live = fleet["addresses"][0]
+        try:
+            with RoundRobinProxy([backend.address, live],
+                                 backend_timeout_s=5.0) as proxy:
+                for _ in range(4):  # rotation starts on the cutter twice
+                    with urllib.request.urlopen(
+                            proxy.base_url + "/v1/healthz",
+                            timeout=30) as response:
+                        assert response.status == 200
+                assert proxy.request_counts()[live] == 4
+        finally:
+            backend.close()
+
+    def test_stale_pooled_socket_reconnects_transparently(self):
+        """A backend restarted between keep-alive requests costs nothing."""
+        backend = _ScriptedBackend(mode="oneshot")
+        try:
+            with RoundRobinProxy([backend.address],
+                                 backend_timeout_s=5.0) as proxy:
+                host, port = proxy.address
+                connection = http.client.HTTPConnection(host, port,
+                                                        timeout=30)
+                try:
+                    for _ in range(3):
+                        connection.request("GET", "/v1/healthz")
+                        response = connection.getresponse()
+                        assert response.status == 200
+                        assert json.loads(response.read()) == {"status": "ok"}
+                finally:
+                    connection.close()
+                # Each request found the pooled socket dead and reconnected.
+                assert backend.connections == 3
+                assert proxy.request_counts()[backend.address] == 3
+        finally:
+            backend.close()
+
+    def test_post_is_never_retried_after_connection_failure(self, fleet):
+        """Non-idempotent requests surface a 502 instead of a replay."""
+        dead = f"127.0.0.1:{_free_port()}"
+        with RoundRobinProxy([dead, fleet["addresses"][0]],
+                             backend_timeout_s=2.0) as proxy:
+            body = json.dumps({"samples": fleet["data"][:1].tolist()})
+            request = urllib.request.Request(
+                f"{proxy.base_url}/v1/models/{fleet['default_id']}/score",
+                data=body.encode(),
+                headers={"Content-Type": "application/json"})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)  # rotation -> dead
+            assert excinfo.value.code == 502
+            envelope = json.loads(excinfo.value.read())
+            assert envelope["error"]["code"] == "bad_gateway"
+            assert envelope["error"]["detail"]["tried"] == [dead]
+            assert envelope["error"]["detail"]["request_sent"] is False
+
+    def test_get_retries_connect_refused_within_budget(self, fleet):
+        """Satellite: idempotent failover on connect-refused, bounded."""
+        dead = f"127.0.0.1:{_free_port()}"
+        live = fleet["addresses"][0]
+        with RoundRobinProxy([dead, live], backend_timeout_s=2.0,
+                             retry_budget=1) as proxy:
+            with urllib.request.urlopen(proxy.base_url + "/v1/healthz",
+                                        timeout=30) as response:
+                assert response.status == 200
+            assert proxy.request_counts()[live] == 1
+
+
+class TestDrainFailover:
+    @pytest.fixture()
+    def draining_server(self, fleet):
+        server = build_server(fleet["model_path"], port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        server.runtime.drain()  # answers 503 shutting_down from now on
+        host, port = server.server_address[:2]
+        yield f"{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    def test_post_advances_past_draining_backend(self, fleet,
+                                                 draining_server):
+        """503 shutting_down proves non-execution: safe to move ANY method."""
+        live = fleet["addresses"][0]
+        with RoundRobinProxy([draining_server, live]) as proxy:
+            body = json.dumps({"samples": fleet["data"][:1].tolist()})
+            request = urllib.request.Request(
+                f"{proxy.base_url}/v1/models/{fleet['default_id']}/score",
+                data=body.encode(),
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=60) as response:
+                assert response.status == 200
+            counts = proxy.request_counts()
+            assert counts[live] == 1
+            assert counts[draining_server] == 0  # drain hops are not "served"
+
+    def test_all_draining_relays_503_with_retry_after(self, draining_server):
+        with RoundRobinProxy([draining_server]) as proxy:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(proxy.base_url + "/v1/healthz",
+                                       timeout=30)
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] is not None
+            envelope = json.loads(excinfo.value.read())
+            assert envelope["error"]["code"] == "shutting_down"

@@ -518,6 +518,116 @@ class TestDraining:
             server.server_close()
             thread.join(timeout=10)
 
+    def test_drain_503_carries_retry_after(self, tmp_path):
+        rng = np.random.default_rng(10)
+        data = rng.normal(size=(12, 3))
+        detector = QuorumDetector(ensemble_groups=2, seed=3, shots=128)
+        detector.fit(data)
+        path = save_model(detector, tmp_path / "m.json")
+        server = build_server(path, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = "http://%s:%d" % server.server_address[:2]
+        try:
+            server.runtime.drain()
+            code, payload, headers = _error_of(
+                lambda: _get(base + "/v1/healthz"))
+            assert code == 503
+            assert payload["error"]["code"] == "shutting_down"
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+
+@pytest.fixture()
+def debug_server(served_model):
+    """A second server over the same artifact with debug hooks enabled."""
+    server = build_server(served_model["path"], port=0, debug_hooks=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield {"base": "http://%s:%d" % server.server_address[:2],
+           "server": server}
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+class TestDebugHooks:
+    def test_disabled_by_default(self, served_model):
+        """Without debug_hooks the route 404s like any unknown path."""
+        code, payload, _ = _error_of(
+            lambda: _get(served_model["base"] + "/v1/_debug/delay"))
+        assert code == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_delay_hook_slows_and_clears(self, debug_server):
+        base = debug_server["base"]
+        status, payload, _ = _get(base + "/v1/_debug/delay")
+        assert (status, payload) == (200, {"delay_s": 0.0})
+        status, payload, _ = _post(base + "/v1/_debug/delay",
+                                   {"delay_s": 0.3})
+        assert (status, payload) == (200, {"delay_s": 0.3})
+        started = time.monotonic()
+        status, _, _ = _get(base + "/v1/healthz")
+        elapsed = time.monotonic() - started
+        assert status == 200
+        assert elapsed >= 0.3
+        # The hook itself must stay fast so the injector can always clear it.
+        started = time.monotonic()
+        _post(base + "/v1/_debug/delay", {"delay_s": 0.0})
+        assert time.monotonic() - started < 0.3
+        started = time.monotonic()
+        _get(base + "/v1/healthz")
+        assert time.monotonic() - started < 0.3
+
+    def test_delay_validation(self, debug_server):
+        base = debug_server["base"]
+        for body in ({"delay_s": -1.0}, {"delay_s": 10_000.0},
+                     {"delay_s": "slow"}, {"wrong_key": 1.0}):
+            code, payload, _ = _error_of(
+                lambda: _post(base + "/v1/_debug/delay", body))
+            assert code == 400
+            assert payload["error"]["code"] == "bad_request"
+        status, payload, _ = _get(base + "/v1/_debug/delay")
+        assert payload == {"delay_s": 0.0}  # rejected values never stick
+
+
+class TestInFlightTracking:
+    def test_wait_idle_immediate_when_quiet(self, debug_server):
+        assert debug_server["server"].runtime.wait_idle(timeout_s=1.0)
+
+    def test_drain_completes_inflight_requests(self, debug_server):
+        """The server half of zero-dropped-drain: a request accepted before
+        drain() finishes with a real response, and wait_idle blocks until
+        it has."""
+        base = debug_server["base"]
+        runtime = debug_server["server"].runtime
+        _post(base + "/v1/_debug/delay", {"delay_s": 0.5})
+        outcome = {}
+
+        def slow_request():
+            try:
+                status, payload, _ = _get(base + "/v1/healthz")
+                outcome["status"] = status
+            except urllib.error.HTTPError as error:
+                outcome["status"] = error.code
+            except Exception as error:  # pragma: no cover - the failure mode
+                outcome["error"] = repr(error)
+
+        thread = threading.Thread(target=slow_request)
+        thread.start()
+        time.sleep(0.15)  # the request is now sleeping inside the handler
+        assert runtime.inflight >= 1
+        runtime.drain()
+        assert runtime.wait_idle(timeout_s=10.0)
+        thread.join(timeout=10.0)
+        assert outcome.get("status") == 200  # completed, not dropped
+        # New arrivals after the drain flip are refused.
+        code, _, _ = _error_of(lambda: _get(base + "/v1/healthz"))
+        assert code == 503
+
 
 def _host_port(served_model):
     host, port = served_model["base"].removeprefix("http://").rsplit(":", 1)

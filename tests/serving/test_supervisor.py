@@ -1,0 +1,354 @@
+"""FleetSupervisor state machine, driven deterministically with fakes.
+
+Every collaborator with side effects is injected: a fake spawner (no
+subprocesses), a fake prober (scripted health), a manual clock, and zero
+jitter -- so each transition of the per-replica state machine is asserted
+exactly, with `tick()` called by hand.  The chaos suite (`test_chaos.py`,
+marked `chaos`) exercises the same loop against real processes.
+"""
+
+import pytest
+
+from repro.serving.supervisor import (
+    CRASH_LOOPED,
+    EJECTED,
+    HEALTHY,
+    REPLICA_STATES,
+    STARTING,
+    STOPPED,
+    SUSPECT,
+    FleetSupervisor,
+    SupervisorPolicy,
+)
+
+
+class FakeProcess:
+    """Just enough of ReplicaProcess for the supervisor: liveness + reaping."""
+
+    def __init__(self, address, pid):
+        self._address = address
+        self._pid = pid
+        self._exit_code = None
+        self.signals = []
+        self.close_calls = []
+
+    @property
+    def address(self):
+        return self._address
+
+    @property
+    def pid(self):
+        return self._pid
+
+    def poll(self):
+        return self._exit_code
+
+    @property
+    def alive(self):
+        return self._exit_code is None
+
+    def die(self, exit_code=-9):
+        self._exit_code = exit_code
+
+    def exit_summary(self):
+        return {"exit_code": self._exit_code, "stderr_tail": "fake stderr"}
+
+    def send_signal(self, signum):
+        self.signals.append(signum)
+
+    def terminate(self):
+        self.signals.append("TERM")
+
+    def kill(self):
+        self.signals.append("KILL")
+        if self._exit_code is None:
+            self._exit_code = -9
+
+    def close(self, term_timeout_s=15.0, kill_timeout_s=10.0):
+        self.close_calls.append((term_timeout_s, kill_timeout_s))
+        if self._exit_code is None:
+            self._exit_code = 0  # graceful SIGTERM drain
+        return self._exit_code
+
+
+class Harness:
+    """A supervisor wired to fakes plus the knobs the tests poke."""
+
+    def __init__(self, replicas=2, **policy_overrides):
+        policy_kwargs = dict(
+            eject_after=2, readmit_after=2,
+            backoff_base_s=1.0, backoff_max_s=8.0, backoff_jitter=0.0,
+            crash_loop_threshold=3, crash_loop_window_s=10.0,
+            startup_grace_s=5.0, drain_timeout_s=7.0, kill_timeout_s=3.0)
+        policy_kwargs.update(policy_overrides)
+        self.now = 0.0
+        self.spawned = []
+        self.health = {}
+        self.spawn_errors = []
+
+        def spawner():
+            if self.spawn_errors:
+                raise self.spawn_errors.pop(0)
+            process = FakeProcess(f"127.0.0.1:{9000 + len(self.spawned)}",
+                                  pid=40000 + len(self.spawned))
+            self.spawned.append(process)
+            self.health[process.address] = True
+            return process
+
+        self.supervisor = FleetSupervisor(
+            replicas=replicas, policy=SupervisorPolicy(**policy_kwargs),
+            spawner=spawner,
+            prober=lambda address: self.health.get(address, False),
+            clock=lambda: self.now,
+            jitter=lambda: 0.0)
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def slot(self, index=0):
+        return self.supervisor._slots[index]
+
+    def close(self):
+        self.supervisor.close()
+
+
+@pytest.fixture()
+def harness():
+    h = Harness()
+    h.supervisor.start()
+    yield h
+    h.close()
+
+
+class TestStartupAndHealth:
+    def test_start_spawns_target_replicas(self, harness):
+        assert len(harness.spawned) == 2
+        status = harness.supervisor.status()
+        assert status["target_replicas"] == 2
+        assert [s["state"] for s in status["slots"]] == [STARTING, STARTING]
+        assert status["proxy"]["backends"] == []  # not admitted yet
+
+    def test_first_successful_probe_admits(self, harness):
+        harness.supervisor.tick()
+        status = harness.supervisor.status()
+        assert status["healthy"] == 2
+        assert sorted(status["proxy"]["backends"]) == \
+            sorted(p.address for p in harness.spawned)
+
+    def test_states_vocabulary_is_stable(self):
+        assert REPLICA_STATES == ("starting", "healthy", "suspect",
+                                  "ejected", "draining", "stopped",
+                                  "crash_looped")
+
+    def test_startup_grace_exceeded_counts_as_crash(self, harness):
+        victim = harness.spawned[0]
+        harness.health[victim.address] = False  # never becomes probeable
+        harness.supervisor.tick()
+        assert harness.slot(0).state == STARTING
+        harness.advance(6.0)  # past startup_grace_s=5
+        harness.supervisor.tick()
+        slot = harness.slot(0)
+        assert slot.state == EJECTED
+        assert "KILL" in victim.signals
+        assert slot.next_restart_at is not None
+
+
+class TestEjectReadmit:
+    def test_eject_after_consecutive_failures_then_readmit(self, harness):
+        harness.supervisor.tick()  # both healthy
+        victim = harness.spawned[0]
+        harness.health[victim.address] = False
+        harness.supervisor.tick()
+        slot = harness.slot(0)
+        assert slot.state == SUSPECT  # on notice, still in rotation
+        assert victim.address in harness.supervisor.proxy.backend_addresses()
+        harness.supervisor.tick()  # second failure -> eject_after=2
+        assert slot.state == EJECTED
+        assert victim.address not in \
+            harness.supervisor.proxy.backend_addresses()
+        # Recovery: readmit_after=2 consecutive successes required.
+        harness.health[victim.address] = True
+        harness.supervisor.tick()
+        assert slot.state == EJECTED  # one success is not enough
+        harness.supervisor.tick()
+        assert slot.state == HEALTHY
+        assert victim.address in harness.supervisor.proxy.backend_addresses()
+
+    def test_single_blip_recovers_from_suspect(self, harness):
+        harness.supervisor.tick()
+        victim = harness.spawned[1]
+        harness.health[victim.address] = False
+        harness.supervisor.tick()
+        assert harness.slot(1).state == SUSPECT
+        harness.health[victim.address] = True
+        harness.supervisor.tick()
+        assert harness.slot(1).state == HEALTHY
+        assert harness.slot(1).consecutive_failures == 0
+
+
+class TestCrashRestart:
+    def test_crash_restarts_after_backoff(self, harness):
+        harness.supervisor.tick()
+        victim = harness.spawned[0]
+        victim.die(-9)
+        harness.supervisor.tick()
+        slot = harness.slot(0)
+        assert slot.state == EJECTED
+        assert slot.process is None  # reaped
+        assert slot.last_exit["exit_code"] == -9
+        assert slot.last_exit["stderr_tail"] == "fake stderr"
+        assert victim.address not in \
+            harness.supervisor.proxy.backend_addresses()
+        assert slot.next_restart_at == pytest.approx(1.0)  # backoff base
+        harness.advance(0.5)
+        harness.supervisor.tick()
+        assert slot.process is None  # backoff not elapsed yet
+        harness.advance(0.6)
+        harness.supervisor.tick()
+        assert slot.state == STARTING
+        assert slot.restarts == 1
+        harness.supervisor.tick()
+        assert slot.state == HEALTHY
+        assert len(harness.spawned) == 3
+
+    def test_failed_respawns_back_off_exponentially(self):
+        from repro.serving.loadtest import ReplicaSpawnError
+
+        h = Harness(replicas=1, crash_loop_threshold=100)
+        h.supervisor.start()
+        try:
+            h.supervisor.tick()
+            h.spawned[0].die(1)
+            h.supervisor.tick()  # crash 1: backoff 1s
+            slot = h.slot(0)
+            delays = [slot.next_restart_at - h.now]
+            for _ in range(3):  # every respawn crashes on boot
+                h.spawn_errors.append(
+                    ReplicaSpawnError("boom", exit_code=1, stderr_tail="t"))
+                h.advance(slot.next_restart_at - h.now)
+                h.supervisor.tick()
+                delays.append(slot.next_restart_at - h.now)
+            assert delays == [pytest.approx(1.0), pytest.approx(2.0),
+                              pytest.approx(4.0), pytest.approx(8.0)]
+            assert slot.last_exit == {"exit_code": 1, "stderr_tail": "t"}
+        finally:
+            h.close()
+
+    def test_crash_loop_breaker_parks_the_slot(self, harness):
+        harness.supervisor.tick()
+        slot = harness.slot(0)
+        for _ in range(3):  # threshold=3 inside window=10s
+            if slot.process is not None:
+                slot.process.die(-11)
+            harness.supervisor.tick()  # register the death
+            if slot.state == CRASH_LOOPED:
+                break
+            harness.advance(slot.next_restart_at - harness.now)
+            harness.supervisor.tick()  # respawn
+            harness.supervisor.tick()  # promote to healthy
+        assert slot.state == CRASH_LOOPED
+        assert slot.next_restart_at is None  # parked: no restart scheduled
+        status = harness.supervisor.status()
+        info = status["slots"][0]
+        assert info["state"] == CRASH_LOOPED
+        assert "crashes within" in info["last_transition_reason"]
+        # The fleet keeps serving degraded on the surviving replica.
+        assert status["healthy"] == 1
+        # Long after the window, the breaker stays tripped until revive().
+        harness.advance(100.0)
+        harness.supervisor.tick()
+        assert slot.state == CRASH_LOOPED
+
+    def test_revive_unparks_a_crash_looped_slot(self, harness):
+        harness.supervisor.tick()
+        slot = harness.slot(0)
+        while slot.state != CRASH_LOOPED:
+            if slot.process is not None:
+                slot.process.die(-11)
+                harness.supervisor.tick()
+            else:
+                harness.advance(slot.next_restart_at - harness.now)
+                harness.supervisor.tick()
+                harness.supervisor.tick()
+        harness.supervisor.revive(0)
+        assert slot.state == STARTING
+        harness.supervisor.tick()
+        assert slot.state == HEALTHY
+        with pytest.raises(ValueError):
+            harness.supervisor.revive(0)  # only crash_looped slots
+        with pytest.raises(KeyError):
+            harness.supervisor.revive(99)
+
+
+class TestScaling:
+    def test_scale_in_drains_gracefully(self, harness):
+        harness.supervisor.tick()
+        harness.supervisor.scale_to(1)
+        status = harness.supervisor.status()
+        assert status["target_replicas"] == 1
+        states = [s["state"] for s in status["slots"]]
+        assert sorted(states) == [HEALTHY, STOPPED]
+        drained = next(p for p in harness.spawned if p.close_calls)
+        # Removed from rotation BEFORE the drain close, and the close used
+        # the drain timeout (SIGTERM + bounded wait, SIGKILL fallback).
+        assert drained.address not in \
+            harness.supervisor.proxy.backend_addresses()
+        assert drained.close_calls == [(7.0, 3.0)]
+
+    def test_scale_in_prefers_unhealthy_victims(self, harness):
+        harness.supervisor.tick()
+        victim = harness.spawned[0]
+        harness.health[victim.address] = False
+        harness.supervisor.tick()
+        harness.supervisor.tick()  # ejected now
+        harness.supervisor.scale_to(1)
+        assert harness.slot(0).state == STOPPED  # the ejected one went
+        assert harness.slot(1).state == HEALTHY
+
+    def test_scale_out_adds_slots(self, harness):
+        harness.supervisor.tick()
+        harness.supervisor.scale_to(4)
+        assert len(harness.spawned) == 4
+        harness.supervisor.tick()
+        assert harness.supervisor.healthy_count() == 4
+
+    def test_autoscale_to_target_uses_ceiling(self, harness):
+        assert harness.supervisor.autoscale_to_target(250.0, 100.0) == 3
+        assert harness.supervisor.autoscale_to_target(
+            10_000.0, 100.0, max_replicas=4) == 4
+        assert harness.supervisor.autoscale_to_target(10.0, 100.0) == 1
+        with pytest.raises(ValueError):
+            harness.supervisor.autoscale_to_target(0.0, 100.0)
+
+
+class TestLifecycleAndStatus:
+    def test_close_drains_everything(self):
+        h = Harness()
+        h.supervisor.start()
+        h.supervisor.tick()
+        exit_codes = h.supervisor.close()
+        assert exit_codes == [0, 0]
+        assert all(p.close_calls for p in h.spawned)
+
+    def test_status_is_json_serializable(self, harness):
+        import json
+
+        harness.supervisor.tick()
+        blob = json.dumps(harness.supervisor.status())
+        assert "healthy" in blob
+
+    def test_double_start_rejected(self, harness):
+        with pytest.raises(RuntimeError):
+            harness.supervisor.start()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            FleetSupervisor(spawner=lambda: None, replicas=0)
+        with pytest.raises(ValueError):
+            FleetSupervisor()  # neither model_path nor spawner
+        with pytest.raises(ValueError):
+            SupervisorPolicy(eject_after=0)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(backoff_base_s=5.0, backoff_max_s=1.0)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(backoff_jitter=2.0)

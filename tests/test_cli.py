@@ -462,3 +462,95 @@ class TestLoadtestCommand:
         report = json_module.loads(report_path.read_text())
         assert report["runs"][0]["requests"] > 0
         assert report["replica_exits"]["clean"] is True
+
+
+class TestFleetCommand:
+    """The fleet verb drives a (stubbed) FleetSupervisor end to end."""
+
+    class _StubSupervisor:
+        instances = []
+
+        def __init__(self, model, replicas, **kwargs):
+            self.model = model
+            self.target_replicas = replicas
+            self.kwargs = kwargs
+            self.started = False
+            self.loop_started = False
+            self.closed = False
+            self.autoscaled = None
+            self.alive = True
+            type(self).instances.append(self)
+
+        class _Proxy:
+            address = ("127.0.0.1", 4242)
+
+        proxy = _Proxy()
+
+        def start(self):
+            self.started = True
+
+        def start_health_loop(self):
+            self.loop_started = True
+
+        def autoscale_to_target(self, target_rps, per_replica_rps):
+            self.autoscaled = (target_rps, per_replica_rps)
+            self.target_replicas = 3
+            return 3
+
+        def status(self):
+            return {"slots": [{"alive": self.alive,
+                               "last_transition_reason": "boom"}]}
+
+        def close(self):
+            self.closed = True
+            return [0]
+
+    @pytest.fixture()
+    def stub(self, monkeypatch):
+        import repro.serving.supervisor as supervisor_module
+
+        self._StubSupervisor.instances = []
+        monkeypatch.setattr(supervisor_module, "FleetSupervisor",
+                            self._StubSupervisor)
+        # The status loop's first sleep ends the (stubbed) serve loop.
+        monkeypatch.setattr("time.sleep",
+                            lambda seconds: (_ for _ in ()).throw(
+                                KeyboardInterrupt()))
+        return self._StubSupervisor
+
+    def test_happy_path_serves_and_closes(self, stub, capsys):
+        assert main(["fleet", "--model", "m.json", "--replicas", "3"]) == 0
+        (supervisor,) = stub.instances
+        assert supervisor.started and supervisor.loop_started
+        assert supervisor.closed
+        out = capsys.readouterr().out
+        assert "fleet serving m.json with 3 replicas" in out
+        assert "http://127.0.0.1:4242" in out
+
+    def test_autoscale_flags_reach_the_supervisor(self, stub, capsys):
+        assert main(["fleet", "--model", "m.json", "--target-rps", "100",
+                     "--per-replica-rps", "40"]) == 0
+        (supervisor,) = stub.instances
+        assert supervisor.autoscaled == (100.0, 40.0)
+        assert "autoscaled to 3 replicas" in capsys.readouterr().out
+
+    def test_no_replica_up_fails_fast(self, stub, capsys, monkeypatch):
+        # Every slot reports dead once start() returns (bad model path).
+        monkeypatch.setattr(
+            stub, "start", lambda self: setattr(self, "alive", False))
+        assert main(["fleet", "--model", "missing.json"]) == 2
+        (supervisor,) = stub.instances
+        assert supervisor.closed  # still cleaned up on the failure path
+        err = capsys.readouterr().err
+        assert "no replica came up" in err
+        assert "boom" in err
+
+    def test_mismatched_autoscale_flags_rejected(self, capsys):
+        assert main(["fleet", "--model", "m.json",
+                     "--target-rps", "100"]) == 2
+        assert "--per-replica-rps" in capsys.readouterr().err
+
+    def test_invalid_policy_flags_rejected(self, capsys):
+        assert main(["fleet", "--model", "m.json",
+                     "--eject-after", "0"]) == 2
+        assert "cannot configure fleet" in capsys.readouterr().err

@@ -14,7 +14,10 @@ and then misbehaves on purpose:
    converge back to 3 healthy replicas;
 4. re-scores and asserts **bitwise** parity -- replica churn must never
    change what the model computes;
-5. drains the fleet and asserts every surviving replica exited 0.
+5. replays the supervisor's flight recorder and asserts the whole incident
+   is there for slot 0, in order: eject after the SIGKILL, respawn, and the
+   transition back to healthy;
+6. drains the fleet and asserts every surviving replica exited 0.
 
 CI runs this script as the chaos smoke test, so it fails loudly (non-zero
 exit) on any supervisor, proxy-failover, or drain regression.
@@ -136,6 +139,31 @@ def main() -> int:
                 f"success rate {rate:.2%} ({errors}/{total} failed)"
             print(f"idempotent load during the crash: {ok}/{total} OK "
                   f"({rate:.2%})")
+
+            # The flight recorder replays the incident: slot 0 was ejected
+            # after the SIGKILL, respawned, and probed back to healthy --
+            # as ordered events, correlated by slot id.
+            slot_events = [event for event in supervisor.events()
+                           if event.get("slot") == 0]
+            kinds = [(event["kind"], event.get("to_state"))
+                     for event in slot_events]
+            eject_at = kinds.index(("transition", "ejected"))
+            spawn_at = next(i for i, event in enumerate(slot_events)
+                            if i > eject_at and event["kind"] == "spawn"
+                            and event["pid"] == recovered["pid"])
+            heal_at = kinds.index(("transition", "healthy"), spawn_at)
+            seqs = [slot_events[i]["seq"]
+                    for i in (eject_at, spawn_at, heal_at)]
+            assert seqs == sorted(seqs), slot_events
+            print(f"flight recorder: eject (seq {seqs[0]}) -> respawn "
+                  f"(seq {seqs[1]}, pid {recovered['pid']}) -> healthy "
+                  f"(seq {seqs[2]}) for slot 0")
+
+            # Live telemetry made it into the status document too: the
+            # pounded fleet shows per-replica request rates and latency.
+            backend_stats = supervisor.status()["proxy"]["backend_stats"]
+            assert any(stats["requests"] > 0 and stats["p95_ms"] is not None
+                       for stats in backend_stats.values()), backend_stats
         finally:
             stop.set()
             exit_codes = supervisor.close()

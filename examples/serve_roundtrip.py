@@ -16,7 +16,10 @@ port, and drives the HTTP API with nothing but the standard library:
 5. ``GET /v1/healthz`` + ``POST /v1/models/{id}/score`` -- the versioned API
    serves the same model under its registry id,
 6. ``POST /v1/jobs`` (``replay_dataset``) -- submit, poll, and fetch an async
-   replay job whose result is again bitwise identical to the fit.
+   replay job whose result is again bitwise identical to the fit,
+7. ``GET /v1/metrics`` -- the telemetry scrape (JSON and Prometheus text)
+   shows non-zero request counters and per-stage latency histograms for all
+   of the traffic above.
 
 CI runs this script as the serving smoke test, so it fails loudly (non-zero
 exit) on any schema or lifecycle regression.
@@ -134,6 +137,27 @@ def main() -> None:
             "async replay job diverged from the in-process fit")
         print(f"POST /v1/jobs replay_dataset -> job {job_id[:8]}... "
               f"succeeded, bitwise identical to fit")
+        assert job["queued_s"] is not None and job["run_s"] is not None, job
+
+        # 6. Telemetry: everything above left its mark on /v1/metrics.
+        metrics = _get_json(base_url + "/v1/metrics")
+        requests_total = sum(
+            entry["value"]
+            for entry in metrics["counters"]["http_requests_total"])
+        assert requests_total > 0, metrics["counters"]
+        scoring = metrics["histograms"]["scoring_engine_seconds"]
+        queue_wait = metrics["histograms"]["scoring_queue_wait_seconds"]
+        assert scoring["count"] > 0 and queue_wait["count"] > 0, (
+            metrics["histograms"])
+        assert metrics["counters"]["jobs_finished_total"], metrics["counters"]
+        prometheus = urllib.request.urlopen(
+            base_url + "/v1/metrics?format=prometheus", timeout=30).read()
+        assert b"# TYPE http_requests_total counter" in prometheus
+        assert b"http_request_seconds_bucket{le=" in prometheus
+        print(f"GET /v1/metrics -> {int(requests_total)} requests counted, "
+              f"{scoring['count']} engine spans "
+              f"(p95 {scoring['p95'] * 1e3:.1f} ms), "
+              f"Prometheus exposition OK")
     finally:
         # 4. Shut down cleanly: SIGTERM closes the socket and the scorer.
         server.terminate()

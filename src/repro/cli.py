@@ -205,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="print a machine-readable JSON status line this "
                             "often (0 disables)")
+    fleet.add_argument("--events", type=str, default=None, metavar="PATH",
+                       help="append every flight-recorder event (spawns, "
+                            "ejects, restarts, drains, crash-loop trips) to "
+                            "this JSONL file as it happens; '-' streams "
+                            "them to stderr on exit only")
     fleet.add_argument("--debug-hooks", action="store_true",
                        help="start replicas with /v1/_debug fault-injection "
                             "hooks enabled (chaos testing only)")
@@ -629,6 +634,7 @@ def _command_fleet(args: argparse.Namespace) -> int:
     import time
 
     from repro.serving.supervisor import FleetSupervisor, SupervisorPolicy
+    from repro.serving.telemetry import FlightRecorder
 
     def _terminate(signum, frame):  # noqa: ARG001 - signal API
         raise KeyboardInterrupt
@@ -638,6 +644,15 @@ def _command_fleet(args: argparse.Namespace) -> int:
         print("--target-rps and --per-replica-rps go together",
               file=sys.stderr)
         return 2
+
+    def _dump_events(supervisor) -> None:
+        """Stream the flight-recorder ring to stderr (abnormal exit)."""
+        recorder = getattr(supervisor, "recorder", None)
+        if recorder is None:  # tests stub the supervisor without one
+            return
+        dumped = recorder.dump(sys.stderr)
+        print(f"flight recorder: {dumped} event(s) above", file=sys.stderr)
+
     try:
         policy = SupervisorPolicy(
             health_interval_s=args.health_interval,
@@ -648,14 +663,20 @@ def _command_fleet(args: argparse.Namespace) -> int:
             backoff_max_s=args.backoff_max,
             crash_loop_threshold=args.crash_loop_threshold,
             crash_loop_window_s=args.crash_loop_window)
+        recorder = None
+        if args.events and args.events != "-":
+            recorder = FlightRecorder(capacity=2048, sink=args.events)
         supervisor = FleetSupervisor(
             args.model, replicas=args.replicas, policy=policy,
             proxy_host=args.host, proxy_port=args.port,
             batch_window_ms=args.batch_window_ms,
             max_batch_samples=args.max_batch_samples,
-            debug_hooks=args.debug_hooks)
+            debug_hooks=args.debug_hooks, recorder=recorder)
     except ValueError as error:
         print(f"cannot configure fleet: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"cannot open --events sink: {error}", file=sys.stderr)
         return 2
     try:
         try:
@@ -671,6 +692,7 @@ def _command_fleet(args: argparse.Namespace) -> int:
                        for slot in status["slots"]}
             print("cannot start fleet: no replica came up: "
                   + "; ".join(sorted(reasons)), file=sys.stderr)
+            _dump_events(supervisor)
             return 2
         if args.target_rps is not None:
             chosen = supervisor.autoscale_to_target(args.target_rps,
@@ -695,6 +717,10 @@ def _command_fleet(args: argparse.Namespace) -> int:
         if dirty:
             print(f"warning: replica(s) exited non-zero on shutdown: "
                   f"{dirty}", file=sys.stderr)
+        if args.events == "-" or dirty:
+            # --events '-' asked for the ring on exit; a dirty shutdown
+            # gets it regardless (the events are the post-mortem).
+            _dump_events(supervisor)
     return 0
 
 

@@ -40,6 +40,10 @@ is the score-many half:
   :class:`ChaosGate`: process signals, connection-refused and mid-response
   network faults, and the server's delay hook -- the chaos-suite toolkit
   that proves the supervisor's recovery paths.
+* :mod:`repro.serving.telemetry` -- :class:`MetricsRegistry` (thread-safe
+  counters/gauges/histograms behind ``GET /v1/metrics``, JSON + Prometheus),
+  request tracing (``X-Request-Id`` / ``X-Timing``), and the supervisor's
+  :class:`FlightRecorder` event ring.
 """
 
 from repro.serving.artifact import (
@@ -95,6 +99,16 @@ from repro.serving.supervisor import (
     ReplicaSlot,
     SupervisorPolicy,
 )
+from repro.serving.telemetry import (
+    WELL_KNOWN_METRICS,
+    Counter,
+    FlightRecorder,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    new_request_id,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -147,4 +161,12 @@ __all__ = [
     "SupervisorPolicy",
     "ChaosGate",
     "FaultInjector",
+    "WELL_KNOWN_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "FlightRecorder",
+    "default_registry",
+    "new_request_id",
 ]

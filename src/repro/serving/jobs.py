@@ -45,6 +45,7 @@ from repro.serving.models import (
 )
 from repro.serving.registry import ModelRegistry
 from repro.serving.scorer import SCORING_MODES
+from repro.serving.telemetry import MetricsRegistry, default_registry
 
 __all__ = ["Job", "JobManager"]
 
@@ -79,11 +80,28 @@ class Job:
     cancel_event: threading.Event = field(default_factory=threading.Event)
     future: Optional[object] = None  # concurrent.futures.Future
 
+    @property
+    def queued_s(self) -> Optional[float]:
+        """Submit-to-start wait (to finish, for jobs cancelled unstarted)."""
+        reference = self.started_at if self.started_at is not None \
+            else self.finished_at
+        if reference is None:
+            return None
+        return max(0.0, reference - self.created_at)
+
+    @property
+    def run_s(self) -> Optional[float]:
+        """Start-to-finish execution time (None until both are known)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return max(0.0, self.finished_at - self.started_at)
+
     def info(self) -> JobInfo:
         return JobInfo(job_id=self.job_id, kind=self.kind, status=self.status,
                        model_id=self.model_id, created_at=self.created_at,
                        started_at=self.started_at,
-                       finished_at=self.finished_at, error=self.error)
+                       finished_at=self.finished_at, error=self.error,
+                       queued_s=self.queued_s, run_s=self.run_s)
 
 
 class JobManager:
@@ -100,11 +118,15 @@ class JobManager:
     clock:
         Injectable time source; tests advance a fake clock to exercise TTL
         expiry without sleeping.
+    metrics:
+        Telemetry registry for job duration histograms and outcome counters;
+        defaults to the process-global registry.
     """
 
     def __init__(self, registry: ModelRegistry, workers: int = 2,
                  ttl_s: float = 900.0,
-                 clock: Callable[[], float] = time.time) -> None:
+                 clock: Callable[[], float] = time.time,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be positive")
         if ttl_s <= 0:
@@ -118,6 +140,13 @@ class JobManager:
         self._pool = ThreadPoolExecutor(max_workers=self.workers,
                                         thread_name_prefix="quorum-job")
         self._closed = False
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_finished = self.metrics.counter(
+            "jobs_finished_total", "jobs reaching a terminal status")
+        self._h_queue_wait = self.metrics.histogram(
+            "job_queue_wait_seconds", "submit-to-start wait on the job pool")
+        self._h_run = self.metrics.histogram(
+            "job_run_seconds", "job execution time (start to finish)")
 
     # ------------------------------------------------------------- submission
     def submit(self, request: JobSubmitRequest) -> Job:
@@ -281,6 +310,13 @@ class JobManager:
     def _finish_locked(self, job: Job, status: str) -> None:
         job.status = status
         job.finished_at = self._clock()
+        self._m_finished.inc(status=status)
+        queued_s = job.queued_s
+        if queued_s is not None:
+            self._h_queue_wait.observe(queued_s)
+        run_s = job.run_s
+        if run_s is not None:
+            self._h_run.observe(run_s)
 
     # ----------------------------------------------------------------- access
     def get(self, job_id: str) -> Job:

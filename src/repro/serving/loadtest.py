@@ -567,6 +567,71 @@ def _fetch_json(url: str, timeout_s: float = 30.0) -> dict:
         return json.load(response)
 
 
+#: The server-side stage histograms the loadtest scrapes per replica (from
+#: ``/v1/metrics``) to split observed latency into batching delay vs engine
+#: saturation.
+_STAGE_METRICS = (("queue_wait", "scoring_queue_wait_seconds"),
+                  ("engine", "scoring_engine_seconds"))
+
+
+def _scrape_stage_totals(addresses: Sequence[Tuple[str, int]]
+                         ) -> Dict[str, Optional[Dict[str, float]]]:
+    """Per-replica ``sum``/``count`` of the stage histograms right now.
+
+    ``{"host:port": {queue_wait_sum, queue_wait_count, engine_sum,
+    engine_count}}``; a replica whose scrape fails maps to ``None`` (the
+    split is then computed over the replicas that did answer).
+    """
+    totals: Dict[str, Optional[Dict[str, float]]] = {}
+    for host, port in addresses:
+        address = f"{host}:{port}"
+        try:
+            snapshot = _fetch_json(f"http://{host}:{port}/v1/metrics")
+        except (OSError, ValueError):
+            totals[address] = None
+            continue
+        histograms = snapshot.get("histograms", {})
+        entry: Dict[str, float] = {}
+        for key, name in _STAGE_METRICS:
+            histogram = histograms.get(name) or {}
+            entry[f"{key}_sum"] = float(histogram.get("sum") or 0.0)
+            entry[f"{key}_count"] = float(histogram.get("count") or 0)
+        totals[address] = entry
+    return totals
+
+
+def _server_side_split(before: Dict[str, Optional[Dict[str, float]]],
+                       after: Dict[str, Optional[Dict[str, float]]]
+                       ) -> Dict[str, object]:
+    """Aggregate stage-histogram deltas into the queue-vs-compute split.
+
+    ``queue_wait_share`` near 1 means requests spend the run waiting on the
+    micro-batcher (batching delay: widen the window or grow the fleet);
+    near 0 means the engine itself is the bottleneck (compute saturation).
+    """
+    deltas = {f"{key}_{field}": 0.0
+              for key, _ in _STAGE_METRICS for field in ("sum", "count")}
+    for address, end in after.items():
+        start = before.get(address)
+        if end is None or start is None:
+            continue
+        for field in deltas:
+            deltas[field] += max(0.0, end[field] - start[field])
+    queue_sum, engine_sum = deltas["queue_wait_sum"], deltas["engine_sum"]
+    busy = queue_sum + engine_sum
+    return {
+        "scored_requests": int(deltas["queue_wait_count"]),
+        "queue_wait_ms_mean": (
+            round(queue_sum / deltas["queue_wait_count"] * 1e3, 4)
+            if deltas["queue_wait_count"] else None),
+        "engine_ms_mean": (
+            round(engine_sum / deltas["engine_count"] * 1e3, 4)
+            if deltas["engine_count"] else None),
+        "queue_wait_share": (round(queue_sum / busy, 4) if busy > 0
+                             else None),
+    }
+
+
 def run_loadtest(model_path: Union[str, Path], *,
                  replicas: int = 1,
                  concurrencies: Sequence[int] = (8,),
@@ -638,17 +703,25 @@ def run_loadtest(model_path: Union[str, Path], *,
                                   f"/score")
                     for concurrency in concurrencies:
                         before = proxy.request_counts()
+                        stage_before = _scrape_stage_totals(fleet.addresses)
                         result = run_closed_loop(
                             proxy.base_url, score_path, body,
                             concurrency=concurrency, duration_s=duration_s,
                             warmup_s=warmup_s, timeout_s=request_timeout_s)
                         after = proxy.request_counts()
+                        stage_after = _scrape_stage_totals(fleet.addresses)
                         result.update({
                             "replicas": count,
                             "batch_window_ms": window,
                             "per_replica_requests": {
                                 address: after[address] - before[address]
                                 for address in after},
+                            # Server-side queue-wait vs compute split over
+                            # the run (scraped from each replica's
+                            # /v1/metrics), so knee detection can tell
+                            # batching delay from engine saturation.
+                            "server_side": _server_side_split(stage_before,
+                                                              stage_after),
                         })
                         runs.append(result)
             finally:

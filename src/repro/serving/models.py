@@ -356,6 +356,10 @@ class JobInfo:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     error: Optional[Dict[str, object]] = None
+    #: Submit-to-start wait and start-to-finish run time in seconds (None
+    #: until the corresponding lifecycle edge has happened).
+    queued_s: Optional[float] = None
+    run_s: Optional[float] = None
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -367,6 +371,8 @@ class JobInfo:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "error": self.error,
+            "queued_s": self.queued_s,
+            "run_s": self.run_s,
         }
 
     @classmethod
@@ -379,7 +385,9 @@ class JobInfo:
                    created_at=float(payload["created_at"]),
                    started_at=payload.get("started_at"),
                    finished_at=payload.get("finished_at"),
-                   error=payload.get("error"))
+                   error=payload.get("error"),
+                   queued_s=payload.get("queued_s"),
+                   run_s=payload.get("run_s"))
 
 
 @dataclass

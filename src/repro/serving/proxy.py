@@ -17,7 +17,14 @@ coordination between processes.
   removed backend's pooled connections are closed; requests already in
   flight to it complete normally;
 * per-backend **request counters** (the loadtest harness reads them to report
-  per-replica distribution; counters survive removal so history is stable);
+  per-replica distribution; counters survive removal so history is stable)
+  plus windowed per-backend **latency/error stats** (:meth:`backend_stats`:
+  live RPS, p50/p95 -- what the fleet supervisor surfaces in its status JSON
+  and what live autoscaling will consume);
+* **request tracing** -- a request arriving without an ``X-Request-Id``
+  header gets one minted before forwarding, so every hop of a trace shares
+  one id; a client that sent ``X-Timing`` also gets an ``X-Proxy-Timing``
+  response header with the proxy's own elapsed span;
 * **health checks** via ``HEAD /v1/healthz`` (what real load balancers send;
   the server grew ``do_HEAD`` support for exactly this) -- both over the
   current membership (:meth:`check_backends`) and against an arbitrary
@@ -61,7 +68,11 @@ from __future__ import annotations
 import json
 import socket
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.serving.telemetry import new_request_id, percentile
 
 __all__ = ["RoundRobinProxy", "ProxyError"]
 
@@ -90,6 +101,14 @@ _NO_BACKENDS_CODE = "no_healthy_backends"
 #: Marker of a drain response body; the server's envelope always carries the
 #: stable code, so a substring check avoids parsing JSON on the hot path.
 _DRAINING_MARKER = b'"shutting_down"'
+
+#: Default sliding window :meth:`RoundRobinProxy.backend_stats` evaluates
+#: RPS and latency percentiles over.
+STATS_WINDOW_S = 60.0
+
+#: Completion timestamps/latencies retained per backend for the stats
+#: window (bounds memory; at fleet throughputs this covers the window).
+_LATENCY_KEEP = 4096
 
 
 class ProxyError(RuntimeError):
@@ -217,6 +236,11 @@ class RoundRobinProxy:
         if len(seen) != len(self._backends):
             raise ProxyError("duplicate backend addresses in the initial list")
         self._counts: Dict[str, int] = {address: 0 for address in seen}
+        self._errors: Dict[str, int] = {}
+        # Per-backend (completion monotonic time, latency s) samples backing
+        # backend_stats(); bounded so a long-lived proxy cannot grow.
+        self._latencies: Dict[str, Deque[Tuple[float, float]]] = {}
+        self._started_mono = time.monotonic()
         self._listen_host = host
         self._listen_port = port
         self._backend_timeout_s = float(backend_timeout_s)
@@ -322,6 +346,42 @@ class RoundRobinProxy:
         with self._lock:
             return dict(self._counts)
 
+    def backend_stats(self, window_s: float = STATS_WINDOW_S
+                      ) -> Dict[str, Dict[str, object]]:
+        """Per-backend live stats over a sliding window.
+
+        ``{"host:port": {requests, errors, window_s, rps, p50_ms, p95_ms}}``
+        -- ``requests``/``errors`` are all-time monotonic totals;
+        ``rps``/``p50_ms``/``p95_ms`` cover only successfully completed
+        requests inside the last ``window_s`` seconds (None when that window
+        is empty).  This is the proxy-side view the fleet supervisor merges
+        into its status JSON.
+        """
+        now = time.monotonic()
+        with self._lock:
+            counts = dict(self._counts)
+            errors = dict(self._errors)
+            recents = {address: [latency for (done, latency) in samples
+                                 if now - done <= window_s]
+                       for address, samples in self._latencies.items()}
+        # A proxy younger than the window has observed less than window_s of
+        # traffic; dividing by the full window would understate RPS.
+        effective_s = max(min(window_s, now - self._started_mono), 1e-9)
+        stats: Dict[str, Dict[str, object]] = {}
+        for address in counts:
+            recent = sorted(recents.get(address, []))
+            stats[address] = {
+                "requests": counts[address],
+                "errors": errors.get(address, 0),
+                "window_s": window_s,
+                "rps": round(len(recent) / effective_s, 3),
+                "p50_ms": (round(percentile(recent, 50.0) * 1e3, 3)
+                           if recent else None),
+                "p95_ms": (round(percentile(recent, 95.0) * 1e3, 3)
+                           if recent else None),
+            }
+        return stats
+
     def backend_addresses(self) -> List[str]:
         with self._lock:
             return [backend.address for backend in self._backends]
@@ -380,6 +440,18 @@ class RoundRobinProxy:
         with self._lock:
             self._counts[address] = self._counts.get(address, 0) + 1
 
+    def _record_latency(self, address: str, latency_s: float) -> None:
+        with self._lock:
+            samples = self._latencies.get(address)
+            if samples is None:
+                samples = self._latencies[address] = deque(
+                    maxlen=_LATENCY_KEEP)
+            samples.append((time.monotonic(), latency_s))
+
+    def _record_error(self, address: str) -> None:
+        with self._lock:
+            self._errors[address] = self._errors.get(address, 0) + 1
+
     def _serve_client(self, client: socket.socket) -> None:
         client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         reader = _SocketReader(client)
@@ -397,12 +469,21 @@ class RoundRobinProxy:
                     return
                 request_line, headers = _parse_head(head)
                 method = request_line.split(" ", 1)[0].upper()
+                # Every request leaves the proxy with an X-Request-Id: a
+                # client-supplied one is forwarded untouched, otherwise one
+                # is minted here so the replica's logs/metrics and the
+                # response all share a trace id.
+                if "x-request-id" not in headers:
+                    head = (head[:-2]
+                            + f"X-Request-Id: {new_request_id()}\r\n\r\n"
+                            .encode("latin-1"))
                 try:
                     length = _content_length(headers) or 0
                     body = reader.read_exact(length) if length else b""
                 except (ConnectionError, OSError):
                     return  # client died mid-body; nothing to answer
-                keep_alive = self._forward(client, pool, method, head, body)
+                keep_alive = self._forward(client, pool, method, head, body,
+                                           headers)
                 client_closing = (headers.get("connection", "").lower()
                                   == "close"
                                   or request_line.endswith("HTTP/1.0"))
@@ -429,8 +510,10 @@ class RoundRobinProxy:
                 pass
 
     def _forward(self, client: socket.socket, pool: _Pool,
-                 method: str, head: bytes, body: bytes) -> bool:
+                 method: str, head: bytes, body: bytes,
+                 request_headers: Optional[Dict[str, str]] = None) -> bool:
         """Proxy one request; returns False when the client pair must close."""
+        forward_start = time.monotonic()
         with self._lock:
             snapshot = list(self._backends)
         members = {backend.address for backend in snapshot}
@@ -452,10 +535,17 @@ class RoundRobinProxy:
         for offset in range(attempts):
             backend = snapshot[(start + offset) % len(snapshot)]
             tried.append(backend.address)
+            attempt_start = time.monotonic()
             outcome, payload = self._attempt(pool, backend, method, head,
                                              body)
             if outcome == "ok":
                 self._count(backend.address)
+                self._record_latency(backend.address,
+                                     time.monotonic() - attempt_start)
+                if request_headers is not None \
+                        and "x-timing" in request_headers:
+                    payload = self._inject_proxy_timing(
+                        payload, time.monotonic() - forward_start)
                 return self._reply(client, payload)
             if outcome == "draining":
                 # A 503 shutting_down proves the backend did NOT execute the
@@ -466,6 +556,7 @@ class RoundRobinProxy:
             # Connection-level failure.  Idempotent requests keep walking the
             # rotation; anything else must not be replayed (the backend may
             # have executed it) and surfaces as a synthesized 502.
+            self._record_error(backend.address)
             if not idempotent:
                 return self._send_synthesized(
                     client, method, 502, _BAD_GATEWAY_CODE,
@@ -546,6 +637,24 @@ class RoundRobinProxy:
         reusable = (headers.get("connection", "").lower() != "close"
                     and not status_line.startswith("HTTP/1.0"))
         return head + payload, code, reusable
+
+    @staticmethod
+    def _inject_proxy_timing(response: bytes, elapsed_s: float) -> bytes:
+        """Add ``X-Proxy-Timing`` to a relayed response head.
+
+        The span covers the proxy's whole handling of the request (rotation
+        pick, backend round-trip, retries); subtracting the server's
+        ``X-Timing`` total gives the proxy + network overhead.  Safe to
+        splice: headers sit above the blank line, so ``Content-Length``
+        still frames the body exactly.
+        """
+        boundary = response.find(b"\r\n\r\n")
+        if boundary < 0:  # unframed stream-to-EOF relay; leave untouched
+            return response
+        header = (f"X-Proxy-Timing: proxy={elapsed_s * 1e3:.3f}\r\n"
+                  .encode("latin-1"))
+        return (response[:boundary + 2] + header
+                + response[boundary + 2:])
 
     @staticmethod
     def _reply(client: socket.socket, response: bytes) -> bool:

@@ -65,6 +65,7 @@ from repro.core.scoring import (BucketStatistics, bucket_deviations,
                                 reference_deviations)
 from repro.quantum.compiler import CircuitCompiler, default_compiler
 from repro.serving.artifact import MemberArtifact, ModelArtifact
+from repro.serving.telemetry import MetricsRegistry, default_registry
 
 __all__ = ["ScoreResult", "OnlineScorer", "SCORING_MODES"]
 
@@ -90,12 +91,19 @@ class ScoreResult:
         Scoring mode that produced the result.
     num_samples:
         Number of scored samples.
+    timings:
+        Per-stage wall-clock spans in seconds (``queue_wait``,
+        ``batch_assembly``, ``engine_compute``, ``shot_noise``) where the
+        execution path measured them; the HTTP layer renders these into the
+        opt-in ``X-Timing`` response header.  Batch-level stages carry the
+        whole batch's duration for every coalesced request in it.
     """
 
     scores: np.ndarray
     num_runs: int
     mode: str
     num_samples: int
+    timings: Optional[Dict[str, float]] = None
 
 
 @dataclass
@@ -119,12 +127,13 @@ class _Member:
 class _Request:
     """One queued scoring request (normalized rows + completion future)."""
 
-    __slots__ = ("normalized", "mode", "future")
+    __slots__ = ("normalized", "mode", "future", "enqueued_at")
 
     def __init__(self, normalized: np.ndarray, mode: str) -> None:
         self.normalized = normalized
         self.mode = mode
         self.future: "Future[ScoreResult]" = Future()
+        self.enqueued_at = time.perf_counter()
 
 
 class OnlineScorer:
@@ -150,6 +159,10 @@ class OnlineScorer:
         requests to arrive before executing the batch.  A couple of
         milliseconds is enough to coalesce a concurrent burst without adding
         visible latency to a lone request.
+    metrics:
+        Telemetry registry the stage-latency histograms and serving counters
+        land in; defaults to the process-global registry (what
+        ``GET /v1/metrics`` serves).  Tests inject private instances.
     """
 
     def __init__(self, artifact: ModelArtifact,
@@ -158,7 +171,8 @@ class OnlineScorer:
                  fused_members: Optional[bool] = None,
                  compiler: Optional[CircuitCompiler] = None,
                  max_batch_samples: int = 512,
-                 batch_window_s: float = 0.002) -> None:
+                 batch_window_s: float = 0.002,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if max_batch_samples < 1:
             raise ValueError("max_batch_samples must be positive")
         if batch_window_s < 0:
@@ -230,6 +244,25 @@ class OnlineScorer:
         # Histogram {group size -> stacked dispatches of that size}; stays
         # empty unless cross-member fusion is active.
         self._members_per_dispatch: Dict[int, int] = {}
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_requests = self.metrics.counter(
+            "scoring_requests_total", "scoring requests completed")
+        self._m_samples = self.metrics.counter(
+            "scoring_samples_total", "samples scored")
+        self._m_batches = self.metrics.counter(
+            "scoring_batches_total", "micro-batches executed")
+        self._h_queue_wait = self.metrics.histogram(
+            "scoring_queue_wait_seconds",
+            "submit-to-batch-start wait in the micro-batch queue")
+        self._h_assembly = self.metrics.histogram(
+            "scoring_batch_assembly_seconds",
+            "stacking coalesced requests into one fused batch")
+        self._h_engine = self.metrics.histogram(
+            "scoring_engine_seconds",
+            "exact probability sweep (the engine compute)")
+        self._h_shot_noise = self.metrics.histogram(
+            "scoring_shot_noise_seconds",
+            "per-member shot-noise draws + deviation scoring")
 
     # ------------------------------------------------------------ engine setup
     def _build_engine(self, shots: Optional[int],
@@ -312,6 +345,7 @@ class OnlineScorer:
         """
         num_samples = member_p1[0].shape[1]
         self._check_replay_size(num_samples, mode)
+        finalize_start = time.perf_counter()
         total = np.zeros(num_samples)
         runs = 0
         for index, (member, p1_sweep) in enumerate(zip(self._members,
@@ -335,13 +369,36 @@ class OnlineScorer:
                         live=reference.live)
                 runs += 1
             total += member_total
+        shot_noise_s = time.perf_counter() - finalize_start
+        self._h_shot_noise.observe(shot_noise_s)
         return ScoreResult(scores=total, num_runs=runs, mode=mode,
-                           num_samples=num_samples)
+                           num_samples=num_samples,
+                           timings={"shot_noise": shot_noise_s})
+
+    @staticmethod
+    def _merge_timings(result: ScoreResult,
+                       extra: Dict[str, float]) -> ScoreResult:
+        merged = dict(extra)
+        merged.update(result.timings or {})
+        result.timings = merged
+        return result
+
+    def _count_request(self, result: ScoreResult) -> None:
+        with self._lock:
+            self._stats["requests"] += 1
+            self._stats["samples"] += result.num_samples
+        self._m_requests.inc()
+        self._m_samples.inc(result.num_samples)
 
     def _score_rows(self, normalized: np.ndarray, mode: str) -> ScoreResult:
+        engine_start = time.perf_counter()
         if self._fusable:
-            result = self._finalize(self._exact_member_p1(normalized), mode,
-                                    shot_noise=True)
+            member_p1 = self._exact_member_p1(normalized)
+            engine_s = time.perf_counter() - engine_start
+            self._h_engine.observe(engine_s)
+            result = self._merge_timings(
+                self._finalize(member_p1, mode, shot_noise=True),
+                {"engine_compute": engine_s})
         else:
             # Shot-based engine: randomness is consumed during evolution, so
             # each member runs with its own freshly restored RNG per request.
@@ -352,10 +409,12 @@ class OnlineScorer:
                 member_p1.append(engine.p1_levels_batch(
                     self._member_amplitudes(member, normalized),
                     member.ansatz, self.levels))
-            result = self._finalize(member_p1, mode, shot_noise=False)
-        with self._lock:
-            self._stats["requests"] += 1
-            self._stats["samples"] += result.num_samples
+            engine_s = time.perf_counter() - engine_start
+            self._h_engine.observe(engine_s)
+            result = self._merge_timings(
+                self._finalize(member_p1, mode, shot_noise=False),
+                {"engine_compute": engine_s})
+        self._count_request(result)
         return result
 
     def score(self, features: Union[np.ndarray, Sequence],
@@ -416,9 +475,7 @@ class OnlineScorer:
                     self._member_amplitudes(member, normalized),
                     member.ansatz, self.levels))
             result = self._finalize(member_p1, mode, shot_noise=False)
-        with self._lock:
-            self._stats["requests"] += 1
-            self._stats["samples"] += result.num_samples
+        self._count_request(result)
         return result
 
     # ----------------------------------------------------------- micro-batching
@@ -494,18 +551,32 @@ class OnlineScorer:
                  if not request.future.cancelled()]
         if not batch:
             return
+        batch_start = time.perf_counter()
+        queue_waits = {id(request): batch_start - request.enqueued_at
+                      for request in batch}
+        for wait_s in queue_waits.values():
+            self._h_queue_wait.observe(wait_s)
         with self._lock:
             self._stats["batches"] += 1
             self._stats["coalesced_requests"] += len(batch)
+        self._m_batches.inc()
         if not self._fusable or len(batch) == 1:
             for request in batch:
-                self._resolve(request,
-                              lambda req=request: self._score_rows(
-                                  req.normalized, req.mode))
+                self._resolve(
+                    request,
+                    lambda req=request: self._merge_timings(
+                        self._score_rows(req.normalized, req.mode),
+                        {"queue_wait": queue_waits[id(req)]}))
             return
         try:
+            assembly_start = time.perf_counter()
             stacked = np.concatenate([request.normalized for request in batch])
+            assembly_s = time.perf_counter() - assembly_start
+            self._h_assembly.observe(assembly_s)
+            engine_start = time.perf_counter()
             member_p1 = self._exact_member_p1(stacked)
+            engine_s = time.perf_counter() - engine_start
+            self._h_engine.observe(engine_s)
         except Exception as error:  # pragma: no cover - defensive
             for request in batch:
                 if not request.future.cancelled():
@@ -520,16 +591,22 @@ class OnlineScorer:
             window = slice(offset, offset + rows)
             offset += rows
             slices = [p1[:, window] for p1 in member_p1]
+            # Batch-level spans (assembly, engine) are shared by every
+            # coalesced request; queue wait is each request's own.
+            stages = {"queue_wait": queue_waits[id(request)],
+                      "batch_assembly": assembly_s,
+                      "engine_compute": engine_s}
             self._resolve(request,
-                          lambda s=slices, req=request: self._finalize_counted(
-                              s, req.mode))
+                          lambda s=slices, req=request, t=stages:
+                          self._finalize_counted(s, req.mode, t))
 
-    def _finalize_counted(self, member_p1: List[np.ndarray],
-                          mode: str) -> ScoreResult:
+    def _finalize_counted(self, member_p1: List[np.ndarray], mode: str,
+                          stage_timings: Optional[Dict[str, float]] = None
+                          ) -> ScoreResult:
         result = self._finalize(member_p1, mode, shot_noise=True)
-        with self._lock:
-            self._stats["requests"] += 1
-            self._stats["samples"] += result.num_samples
+        if stage_timings:
+            result = self._merge_timings(result, stage_timings)
+        self._count_request(result)
         return result
 
     @staticmethod

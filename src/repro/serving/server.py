@@ -11,6 +11,15 @@ A versioned JSON API over the serving managers, fully specified in
 * ``/v1/sessions``             -- sticky scoring sessions (``dedicated``
   sequential + deterministic, or ``batch`` micro-batched) with idle TTLs.
 * ``/v1/healthz``              -- liveness incl. registry/job/session counts.
+* ``/v1/metrics``              -- telemetry snapshot (JSON, or Prometheus
+  text exposition via ``?format=prometheus``); stays scrape-able during
+  drain so operators can watch a replica go down.
+
+Every request gets (or propagates) an ``X-Request-Id`` echoed on the
+response; sending an ``X-Timing: 1`` request header opts into a per-stage
+span breakdown on the ``X-Timing`` response header.  All requests are
+recorded into the runtime's :class:`~repro.serving.telemetry.MetricsRegistry`
+(counts by route/method/status, error counts by code, latency histograms).
 
 The pre-``/v1`` routes (``POST /score``, ``GET /healthz``, ``GET /model``)
 remain as thin **deprecated aliases** over the default model: responses are
@@ -57,6 +66,12 @@ from repro.serving.models import (
 from repro.serving.registry import ModelRegistry, RegisteredModel
 from repro.serving.scorer import OnlineScorer, ScoreResult
 from repro.serving.sessions import SessionManager
+from repro.serving.telemetry import (
+    MetricsRegistry,
+    clean_request_id,
+    default_registry,
+    format_timing_header,
+)
 
 __all__ = ["ServerRuntime", "QuorumHTTPServer", "build_server", "run_server"]
 
@@ -95,15 +110,33 @@ class ServerRuntime:
     def __init__(self, registry: ModelRegistry,
                  job_workers: int = 2, job_ttl_s: float = 900.0,
                  session_ttl_s: float = 600.0,
-                 debug_hooks: bool = False) -> None:
+                 debug_hooks: bool = False,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.registry = registry
-        self.jobs = JobManager(registry, workers=job_workers, ttl_s=job_ttl_s)
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.jobs = JobManager(registry, workers=job_workers, ttl_s=job_ttl_s,
+                               metrics=self.metrics)
         self.sessions = SessionManager(registry, default_ttl_s=session_ttl_s)
         self.debug_hooks = bool(debug_hooks)
         self._draining = threading.Event()
         self._idle = threading.Condition()
         self._inflight = 0
         self._delay_s = 0.0
+        # HTTP-layer instruments (created once; handlers record per request).
+        self.m_requests = self.metrics.counter(
+            "http_requests_total", "HTTP requests by route, method, status")
+        self.m_errors = self.metrics.counter(
+            "http_errors_total", "HTTP error responses by API error code")
+        self.h_request = self.metrics.histogram(
+            "http_request_seconds", "End-to-end request latency per route")
+        self.h_serialization = self.metrics.histogram(
+            "http_serialization_seconds", "Response JSON encoding time")
+        self.g_inflight = self.metrics.gauge(
+            "http_inflight_count", "Requests currently being handled")
+        self.g_jobs_live = self.metrics.gauge(
+            "jobs_live_count", "Jobs currently tracked, by status")
+        self.g_sessions_live = self.metrics.gauge(
+            "sessions_live_count", "Open scoring sessions")
 
     @property
     def draining(self) -> bool:
@@ -205,9 +238,12 @@ class QuorumHTTPServer(ThreadingHTTPServer):
         self.runtime.close()
 
 
-# Route table: (compiled path pattern, {method: handler attribute}, legacy?).
-# A path that matches a pattern but not a listed method is a 405 with an
-# ``Allow`` header; a path matching nothing is a 404 ``not_found``.
+# Route table: (compiled path pattern, {method: handler attribute}, legacy?,
+# route template).  A path that matches a pattern but not a listed method is
+# a 405 with an ``Allow`` header; a path matching nothing is a 404
+# ``not_found``.  The template is the stable, low-cardinality ``route`` label
+# metrics carry (``/v1/jobs/{id}``, never the raw path with its unbounded
+# ids).
 _LEGACY_SUCCESSORS = {
     "/score": "/v1/models/{id}/score",
     "/healthz": "/v1/healthz",
@@ -216,33 +252,51 @@ _LEGACY_SUCCESSORS = {
 
 _ROUTES = (
     (re.compile(r"^/v1/healthz$"),
-     {"GET": "_v1_health"}, False),
+     {"GET": "_v1_health"}, False, "/v1/healthz"),
+    (re.compile(r"^/v1/metrics$"),
+     {"GET": "_v1_metrics"}, False, "/v1/metrics"),
     (re.compile(r"^/v1/models$"),
-     {"GET": "_v1_models_list", "POST": "_v1_models_load"}, False),
+     {"GET": "_v1_models_list", "POST": "_v1_models_load"}, False,
+     "/v1/models"),
     (re.compile(r"^/v1/models/([^/]+)$"),
-     {"GET": "_v1_model_get", "DELETE": "_v1_model_unload"}, False),
+     {"GET": "_v1_model_get", "DELETE": "_v1_model_unload"}, False,
+     "/v1/models/{id}"),
     (re.compile(r"^/v1/models/([^/]+)/score$"),
-     {"POST": "_v1_model_score"}, False),
+     {"POST": "_v1_model_score"}, False, "/v1/models/{id}/score"),
     (re.compile(r"^/v1/jobs$"),
-     {"GET": "_v1_jobs_list", "POST": "_v1_jobs_submit"}, False),
+     {"GET": "_v1_jobs_list", "POST": "_v1_jobs_submit"}, False, "/v1/jobs"),
     (re.compile(r"^/v1/jobs/([^/]+)$"),
-     {"GET": "_v1_job_get", "DELETE": "_v1_job_cancel"}, False),
+     {"GET": "_v1_job_get", "DELETE": "_v1_job_cancel"}, False,
+     "/v1/jobs/{id}"),
     (re.compile(r"^/v1/jobs/([^/]+)/result$"),
-     {"GET": "_v1_job_result"}, False),
+     {"GET": "_v1_job_result"}, False, "/v1/jobs/{id}/result"),
     (re.compile(r"^/v1/sessions$"),
-     {"GET": "_v1_sessions_list", "POST": "_v1_sessions_create"}, False),
+     {"GET": "_v1_sessions_list", "POST": "_v1_sessions_create"}, False,
+     "/v1/sessions"),
     (re.compile(r"^/v1/sessions/([^/]+)$"),
-     {"GET": "_v1_session_get", "DELETE": "_v1_session_close"}, False),
+     {"GET": "_v1_session_get", "DELETE": "_v1_session_close"}, False,
+     "/v1/sessions/{id}"),
     (re.compile(r"^/v1/sessions/([^/]+)/score$"),
-     {"POST": "_v1_session_score"}, False),
+     {"POST": "_v1_session_score"}, False, "/v1/sessions/{id}/score"),
     # Fault-injection hook, only live when the runtime was built with
     # debug_hooks=True (404 otherwise, indistinguishable from absent).
     (re.compile(r"^/v1/_debug/delay$"),
-     {"GET": "_v1_debug_delay_get", "POST": "_v1_debug_delay_set"}, False),
-    (re.compile(r"^/score$"), {"POST": "_legacy_score"}, True),
-    (re.compile(r"^/healthz$"), {"GET": "_legacy_health"}, True),
-    (re.compile(r"^/model$"), {"GET": "_legacy_model"}, True),
+     {"GET": "_v1_debug_delay_get", "POST": "_v1_debug_delay_set"}, False,
+     "/v1/_debug/delay"),
+    (re.compile(r"^/score$"), {"POST": "_legacy_score"}, True, "/score"),
+    (re.compile(r"^/healthz$"), {"GET": "_legacy_health"}, True, "/healthz"),
+    (re.compile(r"^/model$"), {"GET": "_legacy_model"}, True, "/model"),
 )
+
+
+class _PlainText:
+    """Marker payload: ``_send_json`` sends it verbatim as text/plain
+    (the Prometheus exposition body must not be JSON-encoded)."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: str) -> None:
+        self.body = body
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -266,18 +320,49 @@ class _Handler(BaseHTTPRequestHandler):
     _head_only = False
     #: Whether the request body was fully consumed (keep-alive hygiene).
     _body_consumed = True
+    #: Tracing state, (re)set per request by :meth:`_dispatch`.  The class
+    #: defaults keep ``_send_json`` safe if it is ever reached another way.
+    _t_start = 0.0
+    _method = "-"
+    _route_label = "unmatched"
+    _request_id: Optional[str] = None
+    _want_timing = False
+    _stage_timings: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------ plumbing
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.server.quiet:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict,
+    def log_request(self, code="-", size="-") -> None:
+        """Superseded by the structured access line in ``_send_json``."""
+
+    def _send_json(self, status: int, payload: Union[dict, _PlainText],
                    extra_headers: Optional[Dict[str, str]] = None) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        serialization_start = time.perf_counter()
+        if isinstance(payload, _PlainText):
+            body = payload.body.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+        serialization_s = time.perf_counter() - serialization_start
+        duration_s = time.perf_counter() - self._t_start
+        runtime = self.server.runtime
+        runtime.m_requests.inc(route=self._route_label, method=self._method,
+                               status=str(status))
+        runtime.h_request.observe(duration_s)
+        runtime.h_serialization.observe(serialization_s)
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id is not None:
+            self.send_header("X-Request-Id", self._request_id)
+        if self._want_timing:
+            timings = dict(self._stage_timings or {})
+            timings["serialization"] = serialization_s
+            timings["total"] = duration_s
+            self.send_header("X-Timing", format_timing_header(timings))
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         if self._body_left_unread():
@@ -288,10 +373,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         if not self._head_only:
             self.wfile.write(body)
+        if not self.server.quiet:
+            sys.stderr.write(
+                f"request_id={self._request_id or '-'} "
+                f"method={self._method} route={self._route_label} "
+                f"status={status} duration_ms={duration_s * 1e3:.3f}\n")
 
     def _send_error_envelope(self, error: ApiError,
                              extra_headers: Optional[Dict[str, str]] = None
                              ) -> None:
+        self.server.runtime.m_errors.inc(code=error.code)
         self._send_json(error.http_status, error.envelope().to_json(),
                         extra_headers)
 
@@ -356,14 +447,22 @@ class _Handler(BaseHTTPRequestHandler):
         self._head_only = method == "HEAD"
         lookup = "GET" if method == "HEAD" else method
         self._body_consumed = False
+        self._t_start = time.perf_counter()
+        self._method = method
+        self._route_label = "unmatched"
+        self._request_id = clean_request_id(self.headers.get("X-Request-Id"))
+        self._want_timing = self.headers.get("X-Timing") is not None
+        self._stage_timings = None
         extra_headers: Dict[str, str] = {}
         runtime = self.server.runtime
         runtime.request_started()
         try:
             try:
-                if runtime.draining:
+                if runtime.draining and path != "/v1/metrics":
                     # Not executed -- provably safe for the proxy to replay
                     # against another replica (any method, even POST).
+                    # /v1/metrics stays scrape-able so operators can watch a
+                    # replica drain.
                     extra_headers["Retry-After"] = str(RETRY_AFTER_S)
                     raise ApiError("shutting_down",
                                    "the server is shutting down; retry against "
@@ -373,10 +472,11 @@ class _Handler(BaseHTTPRequestHandler):
                     # Slow-response fault injection; the hook itself stays
                     # fast so the injector can always clear the delay.
                     time.sleep(delay_s)
-                for pattern, methods, legacy in _ROUTES:
+                for pattern, methods, legacy, template in _ROUTES:
                     match = pattern.match(path)
                     if match is None:
                         continue
+                    self._route_label = template
                     if legacy:
                         extra_headers["Deprecation"] = "true"
                         extra_headers["Link"] = (
@@ -432,7 +532,9 @@ class _Handler(BaseHTTPRequestHandler):
         except (TypeError, ValueError) as error:
             raise ApiError("bad_request", str(error)) from None
         try:
-            return future.result(timeout=SCORE_TIMEOUT_S)
+            result = future.result(timeout=SCORE_TIMEOUT_S)
+            self._stage_timings = dict(result.timings or {})
+            return result
         except FutureTimeoutError:
             # Cancel so the worker can skip the orphaned request instead of
             # burning a batch slot on a response nobody will read.
@@ -455,6 +557,20 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     # --------------------------------------------------------------- /v1 routes
+    def _v1_metrics(self):
+        runtime = self.runtime
+        # Point-in-time gauges are sampled at scrape time (cheaper than
+        # keeping them current on every state change).
+        runtime.g_inflight.set(runtime.inflight)
+        for status_name, live in runtime.jobs.counts().items():
+            runtime.g_jobs_live.set(live, status=status_name)
+        runtime.g_sessions_live.set(len(runtime.sessions))
+        query = urlsplit(self.path).query
+        accept = self.headers.get("Accept", "")
+        if "format=prometheus" in query or "text/plain" in accept:
+            return 200, _PlainText(runtime.metrics.render_prometheus())
+        return 200, runtime.metrics.snapshot()
+
     def _v1_health(self):
         runtime = self.runtime
         response = HealthResponse(
@@ -545,6 +661,7 @@ class _Handler(BaseHTTPRequestHandler):
         entry = self.runtime.registry.get(session.model_id)
         result = self.runtime.sessions.score(session_id, request,
                                              timeout_s=SCORE_TIMEOUT_S)
+        self._stage_timings = dict(result.timings or {})
         return 200, self._score_response(entry, result).to_json()
 
     def _v1_session_close(self, session_id: str):
@@ -608,7 +725,8 @@ def build_server(model: Union[str, Path, ModelArtifact, OnlineScorer, None]
                  job_ttl_s: float = 900.0,
                  session_ttl_s: float = 600.0,
                  compiler: Optional[CircuitCompiler] = None,
-                 debug_hooks: bool = False
+                 debug_hooks: bool = False,
+                 metrics: Optional[MetricsRegistry] = None
                  ) -> QuorumHTTPServer:
     """Build (but do not start) a runtime server.
 
@@ -618,13 +736,23 @@ def build_server(model: Union[str, Path, ModelArtifact, OnlineScorer, None]
     All scorers share one compiler cache (``compiler`` overrides the
     process-wide instance, e.g. for cache-counter tests).
 
+    ``metrics`` is the telemetry registry every layer (HTTP handlers, the
+    scorers the registry builds, the job manager) records into; omitted, it
+    is the process-global :func:`~repro.serving.telemetry.default_registry`.
+    Tests pass a private :class:`MetricsRegistry` for isolated counters.
+
     ``port=0`` binds an ephemeral port; read the actual one from
     ``server.server_address`` (the CI smoke test and the examples do).
     """
+    if metrics is None:
+        metrics = default_registry()
+    user_scorer_kwargs = scorer_kwargs
+    scorer_kwargs = dict(scorer_kwargs or {})
+    scorer_kwargs.setdefault("metrics", metrics)
     registry = ModelRegistry(compiler=compiler, scorer_kwargs=scorer_kwargs)
     if model is not None:
         if isinstance(model, OnlineScorer):
-            if scorer_kwargs:
+            if user_scorer_kwargs:
                 raise ValueError(
                     "scorer_kwargs cannot be applied to a prebuilt "
                     "OnlineScorer; pass a model path or artifact instead")
@@ -640,7 +768,7 @@ def build_server(model: Union[str, Path, ModelArtifact, OnlineScorer, None]
                          "(model=... or models={...})")
     runtime = ServerRuntime(registry, job_workers=job_workers,
                             job_ttl_s=job_ttl_s, session_ttl_s=session_ttl_s,
-                            debug_hooks=debug_hooks)
+                            debug_hooks=debug_hooks, metrics=metrics)
     return QuorumHTTPServer((host, port), runtime, quiet=quiet)
 
 

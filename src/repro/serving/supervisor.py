@@ -37,6 +37,15 @@ Per-replica state machine (reported verbatim in :meth:`status`)::
                    v                      v
                draining -> stopped    crash_looped (parked; revive())
 
+Every state change funnels through one place and is recorded into a
+:class:`~repro.serving.telemetry.FlightRecorder` -- a bounded ring (plus
+optional JSONL sink) of structured events (spawns, ejects, readmits,
+restarts, drains, crash-loop trips) with monotonic timestamps, dumped by
+``quorum-repro fleet --events`` and on abnormal exit.  :meth:`status` merges
+the proxy's windowed :meth:`~repro.serving.proxy.RoundRobinProxy
+.backend_stats` into each slot, so the fleet status JSON carries live
+per-replica RPS and p95 latency.
+
 Every collaborator is injectable -- ``spawner`` (subprocess creation),
 ``prober`` (health probe), ``clock`` and ``jitter`` -- so the whole state
 machine is unit-testable with fakes and a manual :meth:`tick`, while the
@@ -60,6 +69,7 @@ from repro.serving.loadtest import (
     spawn_replica,
 )
 from repro.serving.proxy import RoundRobinProxy
+from repro.serving.telemetry import FlightRecorder
 
 __all__ = [
     "SupervisorPolicy",
@@ -199,12 +209,17 @@ class FleetSupervisor:
                  spawner: Optional[Callable[[], ReplicaProcess]] = None,
                  prober: Optional[Callable[[str], bool]] = None,
                  clock: Callable[[], float] = time.monotonic,
-                 jitter: Optional[Callable[[], float]] = None) -> None:
+                 jitter: Optional[Callable[[], float]] = None,
+                 recorder: Optional[FlightRecorder] = None) -> None:
         if replicas < 1:
             raise ValueError("a fleet needs at least one replica")
         if model_path is None and spawner is None:
             raise ValueError("need a model_path (or an injected spawner)")
         self.policy = policy or SupervisorPolicy()
+        # The flight recorder is always on (the ring is cheap); pass one
+        # with a sink to also persist every event as JSONL.
+        self.recorder = recorder if recorder is not None \
+            else FlightRecorder(capacity=2048)
         self.target_replicas = int(replicas)
         self._clock = clock
         if jitter is None:
@@ -279,6 +294,8 @@ class FleetSupervisor:
                 if slot.process is not None and slot.state in _LIVE_STATES:
                     exit_codes.append(self._drain_slot(slot, "fleet shutdown"))
         self.proxy.close()
+        self.recorder.record("fleet_shutdown", exit_codes=exit_codes)
+        self.recorder.close()
         return exit_codes
 
     def __enter__(self) -> "FleetSupervisor":
@@ -291,7 +308,12 @@ class FleetSupervisor:
 
     # -------------------------------------------------------------- observation
     def status(self) -> Dict[str, object]:
-        """Machine-readable fleet snapshot (what ``fleet`` prints as JSON)."""
+        """Machine-readable fleet snapshot (what ``fleet`` prints as JSON).
+
+        Each slot carries live ``rps``/``p50_ms``/``p95_ms`` from the
+        proxy's windowed per-backend stats (None while out of rotation or
+        before any traffic) -- the inputs live autoscaling needs.
+        """
         with self._lock:
             now = self._clock()
             slots = [slot.info(now)
@@ -302,6 +324,13 @@ class FleetSupervisor:
                 proxy_address = "%s:%d" % self.proxy.address
             except Exception:
                 proxy_address = None
+            backend_stats = self.proxy.backend_stats()
+            for info in slots:
+                stats = backend_stats.get(info["address"]) \
+                    if info["address"] else None
+                info["rps"] = stats["rps"] if stats else None
+                info["p50_ms"] = stats["p50_ms"] if stats else None
+                info["p95_ms"] = stats["p95_ms"] if stats else None
             return {
                 "target_replicas": self.target_replicas,
                 "healthy": sum(1 for s in states if s == HEALTHY),
@@ -310,9 +339,14 @@ class FleetSupervisor:
                     "address": proxy_address,
                     "backends": self.proxy.backend_addresses(),
                     "request_counts": self.proxy.request_counts(),
+                    "backend_stats": backend_stats,
                 },
                 "slots": slots,
             }
+
+    def events(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """The flight recorder's retained events, oldest first."""
+        return self.recorder.events(limit)
 
     def healthy_count(self) -> int:
         with self._lock:
@@ -393,6 +427,11 @@ class FleetSupervisor:
     # ------------------------------------------------------------ state changes
     def _transition(self, slot: ReplicaSlot, state: str, reason: str,
                     now: float) -> None:
+        # Single funnel for every state change -- which makes it the one
+        # place the flight recorder needs a hook to see the whole machine.
+        self.recorder.record(
+            "transition", slot=slot.slot_id, from_state=slot.state,
+            to_state=state, reason=reason, address=slot.address)
         slot.state = state
         slot.last_transition_reason = reason
         slot.last_transition_at = now
@@ -457,10 +496,15 @@ class FleetSupervisor:
                               "stderr_tail": error.stderr_tail}
             kind = ("crashed on boot" if error.exit_code is not None
                     else "failed to start")
+            self.recorder.record("spawn_failed", slot=slot.slot_id,
+                                 exit_code=error.exit_code)
             self._record_crash(slot, now, f"respawn {kind}: {error}")
             return
         slot.process = process
         slot.restarts += 1
+        self.recorder.record("spawn", slot=slot.slot_id,
+                             address=process.address, pid=process.pid,
+                             attempt=slot.restarts)
         self._transition(slot, STARTING,
                          f"restarted (attempt {slot.restarts})", now)
 
